@@ -1,0 +1,29 @@
+//! `cargo bench --bench figures` — regenerates every simulated figure
+//! (Figs. 1, 3, 4, 5, 6a–c) in quick mode and prints the paper-style
+//! series and tables. Results are also written to `results/bench/`.
+//!
+//! This is a plain harness (not criterion): the deliverable is the
+//! figure data itself, not a latency distribution.
+
+use std::path::Path;
+
+use sfs_bench::common::Effort;
+use sfs_bench::run_experiment;
+
+fn main() {
+    // `cargo bench` passes --bench; tolerate/ignore extra flags.
+    let out = Path::new("results").join("bench");
+    for id in ["fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c"] {
+        eprintln!(">> {id} (quick)");
+        let res = run_experiment(id, Effort::Quick);
+        println!("== {} — {} ==\n", res.id, res.title);
+        println!("{}", res.text);
+        for (k, v) in &res.summary {
+            println!("{k}: {v}");
+        }
+        println!();
+        if let Err(e) = res.write_to(&out) {
+            eprintln!("warning: could not write {id} results: {e}");
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! `cargo bench --bench overheads` — regenerates the real-thread
+//! overhead measurements (Fig. 7 and Table 1) in quick mode.
+
+use std::path::Path;
+
+use sfs_bench::common::Effort;
+use sfs_bench::run_experiment;
+
+fn main() {
+    let out = Path::new("results").join("bench");
+    for id in ["fig7", "table1"] {
+        eprintln!(">> {id} (quick)");
+        let res = run_experiment(id, Effort::Quick);
+        println!("== {} — {} ==\n", res.id, res.title);
+        println!("{}", res.text);
+        for (k, v) in &res.summary {
+            println!("{k}: {v}");
+        }
+        println!();
+        if let Err(e) = res.write_to(&out) {
+            eprintln!("warning: could not write {id} results: {e}");
+        }
+    }
+}

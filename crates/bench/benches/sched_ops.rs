@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the scheduler hot paths: per-decision
+//! cost (`pick_next` + `put_prev`) as the run queue grows, weight
+//! readjustment cost, and run-queue operations. These quantify the §3.2
+//! complexity discussion and the SFS-vs-baselines overhead gap that
+//! Table 1 / Fig. 7 measure end-to-end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sfs_core::queues::{Order, SortedList};
+use sfs_core::readjust::readjust;
+use sfs_core::sched::{Scheduler, SwitchReason};
+use sfs_core::task::{weight, CpuId, TaskId};
+use sfs_core::time::{Duration, Time};
+
+fn make(kind: &str, cpus: u32) -> Box<dyn Scheduler> {
+    sfs_bench::common::make_sched(kind, cpus, Duration::from_millis(1))
+}
+
+/// One full scheduling round: put the current task back, pick the next.
+fn decision_round(sched: &mut Box<dyn Scheduler>, current: &mut Option<TaskId>, now: &mut Time) {
+    if let Some(id) = current.take() {
+        sched.put_prev(id, Duration::from_millis(1), SwitchReason::Preempted, *now);
+    }
+    *now += Duration::from_millis(1);
+    *current = sched.pick_next(CpuId(0), *now);
+}
+
+fn bench_decisions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decision");
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(600));
+    g.sample_size(20);
+    for kind in [
+        "sfs",
+        "sfs-heuristic",
+        "sfs-affinity",
+        "sfq",
+        "timeshare",
+        "stride",
+        "rr",
+    ] {
+        for &n in &[10usize, 100, 400] {
+            g.bench_with_input(BenchmarkId::new(kind.to_string(), n), &n, |b, &n| {
+                let mut sched = make(kind, 2);
+                let mut now = Time::ZERO;
+                for i in 0..n {
+                    sched.attach(TaskId(i as u64), weight(1 + (i as u64 % 9)), now);
+                }
+                let mut current = None;
+                b.iter(|| decision_round(&mut sched, &mut current, &mut now));
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_readjust(c: &mut Criterion) {
+    let mut g = c.benchmark_group("readjust");
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.sample_size(30);
+    for &(t, p) in &[(100usize, 2u32), (400, 2), (400, 8), (4000, 8)] {
+        let mut w: Vec<u64> = (0..t).map(|i| 1 + (i as u64 * 13) % 1000).collect();
+        w.sort_unstable_by(|a, b| b.cmp(a));
+        g.bench_with_input(
+            BenchmarkId::new(format!("t{t}"), p),
+            &(w, p),
+            |b, (w, p)| b.iter(|| std::hint::black_box(readjust(w, *p))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_queue_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("queue");
+    g.warm_up_time(std::time::Duration::from_millis(200));
+    g.measurement_time(std::time::Duration::from_millis(500));
+    g.sample_size(30);
+    for &n in &[100usize, 1000] {
+        g.bench_with_input(BenchmarkId::new("update_key", n), &n, |b, &n| {
+            let mut list = SortedList::new(Order::Ascending);
+            let refs: Vec<_> = (0..n)
+                .map(|i| list.insert(sfs_core::fixed::Fixed::from_int(i as i64), TaskId(i as u64)))
+                .collect();
+            let mut k = 0i64;
+            b.iter(|| {
+                k += 1;
+                let r = refs[(k as usize * 7) % refs.len()];
+                list.update_key(r, sfs_core::fixed::Fixed::from_int(k % n as i64));
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("resort_sorted", n), &n, |b, &n| {
+            let mut list = SortedList::new(Order::Ascending);
+            for i in 0..n {
+                list.insert(sfs_core::fixed::Fixed::from_int(i as i64), TaskId(i as u64));
+            }
+            b.iter(|| list.resort_with(|id| sfs_core::fixed::Fixed::from_int(id.0 as i64)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_decisions, bench_readjust, bench_queue_ops);
+criterion_main!(benches);

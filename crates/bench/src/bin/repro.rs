@@ -1,0 +1,93 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--quick] [--out DIR] [ID...]
+//!
+//!   ID      one or more of: fig1 fig3 fig4 fig5 fig6a fig6b fig6c fig7
+//!           table1 all        (default: all)
+//!   --quick scaled-down runs (seconds instead of minutes)
+//!   --out   output directory  (default: results/)
+//! ```
+//!
+//! Each experiment prints its report to stdout and writes
+//! `<out>/<id>.txt` plus CSV data files.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use sfs_bench::common::Effort;
+use sfs_bench::{all_ids, run_experiment};
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--quick] [--out DIR] [ID...]\n       IDs: {} all",
+        all_ids().join(" ")
+    )
+}
+
+fn main() -> ExitCode {
+    let mut effort = Effort::Full;
+    let mut out = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" | "-q" => effort = Effort::Quick,
+            "--out" | "-o" => match args.next() {
+                Some(dir) => out = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
+            id if all_ids().contains(&id) => ids.push(id.to_string()),
+            other => {
+                eprintln!("unknown argument {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if ids.is_empty() {
+        ids.extend(all_ids().iter().map(|s| s.to_string()));
+    }
+    ids.dedup();
+
+    for id in &ids {
+        eprintln!(
+            ">> running {id} ({})",
+            if effort == Effort::Quick {
+                "quick"
+            } else {
+                "full"
+            }
+        );
+        let res = run_experiment(id, effort);
+        println!("== {} — {} ==\n", res.id, res.title);
+        println!("{}", res.text);
+        if !res.summary.is_empty() {
+            println!("-- summary --");
+            for (k, v) in &res.summary {
+                println!("{k}: {v}");
+            }
+            println!();
+        }
+        match res.write_to(&out) {
+            Ok(files) => {
+                for f in files {
+                    eprintln!("   wrote {}", f.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("failed writing results for {id}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,250 @@
+//! Shared plumbing for the experiment harnesses.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use sfs_core::bvt::{Bvt, BvtConfig};
+use sfs_core::rr::RoundRobin;
+use sfs_core::sched::Scheduler;
+use sfs_core::sfq::{Sfq, SfqConfig};
+use sfs_core::sfs::{Sfs, SfsConfig};
+use sfs_core::stride::{Stride, StrideConfig};
+use sfs_core::time::Duration;
+use sfs_core::timeshare::TimeSharing;
+use sfs_core::wfq::{Wfq, WfqConfig};
+
+/// How much work to spend on an experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Scaled-down runs for `cargo bench` / CI smoke (seconds total).
+    Quick,
+    /// Paper-scale runs for the recorded results.
+    Full,
+}
+
+impl Effort {
+    /// Scales a full-effort duration down in quick mode.
+    pub fn scale(self, full: Duration) -> Duration {
+        match self {
+            Effort::Full => full,
+            Effort::Quick => (full / 8).max(Duration::from_millis(500)),
+        }
+    }
+
+    /// Scales an iteration count down in quick mode.
+    pub fn count(self, full: u64) -> u64 {
+        match self {
+            Effort::Full => full,
+            Effort::Quick => (full / 8).max(1),
+        }
+    }
+
+    /// The scheduling quantum for application scenarios: the paper's
+    /// 200 ms test-bed quantum at full effort, scaled down with the run
+    /// length in quick mode so tag dynamics keep the same shape.
+    pub fn quantum(self) -> Duration {
+        match self {
+            Effort::Full => Duration::from_millis(200),
+            Effort::Quick => Duration::from_millis(25),
+        }
+    }
+}
+
+/// The rendered outcome of one experiment.
+#[derive(Debug, Clone, Default)]
+pub struct ExpResult {
+    /// Experiment id, e.g. `"fig5"`.
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The full text report (charts + tables).
+    pub text: String,
+    /// CSV artefacts: (file name, contents).
+    pub csv: Vec<(String, String)>,
+    /// Key findings, as (metric, value) pairs for EXPERIMENTS.md.
+    pub summary: Vec<(String, String)>,
+}
+
+impl ExpResult {
+    /// Creates an empty result.
+    pub fn new(id: &str, title: &str) -> ExpResult {
+        ExpResult {
+            id: id.to_string(),
+            title: title.to_string(),
+            ..ExpResult::default()
+        }
+    }
+
+    /// Appends a section of text.
+    pub fn section(&mut self, s: &str) {
+        self.text.push_str(s);
+        if !s.ends_with('\n') {
+            self.text.push('\n');
+        }
+        self.text.push('\n');
+    }
+
+    /// Records a summary key/value.
+    pub fn finding(&mut self, key: &str, value: String) {
+        self.summary.push((key.to_string(), value));
+    }
+
+    /// Writes the report and CSVs under `dir`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+        fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        let txt = dir.join(format!("{}.txt", self.id));
+        let mut full = String::new();
+        let _ = writeln!(full, "== {} — {} ==\n", self.id, self.title);
+        full.push_str(&self.text);
+        if !self.summary.is_empty() {
+            let _ = writeln!(full, "-- summary --");
+            for (k, v) in &self.summary {
+                let _ = writeln!(full, "{k}: {v}");
+            }
+        }
+        fs::write(&txt, full)?;
+        written.push(txt);
+        for (name, content) in &self.csv {
+            let p = dir.join(name);
+            fs::write(&p, content)?;
+            written.push(p);
+        }
+        Ok(written)
+    }
+}
+
+/// Named scheduler constructors with a common quantum, used by the
+/// experiments to run the same scenario under several policies.
+pub fn make_sched(kind: &str, cpus: u32, quantum: Duration) -> Box<dyn Scheduler> {
+    match kind {
+        "sfs" => Box::new(Sfs::with_config(
+            cpus,
+            SfsConfig {
+                quantum,
+                ..SfsConfig::default()
+            },
+        )),
+        "sfs-heuristic" => Box::new(Sfs::with_config(
+            cpus,
+            SfsConfig {
+                quantum,
+                heuristic: Some(20),
+                ..SfsConfig::default()
+            },
+        )),
+        "sfs-affinity" => Box::new(Sfs::with_config(
+            cpus,
+            SfsConfig {
+                quantum,
+                affinity_margin: Some(quantum * 2),
+                ..SfsConfig::default()
+            },
+        )),
+        "sfq" => Box::new(Sfq::with_config(
+            cpus,
+            SfqConfig {
+                quantum,
+                readjust: false,
+                ..SfqConfig::default()
+            },
+        )),
+        "sfq-readjust" => Box::new(Sfq::with_config(
+            cpus,
+            SfqConfig {
+                quantum,
+                readjust: true,
+                ..SfqConfig::default()
+            },
+        )),
+        "timeshare" => Box::new(TimeSharing::new(cpus)),
+        "stride" => Box::new(Stride::with_config(
+            cpus,
+            StrideConfig {
+                quantum,
+                readjust: false,
+            },
+        )),
+        "stride-readjust" => Box::new(Stride::with_config(
+            cpus,
+            StrideConfig {
+                quantum,
+                readjust: true,
+            },
+        )),
+        "bvt" => Box::new(Bvt::with_config(
+            cpus,
+            BvtConfig {
+                quantum,
+                readjust: false,
+            },
+        )),
+        "bvt-readjust" => Box::new(Bvt::with_config(
+            cpus,
+            BvtConfig {
+                quantum,
+                readjust: true,
+            },
+        )),
+        "wfq" => Box::new(Wfq::with_config(
+            cpus,
+            WfqConfig {
+                quantum,
+                readjust: false,
+            },
+        )),
+        "rr" => Box::new(RoundRobin::new(cpus, quantum)),
+        other => panic!("unknown scheduler kind {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_scaling() {
+        let full = Duration::from_secs(40);
+        assert_eq!(Effort::Full.scale(full), full);
+        assert_eq!(Effort::Quick.scale(full), Duration::from_secs(5));
+        assert_eq!(Effort::Quick.count(80), 10);
+        assert_eq!(Effort::Quick.count(4), 1);
+    }
+
+    #[test]
+    fn all_sched_kinds_construct() {
+        for kind in [
+            "sfs",
+            "sfs-heuristic",
+            "sfs-affinity",
+            "sfq",
+            "sfq-readjust",
+            "timeshare",
+            "stride",
+            "stride-readjust",
+            "bvt",
+            "bvt-readjust",
+            "wfq",
+            "rr",
+        ] {
+            let s = make_sched(kind, 2, Duration::from_millis(100));
+            assert_eq!(s.cpus(), 2, "{kind}");
+        }
+    }
+
+    #[test]
+    fn result_writes_files() {
+        let mut r = ExpResult::new("t1", "demo");
+        r.section("hello");
+        r.finding("x", "1".into());
+        r.csv.push(("t1_data.csv".into(), "a,b\n1,2\n".into()));
+        let dir = std::env::temp_dir().join("sfs_exp_test");
+        let files = r.write_to(&dir).unwrap();
+        assert_eq!(files.len(), 2);
+        let txt = fs::read_to_string(&files[0]).unwrap();
+        assert!(txt.contains("hello"));
+        assert!(txt.contains("x: 1"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,132 @@
+//! Figure 1 / Example 1 — the infeasible-weights starvation pathology.
+//!
+//! Two CPUs, quantum 1 ms. Threads T1 (w=1) and T2 (w=10) are
+//! compute-bound from t=0; both run continuously (one per CPU) while
+//! their start tags drift apart (S1 grows 10× faster). At t=1 s a third
+//! compute-bound thread T3 (w=1) arrives with the minimum start tag and,
+//! under plain SFQ, T1 starves until S3 catches up with S1 — ~0.9 s of
+//! starvation, exactly the timeline in Figure 1. Under SFS (or SFQ with
+//! readjustment) no starvation occurs.
+
+use sfs_core::time::{Duration, Time};
+use sfs_metrics::{fairness, render, ChartConfig, Table};
+use sfs_sim::{Scenario, SimConfig, TaskSpec};
+use sfs_workloads::BehaviorSpec;
+
+use crate::common::{make_sched, Effort, ExpResult};
+use crate::helpers::to_iterations;
+
+/// Runs the Example 1 scenario under one policy.
+fn run_one(kind: &str, effort: Effort) -> sfs_sim::SimReport {
+    let quantum = Duration::from_millis(1);
+    let duration = effort.scale(Duration::from_secs(3));
+    let arrive3 = Time(duration.as_nanos() / 3);
+    let cfg = SimConfig {
+        cpus: 2,
+        duration,
+        ctx_switch: Duration::ZERO,
+        sample_every: Duration::from_millis(10),
+        track_gms: false,
+        seed: 1,
+    };
+    Scenario::new("fig1", cfg)
+        .task(TaskSpec::new("T1", 1, BehaviorSpec::Inf))
+        .task(TaskSpec::new("T2", 10, BehaviorSpec::Inf))
+        .task(TaskSpec::new("T3", 1, BehaviorSpec::Inf).arrive_at(arrive3))
+        .run(make_sched(kind, 2, quantum))
+}
+
+/// Regenerates Figure 1.
+pub fn run(effort: Effort) -> ExpResult {
+    let mut res = ExpResult::new(
+        "fig1",
+        "Infeasible weights: SFQ starves T1 after T3 arrives (Example 1)",
+    );
+
+    let mut table = Table::new(
+        "starvation of T1 after T3's arrival",
+        &[
+            "policy",
+            "longest T1 starvation (s)",
+            "T1 share",
+            "T2 share",
+            "T3 share",
+        ],
+    );
+    for kind in ["sfq", "sfq-readjust", "sfs"] {
+        let rep = run_one(kind, effort);
+        let t1 = rep.task("T1").unwrap();
+        let starve = fairness::starvation(t1.series.points());
+        let shares = rep.shares();
+        table.row(&[
+            rep.sched_name.clone(),
+            format!("{starve:.2}"),
+            format!("{:.3}", shares[0]),
+            format!("{:.3}", shares[1]),
+            format!("{:.3}", shares[2]),
+        ]);
+        if kind == "sfq" {
+            let iters: Vec<_> = rep
+                .tasks
+                .iter()
+                .map(|t| to_iterations(&t.series, 1.0))
+                .collect();
+            let refs: Vec<_> = iters.iter().collect();
+            res.section(&render(
+                "Figure 1 timeline (plain SFQ): cumulative iterations",
+                &refs,
+                &ChartConfig {
+                    x_label: "time (s)".into(),
+                    y_label: "iterations".into(),
+                    ..ChartConfig::default()
+                },
+            ));
+            res.finding("sfq_t1_starvation_s", format!("{starve:.2}"));
+            let mut csv = String::from("time_s,T1,T2,T3\n");
+            let grid: Vec<f64> = (0..=60)
+                .map(|i| rep.duration.as_secs_f64() * i as f64 / 60.0)
+                .collect();
+            for x in grid {
+                csv.push_str(&format!(
+                    "{x:.3},{:.0},{:.0},{:.0}\n",
+                    iters[0].at(x),
+                    iters[1].at(x),
+                    iters[2].at(x)
+                ));
+            }
+            res.csv.push(("fig1_sfq.csv".into(), csv));
+        }
+        if kind == "sfs" {
+            res.finding("sfs_t1_starvation_s", format!("{starve:.2}"));
+        }
+    }
+    res.section(&table.to_text());
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_shows_the_pathology() {
+        let res = run(Effort::Quick);
+        let sfq: f64 = res
+            .summary
+            .iter()
+            .find(|(k, _)| k == "sfq_t1_starvation_s")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        let sfs: f64 = res
+            .summary
+            .iter()
+            .find(|(k, _)| k == "sfs_t1_starvation_s")
+            .unwrap()
+            .1
+            .parse()
+            .unwrap();
+        assert!(sfq > 5.0 * sfs.max(0.02), "sfq {sfq} vs sfs {sfs}");
+    }
+}

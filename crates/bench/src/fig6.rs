@@ -1,0 +1,248 @@
+//! Figure 6 — proportionate allocation, application isolation, and
+//! interactive performance (§4.4).
+//!
+//! * **(a)** two dhrystones at weight ratios 1:1, 1:2, 1:4, 1:7 over a
+//!   pool of 20 weight-1 background dhrystones: loops/sec must track
+//!   the weights.
+//! * **(b)** an MPEG decoder (large weight → one full CPU after
+//!   readjustment) against 0–10 parallel compilations: SFS holds the
+//!   frame rate; time sharing lets it decay.
+//! * **(c)** an interactive task against 0–10 disksim processes: SFS
+//!   response times stay comparable to time sharing (which explicitly
+//!   boosts I/O-bound tasks).
+
+use sfs_core::time::Duration;
+use sfs_metrics::{render, ChartConfig, Table, TimeSeries};
+use sfs_sim::{Scenario, SimConfig, SimReport, TaskSpec};
+use sfs_workloads::BehaviorSpec;
+
+use crate::common::{make_sched, Effort, ExpResult};
+
+fn base_cfg(effort: Effort, full_secs: u64, seed: u64) -> SimConfig {
+    let duration = effort.scale(Duration::from_secs(full_secs));
+    SimConfig {
+        cpus: 2,
+        duration,
+        ctx_switch: Duration::from_micros(5),
+        sample_every: (duration / 50).max(Duration::from_millis(50)),
+        track_gms: false,
+        seed,
+    }
+}
+
+// ---------------------------------------------------------------- 6(a)
+
+fn run_6a_pair(w_a: u64, w_b: u64, effort: Effort) -> SimReport {
+    let cfg = base_cfg(effort, 10, 60 + w_b);
+    Scenario::new("fig6a", cfg)
+        .task(TaskSpec::new("bg", 1, BehaviorSpec::Dhrystone).replicated(20))
+        .task(TaskSpec::new("A", w_a, BehaviorSpec::Dhrystone))
+        .task(TaskSpec::new("B", w_b, BehaviorSpec::Dhrystone))
+        .run(make_sched("sfs", 2, effort.quantum()))
+}
+
+/// Regenerates Figure 6(a): proportionate allocation.
+pub fn run_6a(effort: Effort) -> ExpResult {
+    let mut res = ExpResult::new(
+        "fig6a",
+        "Proportionate allocation: dhrystone loops/sec vs weight ratio (SFS)",
+    );
+    let mut table = Table::new(
+        "dhrystone pair over 20 weight-1 background dhrystones",
+        &["weights", "A loops/sec", "B loops/sec", "B/A", "want"],
+    );
+    let mut csv = String::from("ratio,a_loops_per_sec,b_loops_per_sec,measured_ratio\n");
+    for (w_a, w_b) in [(1u64, 1u64), (1, 2), (1, 4), (1, 7)] {
+        let rep = run_6a_pair(w_a, w_b, effort);
+        let secs = rep.duration.as_secs_f64();
+        let a = rep.task("A").unwrap().iterations.unwrap() as f64 / secs;
+        let b = rep.task("B").unwrap().iterations.unwrap() as f64 / secs;
+        table.row(&[
+            format!("{w_a}:{w_b}"),
+            format!("{a:.0}"),
+            format!("{b:.0}"),
+            format!("{:.2}", b / a),
+            format!("{:.2}", w_b as f64 / w_a as f64),
+        ]);
+        csv.push_str(&format!("{w_a}:{w_b},{a:.0},{b:.0},{:.3}\n", b / a));
+        res.finding(&format!("ratio_{w_a}_{w_b}"), format!("{:.2}", b / a));
+    }
+    res.section(&table.to_text());
+    res.csv.push(("fig6a.csv".into(), csv));
+    res
+}
+
+// ---------------------------------------------------------------- 6(b)
+
+fn run_6b_point(kind: &str, compilations: usize, effort: Effort) -> f64 {
+    let cfg = base_cfg(effort, 20, 61);
+    let mut scenario = Scenario::new("fig6b", cfg).task(TaskSpec::new(
+        "mpeg",
+        10,
+        BehaviorSpec::Mpeg {
+            fps: 30,
+            frame_cost: Duration::from_millis(30),
+        },
+    ));
+    if compilations > 0 {
+        scenario = scenario.task(
+            TaskSpec::new(
+                "gcc",
+                1,
+                BehaviorSpec::Compile {
+                    burst: Duration::from_millis(40),
+                    io: Duration::from_millis(2),
+                },
+            )
+            .replicated(compilations),
+        );
+    }
+    let rep = scenario.run(make_sched(kind, 2, effort.quantum()));
+    let t = rep.task("mpeg").unwrap();
+    t.completion_rate(sfs_core::time::Time(rep.duration.as_nanos()))
+}
+
+/// Regenerates Figure 6(b): application isolation.
+pub fn run_6b(effort: Effort) -> ExpResult {
+    let mut res = ExpResult::new(
+        "fig6b",
+        "Application isolation: MPEG frame rate vs background compilations",
+    );
+    let ns: Vec<usize> = match effort {
+        Effort::Full => (0..=10).collect(),
+        Effort::Quick => vec![0, 2, 4, 8, 10],
+    };
+    let mut csv = String::from("compilations,sfs_fps,timeshare_fps\n");
+    let mut sfs_series = TimeSeries::new("SFS");
+    let mut ts_series = TimeSeries::new("Time sharing");
+    for &n in &ns {
+        let f_sfs = run_6b_point("sfs", n, effort);
+        let f_ts = run_6b_point("timeshare", n, effort);
+        sfs_series.push(n as f64, f_sfs);
+        ts_series.push(n as f64, f_ts);
+        csv.push_str(&format!("{n},{f_sfs:.2},{f_ts:.2}\n"));
+    }
+    res.section(&render(
+        "MPEG decoding with background compilations",
+        &[&sfs_series, &ts_series],
+        &ChartConfig {
+            x_label: "number of simultaneous compilations".into(),
+            y_label: "frames/sec".into(),
+            ..ChartConfig::default()
+        },
+    ));
+    let last = *ns.last().unwrap() as f64;
+    res.finding("sfs_fps_at_max_load", format!("{:.1}", sfs_series.at(last)));
+    res.finding(
+        "timeshare_fps_at_max_load",
+        format!("{:.1}", ts_series.at(last)),
+    );
+    res.finding("sfs_fps_unloaded", format!("{:.1}", sfs_series.at(0.0)));
+    res.csv.push(("fig6b.csv".into(), csv));
+    res
+}
+
+// ---------------------------------------------------------------- 6(c)
+
+fn run_6c_point(kind: &str, simjobs: usize, effort: Effort) -> f64 {
+    let cfg = base_cfg(effort, 30, 62);
+    let mut scenario = Scenario::new("fig6c", cfg).task(TaskSpec::new(
+        "interact",
+        1,
+        BehaviorSpec::Interact {
+            think: Duration::from_millis(100),
+            burst: Duration::from_millis(5),
+        },
+    ));
+    if simjobs > 0 {
+        scenario = scenario.task(
+            TaskSpec::new(
+                "disksim",
+                1,
+                BehaviorSpec::Sim {
+                    burst: Duration::from_millis(80),
+                    io: Duration::from_micros(500),
+                },
+            )
+            .replicated(simjobs),
+        );
+    }
+    let rep = scenario.run(make_sched(kind, 2, effort.quantum()));
+    rep.task("interact")
+        .unwrap()
+        .responses
+        .as_ref()
+        .map(|r| r.mean())
+        .unwrap_or(0.0)
+}
+
+/// Regenerates Figure 6(c): interactive performance.
+pub fn run_6c(effort: Effort) -> ExpResult {
+    let mut res = ExpResult::new(
+        "fig6c",
+        "Interactive response time vs background disksim processes",
+    );
+    let ns: Vec<usize> = match effort {
+        Effort::Full => (0..=10).collect(),
+        Effort::Quick => vec![0, 2, 6, 10],
+    };
+    let mut csv = String::from("disksim_processes,sfs_response_ms,timeshare_response_ms\n");
+    let mut sfs_series = TimeSeries::new("SFS");
+    let mut ts_series = TimeSeries::new("Time sharing");
+    for &n in &ns {
+        let r_sfs = run_6c_point("sfs", n, effort);
+        let r_ts = run_6c_point("timeshare", n, effort);
+        sfs_series.push(n as f64, r_sfs);
+        ts_series.push(n as f64, r_ts);
+        csv.push_str(&format!("{n},{r_sfs:.2},{r_ts:.2}\n"));
+    }
+    res.section(&render(
+        "Interactive application with background simulations",
+        &[&sfs_series, &ts_series],
+        &ChartConfig {
+            x_label: "number of disksim processes".into(),
+            y_label: "avg response time (ms)".into(),
+            ..ChartConfig::default()
+        },
+    ));
+    let last = *ns.last().unwrap() as f64;
+    res.finding(
+        "sfs_response_ms_at_max_load",
+        format!("{:.2}", sfs_series.at(last)),
+    );
+    res.finding(
+        "timeshare_response_ms_at_max_load",
+        format!("{:.2}", ts_series.at(last)),
+    );
+    res.csv.push(("fig6c.csv".into(), csv));
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig6a_tracks_weights() {
+        let rep = run_6a_pair(1, 4, Effort::Quick);
+        let a = rep.task("A").unwrap().iterations.unwrap() as f64;
+        let b = rep.task("B").unwrap().iterations.unwrap() as f64;
+        assert!((b / a - 4.0).abs() < 0.6, "B/A = {}", b / a);
+    }
+
+    #[test]
+    fn fig6b_sfs_isolates_but_timeshare_degrades() {
+        let sfs = run_6b_point("sfs", 8, Effort::Quick);
+        let ts = run_6b_point("timeshare", 8, Effort::Quick);
+        assert!(sfs > 25.0, "SFS frame rate dropped to {sfs}");
+        assert!(ts < 0.8 * sfs, "time sharing should degrade: {ts} vs {sfs}");
+    }
+
+    #[test]
+    fn fig6c_sfs_responses_comparable() {
+        let sfs = run_6c_point("sfs", 6, Effort::Quick);
+        let ts = run_6c_point("timeshare", 6, Effort::Quick);
+        assert!(sfs < 60.0, "SFS response {sfs} ms");
+        assert!(ts < 60.0, "TS response {ts} ms");
+    }
+}

@@ -1,0 +1,79 @@
+//! Small helpers shared by the figure harnesses.
+
+use sfs_metrics::TimeSeries;
+use sfs_sim::TaskReport;
+
+/// Sums a group of per-task cumulative series onto a common grid
+/// (tasks that exited contribute their final value afterwards, which is
+/// exactly what "cumulative iterations of the group" means).
+pub fn sum_series(name: &str, members: &[&TaskReport], t_end: f64, points: usize) -> TimeSeries {
+    let mut out = TimeSeries::new(name);
+    if points == 0 {
+        return out;
+    }
+    for i in 0..points {
+        let x = t_end * i as f64 / (points - 1).max(1) as f64;
+        let y: f64 = members.iter().map(|m| m.series.at(x)).sum();
+        out.push(x, y);
+    }
+    out
+}
+
+/// Converts a cumulative-service series (seconds of CPU) into
+/// application iterations given a per-iteration cost in microseconds.
+pub fn to_iterations(series: &TimeSeries, iter_cost_us: f64) -> TimeSeries {
+    series.scaled(1e6 / iter_cost_us)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_core::task::TaskId;
+    use sfs_core::time::{Duration, Time};
+
+    fn report_with(series_pts: &[(f64, f64)]) -> TaskReport {
+        let mut series = TimeSeries::new("t");
+        for &(x, y) in series_pts {
+            series.push(x, y);
+        }
+        TaskReport {
+            id: TaskId(1),
+            name: "t".into(),
+            weight: 1,
+            service: Duration::ZERO,
+            iterations: None,
+            completions: 0,
+            responses: None,
+            series,
+            arrived: Time::ZERO,
+            exited: None,
+            gms_error: None,
+        }
+    }
+
+    #[test]
+    fn sum_series_adds_pointwise() {
+        let a = report_with(&[(0.0, 0.0), (10.0, 10.0)]);
+        let b = report_with(&[(0.0, 0.0), (10.0, 20.0)]);
+        let s = sum_series("g", &[&a, &b], 10.0, 3);
+        assert_eq!(s.points()[1], (5.0, 15.0));
+        assert_eq!(s.points()[2], (10.0, 30.0));
+    }
+
+    #[test]
+    fn exited_tasks_keep_final_value() {
+        // Task finished at t=2 with value 5; it still contributes 5 at t=10.
+        let a = report_with(&[(0.0, 0.0), (2.0, 5.0)]);
+        let s = sum_series("g", &[&a], 10.0, 2);
+        assert_eq!(s.points()[1], (10.0, 5.0));
+    }
+
+    #[test]
+    fn iteration_conversion() {
+        let mut s = TimeSeries::new("svc");
+        s.push(0.0, 0.0);
+        s.push(1.0, 1.0); // one second of CPU
+        let iters = to_iterations(&s, 1.0); // 1 µs per iteration
+        assert_eq!(iters.points()[1].1, 1e6);
+    }
+}

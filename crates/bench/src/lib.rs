@@ -1,0 +1,55 @@
+//! # sfs-bench — experiment harnesses for every table and figure
+//!
+//! One module per paper artefact, each exposing `run(effort)` and
+//! returning a rendered [`common::ExpResult`]:
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`fig1`] | Figure 1 / Example 1 (infeasible-weights starvation) |
+//! | [`fig3`] | Figure 3 (heuristic accuracy) |
+//! | [`fig4`] | Figure 4(a,b) (readjustment fixes SFQ) |
+//! | [`fig5`] | Figure 5(a,b) (short-jobs problem, SFQ vs SFS) |
+//! | [`fig6`] | Figure 6(a,b,c) (allocation, isolation, interactivity) |
+//! | [`overheads`] | Figure 7 and Table 1 (scheduling overheads) |
+//!
+//! The `repro` binary drives them all and writes reports to
+//! `results/`; the `figures`/`overheads` bench targets run them in
+//! quick mode under `cargo bench`.
+
+pub mod common;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod helpers;
+pub mod overheads;
+
+use common::{Effort, ExpResult};
+
+/// All experiment ids, in paper order.
+pub fn all_ids() -> Vec<&'static str> {
+    vec![
+        "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1",
+    ]
+}
+
+/// Runs one experiment by id.
+///
+/// # Panics
+///
+/// Panics on an unknown id; see [`all_ids`].
+pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
+    match id {
+        "fig1" => fig1::run(effort),
+        "fig3" => fig3::run(effort),
+        "fig4" => fig4::run(effort),
+        "fig5" => fig5::run(effort),
+        "fig6a" => fig6::run_6a(effort),
+        "fig6b" => fig6::run_6b(effort),
+        "fig6c" => fig6::run_6c(effort),
+        "fig7" => overheads::run_fig7(effort),
+        "table1" => overheads::run_table1(effort),
+        other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
+    }
+}

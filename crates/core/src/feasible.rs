@@ -1,0 +1,306 @@
+//! Bookkeeping that keeps a scheduler's weights feasible at all times.
+//!
+//! The kernel implementation invokes the readjustment algorithm "every
+//! time the set of runnable threads changes (i.e., after each arrival,
+//! departure, blocking event or wakeup event), or if the user changes the
+//! weight of a thread" (§3.1). [`FeasibleWeights`] packages that
+//! behaviour: it owns the weight-descending run queue (the first of the
+//! three kernel queues), the running total of raw weights, and the
+//! current clamp set, and re-runs [`readjust`](crate::readjust::readjust)
+//! on every mutation.
+//!
+//! Because at most `p − 1` threads can ever be clamped (§2.1), the clamp
+//! set is a tiny vector and `phi` lookups are O(p).
+
+use std::collections::HashMap;
+
+use crate::fixed::Fixed;
+use crate::queues::{NodeRef, Order, SortedList};
+use crate::readjust::Readjustment;
+use crate::task::{TaskId, Weight};
+
+/// Tracks the runnable set's weights and their feasible readjustment.
+#[derive(Debug)]
+pub struct FeasibleWeights {
+    cpus: u32,
+    enabled: bool,
+    weight_q: SortedList,
+    nodes: HashMap<TaskId, NodeRef>,
+    total: u128,
+    clamped: Vec<TaskId>,
+    cap: Option<Fixed>,
+    /// Number of readjustment passes run (for [`SchedStats`]).
+    ///
+    /// [`SchedStats`]: crate::sched::SchedStats
+    pub calls: u64,
+    /// Total clamped-thread count across all passes.
+    pub clamps: u64,
+}
+
+impl FeasibleWeights {
+    /// Creates the tracker. When `enabled` is false the tracker still
+    /// maintains the weight queue but never clamps (plain GPS behaviour,
+    /// used to reproduce the *un*readjusted baselines).
+    pub fn new(cpus: u32, enabled: bool) -> FeasibleWeights {
+        FeasibleWeights {
+            cpus,
+            enabled,
+            weight_q: SortedList::new(Order::Descending),
+            nodes: HashMap::new(),
+            total: 0,
+            clamped: Vec::new(),
+            cap: None,
+            calls: 0,
+            clamps: 0,
+        }
+    }
+
+    /// Number of runnable tasks tracked.
+    pub fn len(&self) -> usize {
+        self.weight_q.len()
+    }
+
+    /// True if no runnable task is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.weight_q.is_empty()
+    }
+
+    /// Sum of raw weights over the runnable set.
+    pub fn total_weight(&self) -> u128 {
+        self.total
+    }
+
+    /// Adds a task to the runnable set and readjusts.
+    /// Returns `true` if any task's instantaneous weight changed.
+    pub fn insert(&mut self, id: TaskId, w: Weight) -> bool {
+        let node = self.weight_q.insert(w.as_fixed(), id);
+        let prev = self.nodes.insert(id, node);
+        debug_assert!(prev.is_none(), "task {id} already tracked");
+        self.total += w.get() as u128;
+        self.run()
+    }
+
+    /// Removes a task from the runnable set (block/exit) and readjusts.
+    /// Returns `true` if any remaining task's instantaneous weight changed.
+    pub fn remove(&mut self, id: TaskId, w: Weight) -> bool {
+        let node = self.nodes.remove(&id).expect("removing untracked task");
+        self.weight_q.remove(node);
+        self.total -= w.get() as u128;
+        self.clamped.retain(|&c| c != id);
+        self.run()
+    }
+
+    /// Updates a task's weight in place and readjusts.
+    pub fn set_weight(&mut self, id: TaskId, old: Weight, new: Weight) -> bool {
+        let node = self.nodes[&id];
+        self.weight_q.update_key(node, new.as_fixed());
+        self.total = self.total - old.get() as u128 + new.get() as u128;
+        self.run()
+    }
+
+    /// The instantaneous weight `φ_i` for a runnable task with raw weight
+    /// `w`: the clamp cap if the task is clamped, its own weight otherwise.
+    pub fn phi(&self, id: TaskId, w: Weight) -> Fixed {
+        match self.cap {
+            Some(cap) if self.clamped.contains(&id) => cap,
+            _ => w.as_fixed(),
+        }
+    }
+
+    /// True if the task is currently clamped.
+    pub fn is_clamped(&self, id: TaskId) -> bool {
+        self.clamped.contains(&id)
+    }
+
+    /// The current clamp set (at most `p − 1` ids).
+    pub fn clamped(&self) -> &[TaskId] {
+        &self.clamped
+    }
+
+    /// Iterates runnable tasks in descending weight order.
+    pub fn iter_desc(&self) -> impl Iterator<Item = (Fixed, TaskId)> + '_ {
+        self.weight_q.iter()
+    }
+
+    /// Iterates runnable tasks in ascending weight order (the backwards
+    /// scan used by the scheduling heuristic, §3.2 footnote 8).
+    pub fn iter_asc(&self) -> impl Iterator<Item = (Fixed, TaskId)> + '_ {
+        self.weight_q.iter_rev()
+    }
+
+    /// Re-runs readjustment over the current runnable set.
+    /// Returns `true` if the clamp set or cap changed.
+    fn run(&mut self) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        self.calls += 1;
+        // Walk at most the first p−1 entries of the weight queue.
+        let p = self.cpus as u128;
+        let adj: Readjustment = if p <= 1 || self.weight_q.is_empty() {
+            Readjustment::UNCHANGED
+        } else {
+            // Collect the (at most p−1) largest weights; readjust() only
+            // needs the prefix plus the total.
+            let prefix: Vec<u64> = self
+                .weight_q
+                .iter()
+                .take(self.cpus as usize)
+                .map(|(k, _)| k.trunc() as u64)
+                .collect();
+            readjust_prefix(&prefix, self.total, self.cpus)
+        };
+
+        let new_clamped: Vec<TaskId> = self
+            .weight_q
+            .iter()
+            .take(adj.clamped)
+            .map(|(_, id)| id)
+            .collect();
+        let changed = new_clamped != self.clamped || adj.cap != self.cap;
+        self.clamps += adj.clamped as u64;
+        self.clamped = new_clamped;
+        self.cap = adj.cap;
+        changed
+    }
+}
+
+/// Runs the feasibility walk over the descending `prefix` of the weight
+/// queue given the precomputed `total`; equivalent to
+/// [`readjust`] on the full sorted weight vector but O(p).
+fn readjust_prefix(prefix: &[u64], total: u128, cpus: u32) -> Readjustment {
+    let mut rem_sum = total;
+    let mut rem_p = cpus as u128;
+    let mut clamped = 0usize;
+    for &w in prefix {
+        if rem_p <= 1 {
+            break;
+        }
+        if (w as u128) * rem_p > rem_sum {
+            rem_sum -= w as u128;
+            rem_p -= 1;
+            clamped += 1;
+        } else {
+            break;
+        }
+    }
+    if clamped == 0 {
+        return Readjustment::UNCHANGED;
+    }
+    let cap = if rem_sum == 0 {
+        Fixed::ONE
+    } else {
+        Fixed::from_ratio(rem_sum as i64, rem_p as i64)
+    };
+    Readjustment {
+        clamped,
+        cap: Some(cap),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::readjust::is_feasible_fixed;
+    use crate::task::weight;
+
+    fn phis(f: &FeasibleWeights, tasks: &[(TaskId, Weight)]) -> Vec<Fixed> {
+        tasks.iter().map(|&(id, w)| f.phi(id, w)).collect()
+    }
+
+    #[test]
+    fn example1_clamps_heavy_thread() {
+        let mut f = FeasibleWeights::new(2, true);
+        f.insert(TaskId(1), weight(1));
+        let changed = f.insert(TaskId(2), weight(10));
+        assert!(changed);
+        assert!(f.is_clamped(TaskId(2)));
+        assert!(!f.is_clamped(TaskId(1)));
+        assert_eq!(f.phi(TaskId(2), weight(10)), Fixed::from_int(1));
+        assert_eq!(f.phi(TaskId(1), weight(1)), Fixed::from_int(1));
+    }
+
+    #[test]
+    fn blocking_triggers_reclamp() {
+        // 1:1:2 feasible on 2 CPUs; removing a weight-1 task makes 1:2
+        // infeasible (§1.2).
+        let mut f = FeasibleWeights::new(2, true);
+        f.insert(TaskId(1), weight(1));
+        f.insert(TaskId(2), weight(1));
+        f.insert(TaskId(3), weight(2));
+        assert!(!f.is_clamped(TaskId(3)));
+        let changed = f.remove(TaskId(1), weight(1));
+        assert!(changed);
+        assert!(f.is_clamped(TaskId(3)));
+        assert_eq!(f.phi(TaskId(3), weight(2)), Fixed::from_int(1));
+    }
+
+    #[test]
+    fn disabled_tracker_never_clamps() {
+        let mut f = FeasibleWeights::new(2, false);
+        f.insert(TaskId(1), weight(1));
+        let changed = f.insert(TaskId(2), weight(1_000));
+        assert!(!changed);
+        assert!(!f.is_clamped(TaskId(2)));
+        assert_eq!(f.phi(TaskId(2), weight(1_000)), Fixed::from_int(1_000));
+        assert_eq!(f.calls, 0);
+    }
+
+    #[test]
+    fn set_weight_reclamps() {
+        let mut f = FeasibleWeights::new(2, true);
+        f.insert(TaskId(1), weight(1));
+        f.insert(TaskId(2), weight(1));
+        assert!(f.clamped().is_empty());
+        let changed = f.set_weight(TaskId(2), weight(1), weight(50));
+        assert!(changed);
+        assert!(f.is_clamped(TaskId(2)));
+    }
+
+    #[test]
+    fn resulting_weights_are_feasible() {
+        let mut f = FeasibleWeights::new(4, true);
+        let tasks: Vec<(TaskId, Weight)> = [100u64, 50, 10, 1, 1, 1]
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (TaskId(i as u64), weight(w)))
+            .collect();
+        for &(id, w) in &tasks {
+            f.insert(id, w);
+        }
+        let phi = phis(&f, &tasks);
+        assert!(is_feasible_fixed(&phi, 4), "{phi:?}");
+    }
+
+    #[test]
+    fn total_weight_tracks_mutations() {
+        let mut f = FeasibleWeights::new(2, true);
+        f.insert(TaskId(1), weight(3));
+        f.insert(TaskId(2), weight(4));
+        assert_eq!(f.total_weight(), 7);
+        f.set_weight(TaskId(2), weight(4), weight(10));
+        assert_eq!(f.total_weight(), 13);
+        f.remove(TaskId(1), weight(3));
+        assert_eq!(f.total_weight(), 10);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn iter_asc_is_reverse_of_desc() {
+        let mut f = FeasibleWeights::new(2, true);
+        for (i, w) in [5u64, 3, 9, 1].iter().enumerate() {
+            f.insert(TaskId(i as u64), weight(*w));
+        }
+        let desc: Vec<_> = f.iter_desc().map(|(_, id)| id).collect();
+        let mut asc: Vec<_> = f.iter_asc().map(|(_, id)| id).collect();
+        asc.reverse();
+        assert_eq!(desc, asc);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing untracked task")]
+    fn remove_untracked_panics() {
+        let mut f = FeasibleWeights::new(2, true);
+        f.remove(TaskId(9), weight(1));
+    }
+}

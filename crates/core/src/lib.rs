@@ -1,0 +1,82 @@
+//! # sfs-core — proportional-share SMP scheduling algorithms
+//!
+//! A from-scratch reproduction of the scheduling machinery in
+//! *Surplus Fair Scheduling: A Proportional-Share CPU Scheduling
+//! Algorithm for Symmetric Multiprocessors* (Chandra, Adler, Goyal,
+//! Shenoy; OSDI 2000):
+//!
+//! * [`readjust`] — the optimal weight readjustment algorithm (§2.1)
+//!   that maps infeasible weight assignments to the closest feasible
+//!   ones, plus [`feasible::FeasibleWeights`], which re-runs it on every
+//!   runnable-set change as the kernel implementation does (§3.1).
+//! * [`gms`] — generalized multiprocessor sharing, the idealized
+//!   fluid-flow reference (§2.2).
+//! * [`sfs`] — surplus fair scheduling itself (§2.3), with the
+//!   three-queue kernel structure, the bounded-lookahead heuristic and
+//!   fixed-point tags with renormalisation (§3).
+//! * Baselines the paper compares against or cites: [`sfq`] (start-time
+//!   fair queueing, with optional readjustment — Figs. 4/5),
+//!   [`timeshare`] (the Linux 2.2 epoch/goodness scheduler — Figs. 6/7,
+//!   Table 1), and [`stride`], [`bvt`], [`wfq`], [`rr`].
+//!
+//! Schedulers are pure run-queue policies behind the [`sched::Scheduler`]
+//! trait; the `sfs-sim` crate drives them in a discrete-event simulator
+//! and `sfs-rt` drives them over real OS threads.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use sfs_core::prelude::*;
+//!
+//! // Two CPUs, three threads with weights 2:1:1 (feasible).
+//! let mut sched = Sfs::new(2);
+//! let now = Time::ZERO;
+//! sched.attach(TaskId(1), weight(2), now);
+//! sched.attach(TaskId(2), weight(1), now);
+//! sched.attach(TaskId(3), weight(1), now);
+//!
+//! let first = sched.pick_next(CpuId(0), now).unwrap();
+//! let second = sched.pick_next(CpuId(1), now).unwrap();
+//! assert_ne!(first, second);
+//!
+//! // After a 10ms quantum, report actual usage; tags advance by q/φ.
+//! let later = now + Duration::from_millis(10);
+//! sched.put_prev(first, Duration::from_millis(10), SwitchReason::Preempted, later);
+//! ```
+
+pub mod bvt;
+pub mod feasible;
+pub mod fixed;
+pub mod gms;
+pub mod queues;
+pub mod readjust;
+pub mod rr;
+pub mod sched;
+pub mod sfq;
+pub mod sfs;
+pub mod stride;
+pub mod task;
+#[doc(hidden)]
+pub mod testkit;
+pub mod time;
+pub mod timeshare;
+pub mod wfq;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use crate::bvt::{Bvt, BvtConfig};
+    pub use crate::fixed::Fixed;
+    pub use crate::gms::FluidGms;
+    pub use crate::readjust::{is_feasible, readjust, Readjustment};
+    pub use crate::rr::RoundRobin;
+    pub use crate::sched::{SchedStats, Scheduler, SwitchReason};
+    pub use crate::sfq::{Sfq, SfqConfig};
+    pub use crate::sfs::{Sfs, SfsConfig};
+    pub use crate::stride::{Stride, StrideConfig};
+    pub use crate::task::{weight, CpuId, TaskId, TaskState, Weight};
+    pub use crate::time::{Duration, Time};
+    pub use crate::timeshare::{TimeSharing, TimeSharingConfig};
+    pub use crate::wfq::{Wfq, WfqConfig};
+}
+
+pub use prelude::*;

@@ -1,0 +1,505 @@
+//! Sorted run-queue structures.
+//!
+//! The kernel implementation (§3.1) keeps three doubly-linked lists of
+//! runnable threads: sorted by weight (descending), by start tag
+//! (ascending) and by surplus (ascending). Insertions use a sorted scan,
+//! removals are O(1) unlinks, and the periodic bulk re-sort after a
+//! virtual-time change uses insertion sort because the list is mostly
+//! sorted already (§3.2).
+//!
+//! [`SortedList`] reproduces that design as an arena-backed intrusive
+//! list: nodes live in a slab indexed by `u32`, and owners hold a
+//! [`NodeRef`] per task for O(1) unlinking, exactly as a kernel task
+//! struct embeds its list nodes.
+
+use crate::fixed::Fixed;
+use crate::task::TaskId;
+
+const NIL: u32 = u32::MAX;
+
+/// A handle to a node in a [`SortedList`], held by the task's owner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeRef(u32);
+
+#[derive(Debug, Clone)]
+struct Node {
+    key: Fixed,
+    id: TaskId,
+    prev: u32,
+    next: u32,
+    linked: bool,
+}
+
+/// Direction of the sort order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Order {
+    /// Smallest key at the head (start-tag and surplus queues).
+    Ascending,
+    /// Largest key at the head (the weight queue).
+    Descending,
+}
+
+/// An arena-backed sorted doubly-linked list keyed by [`Fixed`].
+///
+/// Ties are FIFO: a newly inserted node goes after existing nodes with an
+/// equal key, matching the "ties are broken arbitrarily" licence in §2.3
+/// while keeping behaviour deterministic.
+#[derive(Debug, Clone)]
+pub struct SortedList {
+    nodes: Vec<Node>,
+    free: Vec<u32>,
+    head: u32,
+    tail: u32,
+    len: usize,
+    order: Order,
+}
+
+impl SortedList {
+    /// Creates an empty list with the given order.
+    pub fn new(order: Order) -> SortedList {
+        SortedList {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            len: 0,
+            order,
+        }
+    }
+
+    /// Number of linked nodes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no nodes are linked.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `a` sorts strictly before `b` under this list's order.
+    fn before(&self, a: Fixed, b: Fixed) -> bool {
+        match self.order {
+            Order::Ascending => a < b,
+            Order::Descending => a > b,
+        }
+    }
+
+    fn alloc(&mut self, key: Fixed, id: TaskId) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node {
+                key,
+                id,
+                prev: NIL,
+                next: NIL,
+                linked: false,
+            };
+            idx
+        } else {
+            self.nodes.push(Node {
+                key,
+                id,
+                prev: NIL,
+                next: NIL,
+                linked: false,
+            });
+            (self.nodes.len() - 1) as u32
+        }
+    }
+
+    /// Inserts `(key, id)` at its sorted position, scanning from the tail
+    /// (the common case for tag updates is near-tail insertion).
+    /// Returns a handle for later O(1) removal.
+    pub fn insert(&mut self, key: Fixed, id: TaskId) -> NodeRef {
+        let idx = self.alloc(key, id);
+        self.link_sorted_from_tail(idx);
+        NodeRef(idx)
+    }
+
+    fn link_sorted_from_tail(&mut self, idx: u32) {
+        let key = self.nodes[idx as usize].key;
+        // Find the last node that sorts at-or-before `key`; insert after it.
+        let mut at = self.tail;
+        while at != NIL && self.before(key, self.nodes[at as usize].key) {
+            at = self.nodes[at as usize].prev;
+        }
+        self.link_after(idx, at);
+    }
+
+    /// Links `idx` immediately after `after` (or at the head if `after`
+    /// is `NIL`).
+    fn link_after(&mut self, idx: u32, after: u32) {
+        debug_assert!(!self.nodes[idx as usize].linked);
+        let next = if after == NIL {
+            self.head
+        } else {
+            self.nodes[after as usize].next
+        };
+        self.nodes[idx as usize].prev = after;
+        self.nodes[idx as usize].next = next;
+        if after == NIL {
+            self.head = idx;
+        } else {
+            self.nodes[after as usize].next = idx;
+        }
+        if next == NIL {
+            self.tail = idx;
+        } else {
+            self.nodes[next as usize].prev = idx;
+        }
+        self.nodes[idx as usize].linked = true;
+        self.len += 1;
+    }
+
+    fn unlink_idx(&mut self, idx: u32) {
+        debug_assert!(self.nodes[idx as usize].linked);
+        let (prev, next) = {
+            let n = &self.nodes[idx as usize];
+            (n.prev, n.next)
+        };
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.nodes[prev as usize].next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.nodes[next as usize].prev = prev;
+        }
+        let n = &mut self.nodes[idx as usize];
+        n.prev = NIL;
+        n.next = NIL;
+        n.linked = false;
+        self.len -= 1;
+    }
+
+    /// Removes the node and frees its slot. The handle must not be reused.
+    pub fn remove(&mut self, r: NodeRef) {
+        self.unlink_idx(r.0);
+        self.free.push(r.0);
+    }
+
+    /// Changes a node's key and moves it to its new sorted position.
+    ///
+    /// The search starts from the node's old neighbours, so small key
+    /// changes cost O(displacement) — the insertion-sort property the
+    /// kernel implementation relies on.
+    pub fn update_key(&mut self, r: NodeRef, key: Fixed) {
+        let idx = r.0;
+        self.unlink_idx(idx);
+        self.nodes[idx as usize].key = key;
+        self.link_sorted_from_tail(idx);
+    }
+
+    /// Returns the key currently stored for the node.
+    pub fn key(&self, r: NodeRef) -> Fixed {
+        self.nodes[r.0 as usize].key
+    }
+
+    /// The task at the head of the list, if any.
+    pub fn head(&self) -> Option<(Fixed, TaskId)> {
+        if self.head == NIL {
+            None
+        } else {
+            let n = &self.nodes[self.head as usize];
+            Some((n.key, n.id))
+        }
+    }
+
+    /// The task at the tail of the list, if any.
+    pub fn tail(&self) -> Option<(Fixed, TaskId)> {
+        if self.tail == NIL {
+            None
+        } else {
+            let n = &self.nodes[self.tail as usize];
+            Some((n.key, n.id))
+        }
+    }
+
+    /// Iterates `(key, id)` pairs in list order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            list: self,
+            at: self.head,
+        }
+    }
+
+    /// Iterates `(key, id)` pairs from the tail backwards.
+    pub fn iter_rev(&self) -> IterRev<'_> {
+        IterRev {
+            list: self,
+            at: self.tail,
+        }
+    }
+
+    /// Re-sorts the whole list after bulk key updates, using insertion
+    /// sort (O(n + inversions)); `new_key` supplies the fresh key for each
+    /// task. Node handles remain valid.
+    ///
+    /// This is the §3.2 "re-sort after the virtual time changes" path.
+    /// Returns the number of nodes that had to move (for stats).
+    pub fn resort_with(&mut self, mut new_key: impl FnMut(TaskId) -> Fixed) -> u64 {
+        // First pass: rewrite keys in place.
+        let mut at = self.head;
+        while at != NIL {
+            let id = self.nodes[at as usize].id;
+            self.nodes[at as usize].key = new_key(id);
+            at = self.nodes[at as usize].next;
+        }
+        // Second pass: insertion sort over the linked list.
+        let mut moved = 0u64;
+        let mut cur = self.head;
+        while cur != NIL {
+            let next = self.nodes[cur as usize].next;
+            let key = self.nodes[cur as usize].key;
+            let prev = self.nodes[cur as usize].prev;
+            if prev != NIL && self.before(key, self.nodes[prev as usize].key) {
+                // Walk back to the insertion point.
+                let mut at = self.nodes[prev as usize].prev;
+                while at != NIL && self.before(key, self.nodes[at as usize].key) {
+                    at = self.nodes[at as usize].prev;
+                }
+                self.unlink_idx(cur);
+                self.link_after(cur, at);
+                moved += 1;
+            }
+            cur = next;
+        }
+        moved
+    }
+
+    /// Debug invariant check: the list is sorted and `len` matches.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        let mut count = 0;
+        let mut at = self.head;
+        let mut prev_key: Option<Fixed> = None;
+        let mut prev_idx = NIL;
+        while at != NIL {
+            let n = &self.nodes[at as usize];
+            assert!(n.linked, "unlinked node reachable");
+            assert_eq!(n.prev, prev_idx, "prev pointer corrupt");
+            if let Some(pk) = prev_key {
+                assert!(
+                    !self.before(n.key, pk),
+                    "list out of order: {:?} then {:?}",
+                    pk,
+                    n.key
+                );
+            }
+            prev_key = Some(n.key);
+            prev_idx = at;
+            at = n.next;
+            count += 1;
+        }
+        assert_eq!(count, self.len, "len mismatch");
+        assert_eq!(self.tail, prev_idx, "tail pointer corrupt");
+    }
+}
+
+/// Forward iterator over a [`SortedList`].
+pub struct Iter<'a> {
+    list: &'a SortedList,
+    at: u32,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = (Fixed, TaskId);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at == NIL {
+            return None;
+        }
+        let n = &self.list.nodes[self.at as usize];
+        self.at = n.next;
+        Some((n.key, n.id))
+    }
+}
+
+/// Reverse iterator over a [`SortedList`].
+pub struct IterRev<'a> {
+    list: &'a SortedList,
+    at: u32,
+}
+
+impl Iterator for IterRev<'_> {
+    type Item = (Fixed, TaskId);
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.at == NIL {
+            return None;
+        }
+        let n = &self.list.nodes[self.at as usize];
+        self.at = n.prev;
+        Some((n.key, n.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(list: &SortedList) -> Vec<u64> {
+        list.iter().map(|(_, id)| id.0).collect()
+    }
+
+    #[test]
+    fn ascending_insert_orders_by_key() {
+        let mut l = SortedList::new(Order::Ascending);
+        l.insert(Fixed::from_int(5), TaskId(1));
+        l.insert(Fixed::from_int(2), TaskId(2));
+        l.insert(Fixed::from_int(8), TaskId(3));
+        l.insert(Fixed::from_int(2), TaskId(4)); // tie: after T2
+        assert_eq!(ids(&l), vec![2, 4, 1, 3]);
+        assert_eq!(l.head().unwrap().1, TaskId(2));
+        assert_eq!(l.tail().unwrap().1, TaskId(3));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn descending_insert_orders_by_key() {
+        let mut l = SortedList::new(Order::Descending);
+        l.insert(Fixed::from_int(1), TaskId(1));
+        l.insert(Fixed::from_int(10), TaskId(2));
+        l.insert(Fixed::from_int(5), TaskId(3));
+        assert_eq!(ids(&l), vec![2, 3, 1]);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn remove_unlinks_in_o1() {
+        let mut l = SortedList::new(Order::Ascending);
+        let a = l.insert(Fixed::from_int(1), TaskId(1));
+        let b = l.insert(Fixed::from_int(2), TaskId(2));
+        let c = l.insert(Fixed::from_int(3), TaskId(3));
+        l.remove(b);
+        assert_eq!(ids(&l), vec![1, 3]);
+        l.remove(a);
+        assert_eq!(ids(&l), vec![3]);
+        l.remove(c);
+        assert!(l.is_empty());
+        assert_eq!(l.head(), None);
+        l.check_invariants();
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut l = SortedList::new(Order::Ascending);
+        let a = l.insert(Fixed::from_int(1), TaskId(1));
+        l.remove(a);
+        let _b = l.insert(Fixed::from_int(2), TaskId(2));
+        // The arena should not have grown.
+        assert_eq!(l.nodes.len(), 1);
+    }
+
+    #[test]
+    fn update_key_repositions() {
+        let mut l = SortedList::new(Order::Ascending);
+        let a = l.insert(Fixed::from_int(1), TaskId(1));
+        let _b = l.insert(Fixed::from_int(2), TaskId(2));
+        let _c = l.insert(Fixed::from_int(3), TaskId(3));
+        l.update_key(a, Fixed::from_int(10));
+        assert_eq!(ids(&l), vec![2, 3, 1]);
+        assert_eq!(l.key(a), Fixed::from_int(10));
+        l.check_invariants();
+    }
+
+    #[test]
+    fn tie_updates_go_after_equals() {
+        let mut l = SortedList::new(Order::Ascending);
+        let a = l.insert(Fixed::from_int(5), TaskId(1));
+        l.insert(Fixed::from_int(5), TaskId(2));
+        l.update_key(a, Fixed::from_int(5));
+        // Re-inserting an equal key lands after the existing run.
+        assert_eq!(ids(&l), vec![2, 1]);
+    }
+
+    #[test]
+    fn resort_with_fixes_mostly_sorted_list() {
+        let mut l = SortedList::new(Order::Ascending);
+        for i in 0..10 {
+            l.insert(Fixed::from_int(i), TaskId(i as u64));
+        }
+        // Shift every key down by its id parity: odd ids become smaller.
+        let moved = l.resort_with(|id| {
+            if id.0 % 2 == 1 {
+                Fixed::from_int(id.0 as i64 - 5)
+            } else {
+                Fixed::from_int(id.0 as i64)
+            }
+        });
+        l.check_invariants();
+        assert!(moved > 0);
+        let keys: Vec<i64> = l.iter().map(|(k, _)| k.trunc()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn resort_on_sorted_list_moves_nothing() {
+        let mut l = SortedList::new(Order::Ascending);
+        for i in 0..10 {
+            l.insert(Fixed::from_int(i), TaskId(i as u64));
+        }
+        let moved = l.resort_with(|id| Fixed::from_int(id.0 as i64));
+        assert_eq!(moved, 0);
+    }
+
+    #[test]
+    fn iter_rev_matches_forward() {
+        let mut l = SortedList::new(Order::Ascending);
+        for i in [3i64, 1, 4, 1, 5] {
+            l.insert(Fixed::from_int(i), TaskId(i as u64 * 10));
+        }
+        let fwd: Vec<_> = l.iter().collect();
+        let mut rev: Vec<_> = l.iter_rev().collect();
+        rev.reverse();
+        assert_eq!(fwd, rev);
+    }
+
+    proptest! {
+        #[test]
+        fn random_ops_preserve_invariants(ops in proptest::collection::vec((0u8..3, 0i64..100), 1..200)) {
+            let mut l = SortedList::new(Order::Ascending);
+            let mut live: Vec<NodeRef> = Vec::new();
+            let mut next_id = 0u64;
+            for (op, val) in ops {
+                match op {
+                    0 => {
+                        next_id += 1;
+                        live.push(l.insert(Fixed::from_int(val), TaskId(next_id)));
+                    }
+                    1 => {
+                        if !live.is_empty() {
+                            let r = live.remove(val as usize % live.len());
+                            l.remove(r);
+                        }
+                    }
+                    _ => {
+                        if !live.is_empty() {
+                            let r = live[val as usize % live.len()];
+                            l.update_key(r, Fixed::from_int(val));
+                        }
+                    }
+                }
+                l.check_invariants();
+            }
+            prop_assert_eq!(l.len(), live.len());
+        }
+
+        #[test]
+        fn resort_always_sorts(keys in proptest::collection::vec(-50i64..50, 1..80),
+                               new_keys in proptest::collection::vec(-50i64..50, 1..80)) {
+            let mut l = SortedList::new(Order::Ascending);
+            for (i, k) in keys.iter().enumerate() {
+                l.insert(Fixed::from_int(*k), TaskId(i as u64));
+            }
+            l.resort_with(|id| {
+                let i = id.0 as usize % new_keys.len();
+                Fixed::from_int(new_keys[i])
+            });
+            l.check_invariants();
+        }
+    }
+}

@@ -1,0 +1,465 @@
+//! The weight readjustment algorithm (§2.1, Figure 2).
+//!
+//! A weight assignment is *feasible* on a `p`-processor machine iff no
+//! thread demands more than the capacity of one processor:
+//!
+//! ```text
+//! w_i / Σ_j w_j  ≤  1/p        (feasibility constraint, Eq. 1)
+//! ```
+//!
+//! The readjustment algorithm translates an infeasible assignment into the
+//! *closest* feasible one: threads violating the constraint are clamped so
+//! their requested share becomes exactly `1/p`, and all other weights are
+//! untouched. The paper proves at most `p − 1` threads can be infeasible,
+//! so the algorithm only inspects a prefix of the weight-sorted run queue
+//! and runs in `O(p)` given that ordering.
+//!
+//! Two implementations are provided:
+//!
+//! * [`readjust_reference`] — a direct transliteration of the recursive
+//!   procedure in Figure 2, using exact rational arithmetic. Used as the
+//!   test oracle.
+//! * [`readjust`] — the production `O(p)` iterative form used by the
+//!   schedulers, based on the closed form derived below.
+//!
+//! **Closed form.** Let the runnable weights be sorted in descending
+//! order. Walk the prefix: thread `i` (0-based) is infeasible iff
+//! `w_i · (p − i) > Σ_{j ≥ i} w_j`. Let `m` be the number of infeasible
+//! threads found before the walk stops and `T = Σ_{j ≥ m} w_j` the weight
+//! of the feasible tail. Unfolding the recursion in Figure 2 shows every
+//! infeasible thread receives the *same* adjusted weight
+//! `φ = T / (p − m)`, which makes each of their shares exactly
+//! `φ / (m·φ + T) = 1/p`. The reference implementation and a property
+//! test confirm the equivalence.
+
+use crate::fixed::Fixed;
+
+/// Outcome of a readjustment pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Readjustment {
+    /// Number of threads (a prefix of the weight-descending order) whose
+    /// weights were clamped. At most `p − 1`.
+    pub clamped: usize,
+    /// The common adjusted weight assigned to each clamped thread,
+    /// or `None` when nothing was clamped.
+    pub cap: Option<Fixed>,
+}
+
+impl Readjustment {
+    /// A pass that found every weight feasible.
+    pub const UNCHANGED: Readjustment = Readjustment {
+        clamped: 0,
+        cap: None,
+    };
+
+    /// Returns the instantaneous weight `φ_i` for the thread at
+    /// `rank` (0-based position in the weight-descending order) whose raw
+    /// weight is `w`.
+    pub fn phi(&self, rank: usize, w: u64) -> Fixed {
+        match self.cap {
+            Some(cap) if rank < self.clamped => cap,
+            _ => Fixed::from_int(w as i64),
+        }
+    }
+}
+
+/// Checks the feasibility constraint (Eq. 1) for every weight.
+///
+/// `weights` need not be sorted. Returns `true` iff
+/// `w_i · p ≤ Σ_j w_j` for all `i`.
+pub fn is_feasible(weights: &[u64], cpus: u32) -> bool {
+    let total: u128 = weights.iter().map(|&w| w as u128).sum();
+    weights.iter().all(|&w| (w as u128) * cpus as u128 <= total)
+}
+
+/// Checks feasibility of fixed-point instantaneous weights.
+pub fn is_feasible_fixed(phis: &[Fixed], cpus: u32) -> bool {
+    let total: i128 = phis.iter().map(|f| f.raw()).sum();
+    phis.iter().all(|f| f.raw() * cpus as i128 <= total)
+}
+
+/// Runs the iterative `O(p)` readjustment over weights sorted in
+/// descending order.
+///
+/// Only the first `min(p − 1, t)` entries are ever inspected; the walk
+/// stops at the first feasible thread (all later threads have smaller
+/// weights and are therefore feasible too, §2.1).
+///
+/// Degenerate case: if *every* runnable thread is clamped the feasible
+/// tail is empty (`T = 0`), which happens only when `t < p`. Each thread
+/// can then run on its own processor continuously, so any equal assignment
+/// is exact; we use `φ = 1`.
+///
+/// # Panics
+///
+/// Panics (debug builds) if `weights_desc` is not sorted descending.
+pub fn readjust(weights_desc: &[u64], cpus: u32) -> Readjustment {
+    debug_assert!(
+        weights_desc.windows(2).all(|w| w[0] >= w[1]),
+        "weights must be sorted in descending order"
+    );
+    let p = cpus as u128;
+    if p <= 1 || weights_desc.is_empty() {
+        // On a uniprocessor every assignment is feasible.
+        return Readjustment::UNCHANGED;
+    }
+
+    let total: u128 = weights_desc.iter().map(|&w| w as u128).sum();
+    let mut rem_sum = total;
+    let mut rem_p = p;
+    let mut clamped = 0usize;
+
+    for &w in weights_desc {
+        if rem_p <= 1 {
+            break;
+        }
+        // Infeasible iff w / rem_sum > 1 / rem_p  ⇔  w · rem_p > rem_sum.
+        if (w as u128) * rem_p > rem_sum {
+            rem_sum -= w as u128;
+            rem_p -= 1;
+            clamped += 1;
+        } else {
+            break;
+        }
+    }
+
+    if clamped == 0 {
+        return Readjustment::UNCHANGED;
+    }
+
+    let cap = if rem_sum == 0 {
+        // Fewer runnable threads than processors; equal weights are exact.
+        Fixed::ONE
+    } else {
+        Fixed::from_ratio(rem_sum as i64, rem_p as i64)
+    };
+    Readjustment {
+        clamped,
+        cap: Some(cap),
+    }
+}
+
+/// Exact rational number used by the reference implementation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Ratio {
+    num: i128,
+    den: i128,
+}
+
+impl Ratio {
+    fn int(v: i128) -> Ratio {
+        Ratio { num: v, den: 1 }
+    }
+
+    fn new(num: i128, den: i128) -> Ratio {
+        assert!(den != 0);
+        let g = gcd(num.unsigned_abs(), den.unsigned_abs()) as i128;
+        let sign = if den < 0 { -1 } else { 1 };
+        Ratio {
+            num: sign * num / g.max(1),
+            den: sign * den / g.max(1),
+        }
+    }
+
+    fn add(self, o: Ratio) -> Ratio {
+        Ratio::new(self.num * o.den + o.num * self.den, self.den * o.den)
+    }
+
+    fn div_int(self, k: i128) -> Ratio {
+        Ratio::new(self.num, self.den * k)
+    }
+
+    /// `self / total > 1 / p`  ⇔  `self · p > total`.
+    fn exceeds_share(self, total: Ratio, p: i128) -> bool {
+        // self·p > total  ⇔  num·p·total.den > total.num·den
+        self.num * p * total.den > total.num * self.den
+    }
+
+    fn to_fixed(self) -> Fixed {
+        Fixed::from_raw(self.num * crate::fixed::SCALE / self.den)
+    }
+}
+
+fn gcd(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    if a == 0 {
+        1
+    } else {
+        a
+    }
+}
+
+/// Direct transliteration of Figure 2, with exact rational arithmetic.
+///
+/// ```text
+/// readjust(w[1..t], i, p):
+///     if w[i] / Σ_{j=i..t} w[j] > 1/p:
+///         readjust(w, i+1, p−1)
+///         sum = Σ_{j=i+1..t} w[j]
+///         w[i] = sum / (p−1)
+/// ```
+///
+/// Returns the full vector of instantaneous weights `φ_i` (fixed-point),
+/// in the same (descending) order as the input. Used as the oracle for
+/// [`readjust`].
+pub fn readjust_reference(weights_desc: &[u64], cpus: u32) -> Vec<Fixed> {
+    // Degenerate case first (empty feasible tail, only possible when
+    // t < p): match the iterative convention of equal unit weights. The
+    // recursion in Figure 2 divides by an empty tail here, so the paper
+    // leaves this case undefined.
+    let adj = readjust(weights_desc, cpus);
+    if adj.clamped == weights_desc.len() && !weights_desc.is_empty() {
+        return vec![Fixed::ONE; weights_desc.len()];
+    }
+    let mut w: Vec<Ratio> = weights_desc
+        .iter()
+        .map(|&x| Ratio::int(x as i128))
+        .collect();
+    if cpus > 1 {
+        readjust_rec(&mut w, 0, cpus as i128);
+    }
+    w.into_iter().map(Ratio::to_fixed).collect()
+}
+
+fn readjust_rec(w: &mut [Ratio], i: usize, p: i128) {
+    if i >= w.len() || p <= 1 {
+        return;
+    }
+    let total = w[i..].iter().fold(Ratio::int(0), |acc, &x| acc.add(x));
+    if w[i].exceeds_share(total, p) {
+        readjust_rec(w, i + 1, p - 1);
+        let sum = w[i + 1..].iter().fold(Ratio::int(0), |acc, &x| acc.add(x));
+        w[i] = if sum.num == 0 {
+            // Degenerate tail (t < p): match the iterative convention.
+            Ratio::int(1)
+        } else {
+            sum.div_int(p - 1)
+        };
+    }
+}
+
+/// Applies a [`Readjustment`] to a descending weight slice, producing the
+/// vector of instantaneous weights. Convenience for tests and the fluid
+/// reference.
+pub fn apply(weights_desc: &[u64], adj: &Readjustment) -> Vec<Fixed> {
+    weights_desc
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| adj.phi(i, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn phis(weights_desc: &[u64], cpus: u32) -> Vec<Fixed> {
+        apply(weights_desc, &readjust(weights_desc, cpus))
+    }
+
+    #[test]
+    fn feasible_assignment_is_unchanged() {
+        // 1:1:2 on two CPUs is feasible (max share 1/2).
+        let w = [2, 1, 1];
+        assert!(is_feasible(&w, 2));
+        assert_eq!(readjust(&w, 2), Readjustment::UNCHANGED);
+    }
+
+    #[test]
+    fn example1_infeasible_pair_is_clamped() {
+        // Example 1: weights 10:1 on a dual-processor. Thread with weight
+        // 10 demands 10/11 > 1/2, so it is clamped to the feasible tail:
+        // phi = 1/(2−1) = 1, giving shares 1/2 : 1/2.
+        let w = [10, 1];
+        assert!(!is_feasible(&w, 2));
+        let adj = readjust(&w, 2);
+        assert_eq!(adj.clamped, 1);
+        assert_eq!(adj.cap, Some(Fixed::from_int(1)));
+        let phi = apply(&w, &adj);
+        assert!(is_feasible_fixed(&phi, 2));
+    }
+
+    #[test]
+    fn blocking_makes_feasible_set_infeasible() {
+        // §1.2: 1:1:2 on two CPUs is feasible, but when one weight-1
+        // thread blocks, 1:2 is not: the weight-2 thread asks for 2/3.
+        let w = [2, 1];
+        assert!(!is_feasible(&w, 2));
+        let adj = readjust(&w, 2);
+        assert_eq!(adj.clamped, 1);
+        // phi = 1/(2-1) = 1: shares become 1/2 each.
+        assert_eq!(adj.cap, Some(Fixed::from_int(1)));
+    }
+
+    #[test]
+    fn uniprocessor_never_clamps() {
+        let w = [1_000_000, 1];
+        assert!(is_feasible(&w, 1));
+        assert_eq!(readjust(&w, 1), Readjustment::UNCHANGED);
+    }
+
+    #[test]
+    fn cascade_of_infeasible_threads() {
+        // Four CPUs, weights 100:10:1:1. 100·4 > 112 (infeasible);
+        // then 10·3 > 12 (infeasible); then 1·2 ≤ 2 (feasible).
+        let w = [100, 10, 1, 1];
+        let adj = readjust(&w, 4);
+        assert_eq!(adj.clamped, 2);
+        // T = 2, p − m = 2: cap = 1.
+        assert_eq!(adj.cap, Some(Fixed::from_int(1)));
+        let phi = apply(&w, &adj);
+        assert!(is_feasible_fixed(&phi, 4));
+        // Each clamped thread's share is exactly 1/p = 1/4 of total 4.
+        assert_eq!(phi[0], Fixed::from_int(1));
+        assert_eq!(phi[1], Fixed::from_int(1));
+        assert_eq!(phi[2], Fixed::from_int(1));
+    }
+
+    #[test]
+    fn fewer_tasks_than_processors_degenerates_to_equal_weights() {
+        // One thread on two CPUs: the constraint cannot be satisfied at
+        // all (its share of itself is 1). Convention: equal weights.
+        let w = [10];
+        let adj = readjust(&w, 2);
+        assert_eq!(adj.clamped, 1);
+        assert_eq!(adj.cap, Some(Fixed::ONE));
+
+        // Two threads with wild weights on four CPUs.
+        let w = [1_000, 1];
+        let adj = readjust(&w, 4);
+        assert_eq!(adj.clamped, 2);
+        assert_eq!(adj.cap, Some(Fixed::ONE));
+    }
+
+    #[test]
+    fn clamp_count_is_bounded_by_p_minus_1() {
+        // With t ≥ p at most p−1 threads can be clamped (§2.1).
+        let w = [100, 100, 100, 100, 1, 1, 1, 1];
+        for p in 2..=4u32 {
+            let adj = readjust(&w, p);
+            assert!(adj.clamped <= (p - 1) as usize, "p={p}: {adj:?}");
+        }
+    }
+
+    #[test]
+    fn matches_recursive_reference_on_known_cases() {
+        let cases: &[(&[u64], u32)] = &[
+            (&[10, 1], 2),
+            (&[2, 1, 1], 2),
+            (&[100, 10, 1, 1], 4),
+            (&[10_000, 100, 1, 1, 1], 2),
+            (&[5, 4, 3, 2, 1], 3),
+            (&[7, 7, 7], 3),
+            (&[1], 2),
+            (&[1000, 1], 4),
+        ];
+        for &(w, p) in cases {
+            assert_eq!(
+                phis(w, p),
+                readjust_reference(w, p),
+                "weights {w:?} on {p} cpus"
+            );
+        }
+    }
+
+    #[test]
+    fn clamped_share_is_exactly_one_over_p() {
+        let w = [10_000u64, 100, 1, 1, 1];
+        let adj = readjust(&w, 2);
+        let phi = apply(&w, &adj);
+        let total: f64 = phi.iter().map(|f| f.to_f64()).sum();
+        for i in 0..adj.clamped {
+            let share = phi[i].to_f64() / total;
+            assert!((share - 0.5).abs() < 1e-3, "share {share}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn readjusted_weights_are_always_feasible(
+            mut w in proptest::collection::vec(1u64..1_000_000, 1..40),
+            p in 2u32..9,
+        ) {
+            w.sort_unstable_by(|a, b| b.cmp(a));
+            let phi = phis(&w, p);
+            // When t >= p the result must satisfy Eq. 1 exactly.
+            if w.len() >= p as usize {
+                prop_assert!(is_feasible_fixed(&phi, p), "w={w:?} p={p} phi={phi:?}");
+            }
+        }
+
+        #[test]
+        fn feasible_tail_is_never_modified(
+            mut w in proptest::collection::vec(1u64..1_000_000, 1..40),
+            p in 2u32..9,
+        ) {
+            w.sort_unstable_by(|a, b| b.cmp(a));
+            let adj = readjust(&w, p);
+            let phi = apply(&w, &adj);
+            for i in adj.clamped..w.len() {
+                prop_assert_eq!(phi[i], Fixed::from_int(w[i] as i64));
+            }
+        }
+
+        #[test]
+        fn clamp_count_bound(
+            mut w in proptest::collection::vec(1u64..1_000_000, 1..40),
+            p in 2u32..9,
+        ) {
+            w.sort_unstable_by(|a, b| b.cmp(a));
+            let adj = readjust(&w, p);
+            prop_assert!(adj.clamped <= (p as usize - 1).min(w.len()));
+        }
+
+        #[test]
+        fn nearly_idempotent_after_one_pass(
+            mut w in proptest::collection::vec(1u64..1_000_000, 2..40),
+            p in 2u32..9,
+        ) {
+            // Re-running readjustment on an already-feasible set (clamped
+            // weights included, re-expressed as integer mantissas) changes
+            // each weight by at most a few fixed-point ULPs: the cap
+            // `T/(p−m)` truncates, so the second pass may nudge a weight
+            // that sits exactly on the feasibility boundary.
+            w.sort_unstable_by(|a, b| b.cmp(a));
+            if w.len() < p as usize { return Ok(()); }
+            let phi = phis(&w, p);
+            let as_int: Vec<u64> = phi.iter().map(|f| f.raw() as u64).collect();
+            let mut sorted = as_int.clone();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let phi2 = phis(&sorted, p);
+            for (a, b) in sorted.iter().zip(phi2.iter()) {
+                let before = *a as i128; // mantissa, SCALE-scaled input
+                let after = b.raw() / crate::fixed::SCALE; // phi of mantissa-valued weight
+                let drift = (before - after).abs();
+                prop_assert!(drift <= p as i128, "before={before} after={after}");
+            }
+        }
+
+        #[test]
+        fn iterative_matches_recursive_reference(
+            mut w in proptest::collection::vec(1u64..100_000, 1..24),
+            p in 2u32..9,
+        ) {
+            w.sort_unstable_by(|a, b| b.cmp(a));
+            prop_assert_eq!(phis(&w, p), readjust_reference(&w, p));
+        }
+
+        #[test]
+        fn descending_order_is_preserved(
+            mut w in proptest::collection::vec(1u64..1_000_000, 1..40),
+            p in 2u32..9,
+        ) {
+            w.sort_unstable_by(|a, b| b.cmp(a));
+            let phi = phis(&w, p);
+            for win in phi.windows(2) {
+                prop_assert!(win[0] >= win[1], "phi not descending: {phi:?}");
+            }
+        }
+    }
+}

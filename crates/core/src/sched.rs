@@ -1,0 +1,195 @@
+//! The scheduler interface shared by all policies and substrates.
+//!
+//! Schedulers are pure run-queue policies: a substrate (the discrete-event
+//! simulator in `sfs-sim` or the thread runtime in `sfs-rt`) owns the
+//! clock and the processors and drives the policy through the events
+//! below, mirroring how the Linux kernel invokes its scheduler (§3.1):
+//! "whenever a quantum expires or one of the currently running threads
+//! blocks, the kernel invokes the SFS scheduler".
+//!
+//! # Protocol
+//!
+//! * [`Scheduler::attach`] introduces a new runnable task.
+//! * [`Scheduler::pick_next`] selects a ready task to run on a CPU and
+//!   marks it running. The quantum length need *not* be fixed here; the
+//!   substrate reports actual usage later (a property SFS is explicitly
+//!   designed around, §2.3).
+//! * [`Scheduler::put_prev`] returns a running task with the CPU time it
+//!   actually consumed and why it stopped (quantum expiry, voluntary
+//!   yield, block, or exit). Tag updates happen here.
+//! * [`Scheduler::wake`] makes a blocked task runnable again.
+//! * [`Scheduler::detach`] removes a non-running task (e.g. killed while
+//!   ready or blocked).
+//!
+//! Every mutation that changes the runnable set must trigger weight
+//! readjustment inside the policy (§3.1).
+
+use crate::fixed::Fixed;
+use crate::task::{CpuId, TaskId, Weight};
+use crate::time::{Duration, Time};
+
+/// Why a running task is giving up its processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchReason {
+    /// The quantum expired (or a wakeup preempted the task); the task is
+    /// still runnable and goes back on the run queue.
+    Preempted,
+    /// The task voluntarily yielded but remains runnable.
+    Yielded,
+    /// The task blocked on I/O or a synchronisation event.
+    Blocked,
+    /// The task exited; the scheduler forgets it entirely.
+    Exited,
+}
+
+impl SwitchReason {
+    /// True if the task remains runnable after the switch.
+    pub fn still_runnable(self) -> bool {
+        matches!(self, SwitchReason::Preempted | SwitchReason::Yielded)
+    }
+}
+
+/// Counters describing the work a scheduler has done; used by the
+/// overhead experiments (Table 1, Fig. 7) and the heuristic-accuracy
+/// experiment (Fig. 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Calls to `pick_next` that returned a task.
+    pub picks: u64,
+    /// Scheduling instances at which the virtual time advanced.
+    pub vt_changes: u64,
+    /// Bulk surplus recomputations + re-sorts of the surplus queue.
+    pub full_resorts: u64,
+    /// Individual queue nodes moved during re-sorts.
+    pub nodes_moved: u64,
+    /// Invocations of the weight readjustment algorithm.
+    pub readjust_calls: u64,
+    /// Threads whose weight was clamped across all readjustments.
+    pub weights_clamped: u64,
+    /// Picks served by the bounded-lookahead heuristic (§3.2).
+    pub heuristic_picks: u64,
+    /// Queue entries examined across all heuristic picks.
+    pub heuristic_scans: u64,
+    /// Heuristic picks audited against the exact algorithm (Fig. 3).
+    pub heuristic_audits: u64,
+    /// Audited picks where the heuristic chose a true minimum-surplus task.
+    pub heuristic_hits: u64,
+    /// Tag renormalisations (wrap-around handling, §3.2).
+    pub renormalizations: u64,
+    /// Picks that moved a task to a different processor than its last.
+    pub migrations: u64,
+}
+
+/// A proportional-share (or baseline) CPU scheduling policy.
+///
+/// All methods take the current time so tag-based policies can account
+/// service precisely; policies that do not need it ignore it.
+///
+/// Implementations must be deterministic: given the same event sequence
+/// they must make the same decisions (ties broken by task id / FIFO).
+pub trait Scheduler: Send {
+    /// A short human-readable policy name (e.g. `"SFS"`).
+    fn name(&self) -> &'static str;
+
+    /// Number of processors this policy schedules for.
+    fn cpus(&self) -> u32;
+
+    /// Introduces a new task in the runnable state.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `id` is already attached.
+    fn attach(&mut self, id: TaskId, w: Weight, now: Time);
+
+    /// Removes a task that is **not currently running** (ready or
+    /// blocked). Running tasks leave via [`Scheduler::put_prev`] with
+    /// [`SwitchReason::Exited`].
+    fn detach(&mut self, id: TaskId, now: Time);
+
+    /// Changes a task's weight on the fly (the `setweight` syscall, §3.1).
+    fn set_weight(&mut self, id: TaskId, w: Weight, now: Time);
+
+    /// Returns the task's user-assigned weight, if attached.
+    fn weight_of(&self, id: TaskId) -> Option<Weight>;
+
+    /// Returns the task's instantaneous (readjusted) weight `φ_i`, if the
+    /// policy computes one.
+    fn adjusted_weight_of(&self, _id: TaskId) -> Option<Fixed> {
+        None
+    }
+
+    /// Makes a blocked task runnable.
+    fn wake(&mut self, id: TaskId, now: Time);
+
+    /// Picks a ready task to run on `cpu`, marking it running.
+    /// Returns `None` if no ready task exists.
+    fn pick_next(&mut self, cpu: CpuId, now: Time) -> Option<TaskId>;
+
+    /// Returns the previously picked task, reporting the CPU time `ran`
+    /// it actually consumed and the reason it stopped.
+    fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, now: Time);
+
+    /// The quantum to grant the task at dispatch. Policies with epoch
+    /// budgets (time sharing) return the remaining budget; tag-based
+    /// policies return their fixed maximum quantum.
+    fn time_slice(&self, id: TaskId) -> Duration;
+
+    /// Whether waking `woken` should preempt `running` (which has been on
+    /// a CPU for `ran_so_far`). Default: never (pure quantum-driven).
+    fn wake_preempts(
+        &self,
+        _woken: TaskId,
+        _running: TaskId,
+        _ran_so_far: Duration,
+        _now: Time,
+    ) -> bool {
+        false
+    }
+
+    /// Number of runnable (ready + running) tasks.
+    fn nr_runnable(&self) -> usize;
+
+    /// Total number of attached tasks (runnable + blocked).
+    fn nr_tasks(&self) -> usize;
+
+    /// Work counters for overhead reporting.
+    fn stats(&self) -> SchedStats;
+
+    /// The policy's virtual time, if it maintains one.
+    fn virtual_time(&self) -> Option<Fixed> {
+        None
+    }
+}
+
+/// A boxed scheduler factory, used by experiment harnesses to run the
+/// same scenario under several policies.
+pub type SchedulerFactory = Box<dyn Fn(u32) -> Box<dyn Scheduler> + Send + Sync>;
+
+/// Builds a [`SchedulerFactory`] from a closure taking the CPU count.
+pub fn factory<F>(f: F) -> SchedulerFactory
+where
+    F: Fn(u32) -> Box<dyn Scheduler> + Send + Sync + 'static,
+{
+    Box::new(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn switch_reason_runnability() {
+        assert!(SwitchReason::Preempted.still_runnable());
+        assert!(SwitchReason::Yielded.still_runnable());
+        assert!(!SwitchReason::Blocked.still_runnable());
+        assert!(!SwitchReason::Exited.still_runnable());
+    }
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = SchedStats::default();
+        assert_eq!(s.picks, 0);
+        assert_eq!(s.readjust_calls, 0);
+        assert_eq!(s.full_resorts, 0);
+    }
+}

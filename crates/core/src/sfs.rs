@@ -1,0 +1,1092 @@
+//! Surplus fair scheduling (§2.3, §3).
+//!
+//! SFS approximates generalized multiprocessor sharing (GMS) with finite
+//! quanta. Each thread carries a start tag `S_i` and finish tag `F_i`;
+//! the system virtual time `v` is the minimum start tag over runnable
+//! threads; and each scheduling decision picks the ready thread with the
+//! least *surplus*
+//!
+//! ```text
+//! α_i = φ_i · (S_i − v)
+//! ```
+//!
+//! where `φ_i` is the instantaneous weight produced by the readjustment
+//! algorithm (§2.1). `α_i` estimates how much more service thread `i`
+//! has received than it would have under GMS; always scheduling the
+//! least-surplus threads keeps every thread's deviation from the fluid
+//! ideal as small as possible.
+//!
+//! Properties reproduced from the paper:
+//!
+//! * **Work conserving** — a processor never idles while a thread is
+//!   ready.
+//! * **Variable quanta** — the quantum length is not needed at dispatch
+//!   time; accounting uses the actual usage reported at requeue.
+//! * **No sleeper credit** — a waking thread's start tag is floored at
+//!   the virtual time, so sleeping never accumulates credit (§2.3).
+//! * **Uniprocessor degeneration** — on one CPU the minimum-surplus
+//!   thread is exactly the minimum-start-tag thread, so SFS reduces to
+//!   SFQ (§2.3); a unit test asserts decision-for-decision equality.
+//!
+//! The implementation mirrors the kernel port (§3.1): three sorted run
+//! queues (weight-descending, start-tag-ascending, surplus-ascending),
+//! re-sorted with insertion sort when the virtual time advances, plus the
+//! optional bounded-lookahead heuristic of §3.2 and fixed-point tags with
+//! renormalisation for wrap-around.
+
+use std::collections::HashMap;
+
+use crate::feasible::FeasibleWeights;
+use crate::fixed::{Fixed, SCALE};
+use crate::queues::{NodeRef, Order, SortedList};
+use crate::sched::{SchedStats, Scheduler, SwitchReason};
+use crate::task::{CpuId, TagTask, TaskId, TaskState, Weight};
+use crate::time::{Duration, Time};
+
+/// Tuning knobs for [`Sfs`].
+#[derive(Debug, Clone)]
+pub struct SfsConfig {
+    /// Maximum quantum granted per dispatch (paper test-bed: 200 ms).
+    pub quantum: Duration,
+    /// `Some(k)`: use the §3.2 heuristic, examining the first `k` entries
+    /// of each of the three queues instead of re-sorting on every
+    /// virtual-time change. `None`: exact algorithm.
+    pub heuristic: Option<usize>,
+    /// In heuristic mode, force a full surplus refresh every this many
+    /// picks ("infrequent updates and sorting are still required to
+    /// maintain a high accuracy", §3.2).
+    pub refresh_every: u64,
+    /// When the virtual time exceeds this value, subtract the minimum
+    /// start tag from every tag and reset the virtual time (§3.2
+    /// wrap-around handling).
+    pub renorm_threshold: Fixed,
+    /// Allow wakeups to preempt a running thread whose surplus (charged
+    /// with its in-flight CPU time) exceeds the woken thread's surplus.
+    /// The kernel port inherits this from Linux's `reschedule_idle`.
+    pub wake_preemption: bool,
+    /// Minimum surplus advantage (in CPU time) a wakeup needs before it
+    /// preempts, to avoid thrashing.
+    pub preempt_margin: Duration,
+    /// Audit every heuristic pick against the exact choice (Fig. 3).
+    pub audit_heuristic: bool,
+    /// Processor-affinity extension (§5 future work): when picking for
+    /// a CPU, prefer a ready thread that last ran on it if its surplus
+    /// is within this margin (in CPU time) of the minimum. `None`
+    /// disables affinity (the paper's SFS).
+    pub affinity_margin: Option<Duration>,
+}
+
+impl Default for SfsConfig {
+    fn default() -> SfsConfig {
+        SfsConfig {
+            quantum: Duration::from_millis(200),
+            heuristic: None,
+            refresh_every: 20,
+            renorm_threshold: Fixed::from_int(100_000_000_000_000),
+            wake_preemption: true,
+            preempt_margin: Duration::from_micros(100),
+            audit_heuristic: false,
+            affinity_margin: None,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    task: TagTask,
+    /// Node in the start-tag queue; `None` while blocked.
+    s_node: Option<NodeRef>,
+    /// Node in the surplus queue; `None` while blocked.
+    a_node: Option<NodeRef>,
+    /// The processor this task last ran on (affinity extension).
+    last_cpu: Option<CpuId>,
+}
+
+/// The surplus fair scheduler.
+pub struct Sfs {
+    cfg: SfsConfig,
+    cpus: u32,
+    tasks: HashMap<TaskId, Entry>,
+    /// Weight-descending queue + readjustment state (queue #1 of §3.1).
+    feas: FeasibleWeights,
+    /// Start-tag-ascending queue (queue #2).
+    start_q: SortedList,
+    /// Surplus-ascending queue (queue #3).
+    surplus_q: SortedList,
+    /// Virtual time base used by the stored surplus keys.
+    v: Fixed,
+    /// Surplus keys are stale (virtual time advanced or weights changed).
+    dirty: bool,
+    picks_since_refresh: u64,
+    nr_running: usize,
+    stats: SchedStats,
+}
+
+impl Sfs {
+    /// Creates an exact SFS instance with default configuration.
+    pub fn new(cpus: u32) -> Sfs {
+        Sfs::with_config(cpus, SfsConfig::default())
+    }
+
+    /// Creates an SFS instance using the §3.2 heuristic with lookahead `k`.
+    pub fn heuristic(cpus: u32, k: usize) -> Sfs {
+        Sfs::with_config(
+            cpus,
+            SfsConfig {
+                heuristic: Some(k),
+                ..SfsConfig::default()
+            },
+        )
+    }
+
+    /// Creates an SFS instance with explicit configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpus` is zero.
+    pub fn with_config(cpus: u32, cfg: SfsConfig) -> Sfs {
+        assert!(cpus > 0, "need at least one processor");
+        Sfs {
+            cfg,
+            cpus,
+            tasks: HashMap::new(),
+            feas: FeasibleWeights::new(cpus, true),
+            start_q: SortedList::new(Order::Ascending),
+            surplus_q: SortedList::new(Order::Ascending),
+            v: Fixed::ZERO,
+            dirty: false,
+            picks_since_refresh: 0,
+            nr_running: 0,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// The virtual time right now: minimum start tag over runnable
+    /// threads, or the stored value (last finish tag) when idle (§2.3).
+    fn current_v(&self) -> Fixed {
+        self.start_q.head().map(|(k, _)| k).unwrap_or(self.v)
+    }
+
+    fn surplus(&self, phi: Fixed, start_tag: Fixed) -> Fixed {
+        phi.mul_fixed(start_tag - self.v)
+    }
+
+    /// Recomputes every runnable thread's surplus against the current
+    /// `v` and re-sorts the surplus queue with insertion sort (§3.2).
+    fn refresh(&mut self) {
+        let Sfs {
+            surplus_q,
+            tasks,
+            feas,
+            v,
+            stats,
+            ..
+        } = self;
+        let moved = surplus_q.resort_with(|id| {
+            let e = tasks.get_mut(&id).expect("queued task missing");
+            let phi = feas.phi(id, e.task.weight);
+            e.task.phi = phi;
+            let alpha = phi.mul_fixed(e.task.start_tag - *v);
+            e.task.surplus = alpha;
+            alpha
+        });
+        stats.full_resorts += 1;
+        stats.nodes_moved += moved;
+        self.dirty = false;
+        self.picks_since_refresh = 0;
+    }
+
+    /// Advances the stored virtual time to the current queue minimum,
+    /// marking surpluses dirty when it moves.
+    fn sync_v(&mut self) {
+        let vk = self.current_v();
+        if vk != self.v {
+            debug_assert!(vk > self.v, "virtual time went backwards");
+            self.v = vk;
+            self.stats.vt_changes += 1;
+            self.dirty = true;
+        }
+    }
+
+    /// The exact pick: least stored surplus among ready threads, with
+    /// deterministic tie-breaking by (surplus, start tag, id) so the
+    /// exact and heuristic modes agree whenever the heuristic sees the
+    /// whole queue. Assumes the surplus queue is fresh.
+    ///
+    /// With the affinity extension enabled, a ready thread that last
+    /// ran on `cpu` is preferred if its surplus is within the margin of
+    /// the minimum — the §5 "combine processor affinities with
+    /// proportional-share scheduling" direction, bounded so fairness
+    /// loss cannot exceed the margin per decision.
+    fn pick_exact(&self, cpu: CpuId) -> Option<TaskId> {
+        let mut best: Option<(Fixed, Fixed, TaskId)> = None;
+        for (key, id) in self.surplus_q.iter() {
+            if let Some((ba, _, _)) = best {
+                // Sorted queue: once past the tie run we are done.
+                if key > ba {
+                    break;
+                }
+            }
+            let e = &self.tasks[&id];
+            if !matches!(e.task.state, TaskState::Ready) {
+                continue;
+            }
+            let cand = (key, e.task.start_tag, id);
+            if best.map_or(true, |b| cand < b) {
+                best = Some(cand);
+            }
+        }
+        let (best_alpha, _, best_id) = best?;
+        if let Some(margin) = self.cfg.affinity_margin {
+            let cutoff = best_alpha + Fixed::from_raw(margin.as_nanos() as i128 * SCALE);
+            for (key, id) in self.surplus_q.iter() {
+                if key > cutoff {
+                    break;
+                }
+                let e = &self.tasks[&id];
+                if matches!(e.task.state, TaskState::Ready) && e.last_cpu == Some(cpu) {
+                    return Some(id);
+                }
+            }
+        }
+        Some(best_id)
+    }
+
+    /// The fresh surplus of `id` (computed from live tags, ignoring the
+    /// possibly stale queue key).
+    fn fresh_surplus(&self, id: TaskId) -> Fixed {
+        let e = &self.tasks[&id];
+        self.surplus(self.feas.phi(id, e.task.weight), e.task.start_tag)
+    }
+
+    /// The §3.2 heuristic pick: examine the first `k` entries of the
+    /// start-tag queue, the surplus queue, and the weight queue scanned
+    /// backwards (smallest weights first, footnote 8), compute fresh
+    /// surpluses for those candidates only, and take the minimum.
+    fn pick_heuristic(&mut self, k: usize) -> Option<TaskId> {
+        let mut best: Option<(Fixed, Fixed, TaskId)> = None;
+        let mut scanned = 0u64;
+        let consider = |sfs: &Sfs, id: TaskId, best: &mut Option<(Fixed, Fixed, TaskId)>| {
+            let e = &sfs.tasks[&id];
+            if !matches!(e.task.state, TaskState::Ready) {
+                return;
+            }
+            let alpha = sfs.surplus(sfs.feas.phi(id, e.task.weight), e.task.start_tag);
+            let cand = (alpha, e.task.start_tag, id);
+            if best.map_or(true, |b| cand < b) {
+                *best = Some(cand);
+            }
+        };
+
+        for (_, id) in self.start_q.iter().take(k) {
+            scanned += 1;
+            consider(self, id, &mut best);
+        }
+        for (_, id) in self.surplus_q.iter().take(k) {
+            scanned += 1;
+            consider(self, id, &mut best);
+        }
+        let light: Vec<TaskId> = self.feas.iter_asc().take(k).map(|(_, id)| id).collect();
+        for id in light {
+            scanned += 1;
+            consider(self, id, &mut best);
+        }
+        self.stats.heuristic_scans += scanned;
+        self.stats.heuristic_picks += 1;
+
+        let picked = match best {
+            Some((_, _, id)) => Some(id),
+            // The lookahead may see only running threads; fall back to a
+            // full (unsorted-tolerant) scan so work conservation holds.
+            None => {
+                let mut fallback: Option<(Fixed, Fixed, TaskId)> = None;
+                let ids: Vec<TaskId> = self.surplus_q.iter().map(|(_, id)| id).collect();
+                for id in ids {
+                    consider(self, id, &mut fallback);
+                }
+                fallback.map(|(_, _, id)| id)
+            }
+        };
+
+        if self.cfg.audit_heuristic {
+            if let Some(chosen) = picked {
+                self.stats.heuristic_audits += 1;
+                let exact_min = self
+                    .surplus_q
+                    .iter()
+                    .map(|(_, id)| id)
+                    .filter(|id| matches!(self.tasks[id].task.state, TaskState::Ready))
+                    .map(|id| self.fresh_surplus(id))
+                    .min();
+                if exact_min == Some(self.fresh_surplus(chosen)) {
+                    self.stats.heuristic_hits += 1;
+                }
+            }
+        }
+        picked
+    }
+
+    fn unlink_runnable(&mut self, id: TaskId) {
+        let e = self.tasks.get_mut(&id).expect("unlinking unknown task");
+        if let Some(n) = e.s_node.take() {
+            self.start_q.remove(n);
+        }
+        if let Some(n) = e.a_node.take() {
+            self.surplus_q.remove(n);
+        }
+    }
+
+    /// Inserts a (now runnable) task into the start-tag and surplus
+    /// queues using the current virtual-time base.
+    fn link_runnable(&mut self, id: TaskId) {
+        let (start_tag, alpha) = {
+            let e = &self.tasks[&id];
+            let phi = self.feas.phi(id, e.task.weight);
+            (e.task.start_tag, self.surplus(phi, e.task.start_tag))
+        };
+        let s = self.start_q.insert(start_tag, id);
+        let a = self.surplus_q.insert(alpha, id);
+        let e = self.tasks.get_mut(&id).unwrap();
+        e.s_node = Some(s);
+        e.a_node = Some(a);
+        e.task.surplus = alpha;
+    }
+
+    /// §3.2 wrap-around handling: shift every tag down by the minimum
+    /// start tag and reset the virtual time.
+    fn maybe_renormalize(&mut self) {
+        if self.v <= self.cfg.renorm_threshold {
+            return;
+        }
+        let delta = self.current_v().min(self.v);
+        for e in self.tasks.values_mut() {
+            e.task.start_tag -= delta;
+            e.task.finish_tag -= delta;
+        }
+        self.v -= delta;
+        // Rewrite start-tag keys; the uniform shift preserves order so
+        // nothing moves. Surplus keys are relative (S − v) and unchanged.
+        let Sfs { start_q, tasks, .. } = self;
+        let moved = start_q.resort_with(|id| tasks[&id].task.start_tag);
+        debug_assert_eq!(moved, 0, "uniform shift must preserve order");
+        self.stats.renormalizations += 1;
+    }
+
+    /// Immutable view of a task's tag state, for tests and tracing.
+    pub fn tags_of(&self, id: TaskId) -> Option<&TagTask> {
+        self.tasks.get(&id).map(|e| &e.task)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SfsConfig {
+        &self.cfg
+    }
+
+    /// Asserts the §2.3 structural invariants; test helper.
+    #[doc(hidden)]
+    pub fn check_invariants(&self) {
+        self.start_q.check_invariants();
+        self.surplus_q.check_invariants();
+        let runnable = self
+            .tasks
+            .values()
+            .filter(|e| e.task.state.is_runnable())
+            .count();
+        assert_eq!(runnable, self.start_q.len(), "start_q tracks runnable");
+        assert_eq!(runnable, self.surplus_q.len(), "surplus_q tracks runnable");
+        assert_eq!(runnable, self.feas.len(), "weight_q tracks runnable");
+        // Every runnable thread's start tag is at least the virtual time,
+        // hence all fresh surpluses are non-negative (§2.3).
+        let v = self.current_v();
+        for e in self.tasks.values() {
+            if e.task.state.is_runnable() {
+                assert!(
+                    e.task.start_tag >= v,
+                    "start tag below virtual time: {:?} < {:?}",
+                    e.task.start_tag,
+                    v
+                );
+            }
+        }
+    }
+}
+
+impl Scheduler for Sfs {
+    fn name(&self) -> &'static str {
+        if self.cfg.heuristic.is_some() {
+            "SFS(heuristic)"
+        } else {
+            "SFS"
+        }
+    }
+
+    fn cpus(&self) -> u32 {
+        self.cpus
+    }
+
+    fn attach(&mut self, id: TaskId, w: Weight, now: Time) {
+        assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+        // "When a new thread arrives, its start tag is initialized as
+        // S_i = v" (§2.3).
+        let task = TagTask::new(id, w, self.current_v());
+        let mut task = task;
+        task.dispatched_at = now;
+        self.tasks.insert(
+            id,
+            Entry {
+                task,
+                s_node: None,
+                a_node: None,
+                last_cpu: None,
+            },
+        );
+        if self.feas.insert(id, w) {
+            self.dirty = true;
+        }
+        self.link_runnable(id);
+    }
+
+    fn detach(&mut self, id: TaskId, _now: Time) {
+        let state = self.tasks[&id].task.state;
+        assert!(
+            !state.is_running(),
+            "detach of running task {id}; use put_prev(Exited)"
+        );
+        if state.is_runnable() {
+            let w = self.tasks[&id].task.weight;
+            self.unlink_runnable(id);
+            if self.feas.remove(id, w) {
+                self.dirty = true;
+            }
+        }
+        self.tasks.remove(&id);
+    }
+
+    fn set_weight(&mut self, id: TaskId, w: Weight, _now: Time) {
+        let old = self.tasks[&id].task.weight;
+        if old == w {
+            return;
+        }
+        self.tasks.get_mut(&id).unwrap().task.weight = w;
+        if self.tasks[&id].task.state.is_runnable() {
+            if self.feas.set_weight(id, old, w) {
+                self.dirty = true;
+            } else {
+                // Even without clamp changes this task's own phi moved.
+                self.dirty = true;
+            }
+        }
+    }
+
+    fn weight_of(&self, id: TaskId) -> Option<Weight> {
+        self.tasks.get(&id).map(|e| e.task.weight)
+    }
+
+    fn adjusted_weight_of(&self, id: TaskId) -> Option<Fixed> {
+        let e = self.tasks.get(&id)?;
+        if e.task.state.is_runnable() {
+            Some(self.feas.phi(id, e.task.weight))
+        } else {
+            Some(e.task.phi)
+        }
+    }
+
+    fn wake(&mut self, id: TaskId, _now: Time) {
+        let v_now = self.current_v();
+        {
+            let e = self.tasks.get_mut(&id).expect("waking unknown task");
+            assert!(
+                matches!(e.task.state, TaskState::Blocked),
+                "waking non-blocked task {id}"
+            );
+            // "S_i = max(F_i, v) if the thread just woke up" (§2.3):
+            // sleeping must not accumulate credit.
+            e.task.start_tag = e.task.finish_tag.max(v_now);
+            e.task.state = TaskState::Ready;
+        }
+        let w = self.tasks[&id].task.weight;
+        if self.feas.insert(id, w) {
+            self.dirty = true;
+        }
+        self.link_runnable(id);
+    }
+
+    fn pick_next(&mut self, cpu: CpuId, now: Time) -> Option<TaskId> {
+        if self.start_q.is_empty() {
+            return None;
+        }
+        self.sync_v();
+
+        let picked = match self.cfg.heuristic {
+            None => {
+                if self.dirty {
+                    self.refresh();
+                }
+                self.pick_exact(cpu)
+            }
+            Some(k) => {
+                self.picks_since_refresh += 1;
+                if self.picks_since_refresh >= self.cfg.refresh_every {
+                    self.refresh();
+                }
+                self.pick_heuristic(k)
+            }
+        }?;
+
+        let e = self.tasks.get_mut(&picked).unwrap();
+        if matches!(e.last_cpu, Some(prev) if prev != cpu) {
+            self.stats.migrations += 1;
+        }
+        e.task.state = TaskState::Running(cpu);
+        e.task.dispatched_at = now;
+        self.nr_running += 1;
+        self.stats.picks += 1;
+        Some(picked)
+    }
+
+    fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, _now: Time) {
+        let w = {
+            let e = self.tasks.get_mut(&id).expect("put_prev of unknown task");
+            assert!(
+                e.task.state.is_running(),
+                "put_prev of non-running task {id}"
+            );
+            if let TaskState::Running(cpu) = e.task.state {
+                e.last_cpu = Some(cpu);
+            }
+            e.task.weight
+        };
+        self.nr_running -= 1;
+        // "φ_i is its instantaneous weight at the end of the quantum"
+        // (§2.3): read it before the runnable set changes.
+        let phi = self.feas.phi(id, w);
+        let (finish_tag, alpha_key) = {
+            let e = self.tasks.get_mut(&id).unwrap();
+            e.task.phi = phi;
+            // F_i = S_i + q / φ_i (Eq. 5), with the *actual* usage q.
+            let f = e.task.start_tag + phi.div_into_int(ran.as_nanos());
+            e.task.finish_tag = f;
+            e.task.service += ran;
+            (f, Fixed::ZERO)
+        };
+        let _ = alpha_key;
+
+        match reason {
+            SwitchReason::Preempted | SwitchReason::Yielded => {
+                let e = self.tasks.get_mut(&id).unwrap();
+                // "S_i = F_i if the thread is continuously runnable".
+                e.task.start_tag = finish_tag;
+                e.task.state = TaskState::Ready;
+                let s_node = e.s_node.expect("runnable task missing start node");
+                let a_node = e.a_node.expect("runnable task missing surplus node");
+                self.start_q.update_key(s_node, finish_tag);
+                let alpha = self.surplus(phi, finish_tag);
+                self.surplus_q.update_key(a_node, alpha);
+                self.tasks.get_mut(&id).unwrap().task.surplus = alpha;
+            }
+            SwitchReason::Blocked => {
+                self.unlink_runnable(id);
+                let e = self.tasks.get_mut(&id).unwrap();
+                e.task.state = TaskState::Blocked;
+                if self.feas.remove(id, w) {
+                    self.dirty = true;
+                }
+                if self.start_q.is_empty() {
+                    // All processors idle: v freezes at the finish tag of
+                    // the thread that ran last (§2.3).
+                    self.v = finish_tag;
+                }
+            }
+            SwitchReason::Exited => {
+                self.unlink_runnable(id);
+                if self.feas.remove(id, w) {
+                    self.dirty = true;
+                }
+                self.tasks.remove(&id);
+                if self.start_q.is_empty() {
+                    self.v = finish_tag;
+                }
+            }
+        }
+        self.maybe_renormalize();
+    }
+
+    fn time_slice(&self, _id: TaskId) -> Duration {
+        self.cfg.quantum
+    }
+
+    fn wake_preempts(
+        &self,
+        woken: TaskId,
+        running: TaskId,
+        ran_so_far: Duration,
+        _now: Time,
+    ) -> bool {
+        if !self.cfg.wake_preemption {
+            return false;
+        }
+        let (Some(we), Some(re)) = (self.tasks.get(&woken), self.tasks.get(&running)) else {
+            return false;
+        };
+        if !matches!(we.task.state, TaskState::Ready) || !re.task.state.is_running() {
+            return false;
+        }
+        let woken_alpha = self.surplus(self.feas.phi(woken, we.task.weight), we.task.start_tag);
+        // Charge the running thread its in-flight CPU time:
+        // φ · (S + q/φ − v) = φ·(S − v) + q.
+        let charged = Fixed::from_raw(ran_so_far.as_nanos() as i128 * SCALE);
+        let running_alpha =
+            self.surplus(self.feas.phi(running, re.task.weight), re.task.start_tag) + charged;
+        let margin = Fixed::from_raw(self.cfg.preempt_margin.as_nanos() as i128 * SCALE);
+        woken_alpha + margin < running_alpha
+    }
+
+    fn nr_runnable(&self) -> usize {
+        self.start_q.len()
+    }
+
+    fn nr_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    fn stats(&self) -> SchedStats {
+        let mut s = self.stats;
+        s.readjust_calls = self.feas.calls;
+        s.weights_clamped = self.feas.clamps;
+        s
+    }
+
+    fn virtual_time(&self) -> Option<Fixed> {
+        Some(self.current_v())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{assert_close, MiniSim};
+
+    #[test]
+    fn single_task_runs_forever() {
+        let mut sim = MiniSim::new(Sfs::new(1));
+        sim.spawn(1, 1);
+        sim.run_quanta(10);
+        assert_eq!(sim.service(1), Duration::from_millis(10));
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn uniprocessor_proportional_shares() {
+        let mut sim = MiniSim::new(Sfs::new(1));
+        sim.spawn(1, 1);
+        sim.spawn(2, 2);
+        sim.run_quanta(3000);
+        assert_close(sim.ratio(2, 1), 2.0, 0.01, "2:1 weights");
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn dual_processor_feasible_three_way() {
+        // Weights 2:1:1 on two CPUs are feasible: shares 1/2, 1/4, 1/4.
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 2);
+        sim.spawn(2, 1);
+        sim.spawn(3, 1);
+        sim.run_quanta(4000);
+        assert_close(sim.ratio(1, 2), 2.0, 0.02, "2:1");
+        assert_close(sim.ratio(1, 3), 2.0, 0.02, "2:1");
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn infeasible_weights_are_clamped_to_half() {
+        // Example 1 with SFS: 1:10 on two CPUs. Readjustment clamps the
+        // heavy thread so both continuously occupy one CPU each.
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 1);
+        sim.spawn(2, 10);
+        sim.run_quanta(1000);
+        assert_close(sim.ratio(2, 1), 1.0, 0.01, "clamped to 1:1");
+    }
+
+    #[test]
+    fn no_starvation_after_late_arrival() {
+        // Example 1: the late-arriving weight-1 thread must share the
+        // first CPU with thread 1 instead of starving it.
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 1);
+        sim.spawn(2, 10);
+        sim.run_quanta(1000);
+        let before = sim.service(1);
+        sim.spawn(3, 1);
+        sim.run_quanta(100);
+        let gained = sim.service(1) - before;
+        // Thread 1 keeps receiving service immediately (≈ half a CPU
+        // since thread 2 holds the other: 1:2:1 readjusted shares are
+        // 1/4 : 1/2 : 1/4 of 2 CPUs ⇒ T1 gets ~50 of 100 quanta... at
+        // least a third by any fair accounting).
+        assert!(
+            gained >= Duration::from_millis(25),
+            "thread 1 starved: gained only {gained}"
+        );
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn short_jobs_cannot_monopolize() {
+        // Miniature Example 2: heavy thread + many light threads + a
+        // stream of short medium-weight jobs. Under SFS the short jobs
+        // must not get more than their proportional share over time.
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 20);
+        for i in 2..22 {
+            sim.spawn(i, 1);
+        }
+        let mut short_service = Duration::ZERO;
+        let mut next_id = 100;
+        for _ in 0..40 {
+            sim.spawn(next_id, 5);
+            sim.run_quanta(30);
+            short_service += sim.service(next_id);
+            sim.kill(next_id);
+            next_id += 1;
+        }
+        let t1 = sim.service(1).as_nanos() as f64;
+        let shorts = short_service.as_nanos() as f64;
+        // Weights 20 : 20×1 : 5 ⇒ T1 and the short stream should be 4:1.
+        let ratio = t1 / shorts;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "T1:shorts service ratio {ratio:.2}, want ≈4"
+        );
+    }
+
+    #[test]
+    fn sleeper_gains_no_credit() {
+        let mut sim = MiniSim::new(Sfs::new(1));
+        sim.spawn(1, 1);
+        sim.spawn(2, 1);
+        sim.run_quanta(10);
+        // Block T2 for a long stretch; T1 runs alone.
+        sim.block(2, Duration::ZERO);
+        sim.run_quanta(1000);
+        let t1_before = sim.service(1);
+        sim.wake(2);
+        sim.run_quanta(100);
+        // T2 must NOT monopolise the CPU to "catch up": its start tag was
+        // floored at v. Both should get ~half of the last 100 quanta.
+        let t1_gain = (sim.service(1) - t1_before).as_millis() as f64;
+        assert_close(t1_gain, 50.0, 0.15, "no sleeper credit");
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn reduces_to_sfq_on_uniprocessor() {
+        // On one CPU the min-surplus thread is the min-start-tag thread:
+        // SFS and SFQ must make identical decisions on identical inputs.
+        use crate::sfq::{Sfq, SfqConfig};
+        let mut sfs = Sfs::with_config(
+            1,
+            SfsConfig {
+                quantum: Duration::from_millis(1),
+                ..SfsConfig::default()
+            },
+        );
+        let mut sfq = Sfq::with_config(
+            1,
+            SfqConfig {
+                quantum: Duration::from_millis(1),
+                readjust: true,
+                ..SfqConfig::default()
+            },
+        );
+        let weights = [3u64, 1, 7, 2];
+        let mut now = Time::ZERO;
+        for (i, w) in weights.iter().enumerate() {
+            sfs.attach(TaskId(i as u64), Weight::new(*w).unwrap(), now);
+            sfq.attach(TaskId(i as u64), Weight::new(*w).unwrap(), now);
+        }
+        for step in 0..500 {
+            let a = sfs.pick_next(CpuId(0), now);
+            let b = sfq.pick_next(CpuId(0), now);
+            assert_eq!(a, b, "diverged at step {step}");
+            let id = a.unwrap();
+            now += Duration::from_millis(1);
+            sfs.put_prev(id, Duration::from_millis(1), SwitchReason::Preempted, now);
+            sfq.put_prev(id, Duration::from_millis(1), SwitchReason::Preempted, now);
+        }
+    }
+
+    #[test]
+    fn heuristic_with_large_k_matches_exact() {
+        let run = |mut sched: Sfs| -> Vec<Option<TaskId>> {
+            let mut picks = Vec::new();
+            let mut now = Time::ZERO;
+            for i in 0..12u64 {
+                sched.attach(TaskId(i), Weight::new(1 + i % 4).unwrap(), now);
+            }
+            for _ in 0..400 {
+                let t = sched.pick_next(CpuId(0), now);
+                picks.push(t);
+                if let Some(id) = t {
+                    now += Duration::from_millis(1);
+                    sched.put_prev(id, Duration::from_millis(1), SwitchReason::Preempted, now);
+                }
+            }
+            picks
+        };
+        let exact = run(Sfs::new(1));
+        let heur = run(Sfs::heuristic(1, 64));
+        assert_eq!(exact, heur);
+    }
+
+    #[test]
+    fn heuristic_audit_records_hits() {
+        let mut cfg = SfsConfig {
+            heuristic: Some(20),
+            audit_heuristic: true,
+            quantum: Duration::from_millis(1),
+            ..SfsConfig::default()
+        };
+        cfg.refresh_every = 50;
+        let mut sim = MiniSim::new(Sfs::with_config(2, cfg));
+        for i in 0..40 {
+            sim.spawn(i, 1 + i % 5);
+        }
+        sim.run_quanta(500);
+        let st = sim.sched.stats();
+        assert!(st.heuristic_audits > 0);
+        assert!(st.heuristic_hits > 0);
+        assert!(st.heuristic_hits <= st.heuristic_audits);
+    }
+
+    #[test]
+    fn renormalization_is_transparent() {
+        let tiny = SfsConfig {
+            quantum: Duration::from_millis(1),
+            renorm_threshold: Fixed::from_int(50_000_000), // 50 ms of vtime
+            ..SfsConfig::default()
+        };
+        let mut a = MiniSim::new(Sfs::with_config(1, tiny));
+        let mut b = MiniSim::new(Sfs::new(1));
+        for sim in [&mut a, &mut b] {
+            sim.spawn(1, 1);
+            sim.spawn(2, 3);
+            sim.run_quanta(2000);
+        }
+        assert!(a.sched.stats().renormalizations > 0, "renorm never fired");
+        assert_eq!(b.sched.stats().renormalizations, 0);
+        assert_eq!(a.service(1), b.service(1), "renorm changed allocations");
+        assert_eq!(a.service(2), b.service(2));
+        a.sched.check_invariants();
+    }
+
+    #[test]
+    fn work_conserving_under_churn() {
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 1);
+        sim.spawn(2, 8);
+        sim.spawn(3, 3);
+        for round in 0..50 {
+            sim.run_quanta(7);
+            if round % 3 == 0 {
+                sim.block(1, Duration::from_micros(300));
+                sim.run_quanta(2);
+                sim.wake(1);
+            }
+            // With ≥2 runnable tasks both CPUs must be busy.
+            sim.fill();
+            let busy = sim.running().iter().filter(|c| c.is_some()).count();
+            assert_eq!(busy, 2, "idle processor with runnable threads");
+        }
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn at_least_one_zero_surplus_thread() {
+        // §2.3: at any instant at least one runnable thread has α_i = 0
+        // (the one holding the minimum start tag).
+        let mut sim = MiniSim::new(Sfs::new(2));
+        for i in 0..6 {
+            sim.spawn(i, 1 + i % 3);
+        }
+        sim.run_quanta(100);
+        let sched = &sim.sched;
+        let min_alpha = (0..6u64)
+            .map(|i| sched.fresh_surplus(TaskId(i)))
+            .min()
+            .unwrap();
+        assert_eq!(min_alpha, Fixed::ZERO);
+    }
+
+    #[test]
+    fn wake_preemption_favors_low_surplus_sleeper() {
+        let mut sched = Sfs::new(1);
+        let now = Time::ZERO;
+        sched.attach(TaskId(1), Weight::new(1).unwrap(), now);
+        sched.attach(TaskId(2), Weight::new(1).unwrap(), now);
+        let picked = sched.pick_next(CpuId(0), now).unwrap();
+        // Let the running thread consume 50ms, then block the other...
+        // (first make T2 the blocked one: whichever wasn't picked runs).
+        let other = if picked == TaskId(1) {
+            TaskId(2)
+        } else {
+            TaskId(1)
+        };
+        // Block `other` while ready is not possible; instead run it briefly.
+        // Simpler: wake-preemption query against a long-running thread.
+        sched.put_prev(
+            picked,
+            Duration::from_millis(100),
+            SwitchReason::Preempted,
+            now,
+        );
+        let picked2 = sched.pick_next(CpuId(0), now).unwrap();
+        assert_eq!(picked2, other, "min start tag runs next");
+        // `picked` is ready with surplus 0 relative... give `picked2` lots
+        // of charged runtime: a woken thread with zero surplus preempts.
+        sched.put_prev(
+            picked2,
+            Duration::from_millis(100),
+            SwitchReason::Preempted,
+            now,
+        );
+        let p3 = sched.pick_next(CpuId(0), now).unwrap();
+        let waiter = if p3 == TaskId(1) {
+            TaskId(2)
+        } else {
+            TaskId(1)
+        };
+        assert!(sched.wake_preempts(waiter, p3, Duration::from_millis(150), now));
+        assert!(!sched.wake_preempts(waiter, p3, Duration::ZERO, now));
+    }
+
+    #[test]
+    fn set_weight_changes_future_shares() {
+        let mut sim = MiniSim::new(Sfs::new(1));
+        sim.spawn(1, 1);
+        sim.spawn(2, 1);
+        sim.run_quanta(500);
+        let (a0, b0) = (sim.service(1), sim.service(2));
+        assert_close(
+            a0.as_nanos() as f64 / b0.as_nanos() as f64,
+            1.0,
+            0.01,
+            "equal before",
+        );
+        sim.sched
+            .set_weight(TaskId(2), Weight::new(3).unwrap(), sim.now);
+        sim.run_quanta(2000);
+        let a_gain = (sim.service(1) - a0).as_nanos() as f64;
+        let b_gain = (sim.service(2) - b0).as_nanos() as f64;
+        assert_close(b_gain / a_gain, 3.0, 0.05, "3:1 after reweight");
+    }
+
+    #[test]
+    fn detach_ready_task() {
+        let mut sim = MiniSim::new(Sfs::new(1));
+        sim.spawn(1, 1);
+        sim.spawn(2, 1);
+        sim.spawn(3, 1);
+        sim.run_quanta(9);
+        sim.kill(3);
+        assert_eq!(sim.sched.nr_tasks(), 2);
+        sim.run_quanta(100);
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "attached twice")]
+    fn double_attach_panics() {
+        let mut s = Sfs::new(1);
+        s.attach(TaskId(1), Weight::DEFAULT, Time::ZERO);
+        s.attach(TaskId(1), Weight::DEFAULT, Time::ZERO);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 10);
+        sim.spawn(2, 1);
+        sim.run_quanta(50);
+        let st = sim.sched.stats();
+        assert!(st.picks > 0);
+        assert!(st.readjust_calls > 0);
+        assert!(st.weights_clamped > 0, "1:10 on 2 cpus must clamp");
+        assert!(st.vt_changes > 0);
+    }
+}
+
+#[cfg(test)]
+mod affinity_tests {
+    use super::*;
+    use crate::sched::{Scheduler, SwitchReason};
+
+    /// Lockstep driver that records per-task CPU placements.
+    fn run_with_affinity(margin: Option<Duration>) -> (u64, Vec<Duration>) {
+        let cfg = SfsConfig {
+            quantum: Duration::from_millis(1),
+            affinity_margin: margin,
+            ..SfsConfig::default()
+        };
+        let mut sched = Sfs::with_config(2, cfg);
+        let now0 = Time::ZERO;
+        // Three equal tasks on two CPUs: the odd one out forces CPU
+        // rotation, so plain SFS migrates constantly.
+        for i in 0..3u64 {
+            sched.attach(TaskId(i), Weight::new(1).unwrap(), now0);
+        }
+        let mut now = now0;
+        let mut running: Vec<Option<TaskId>> = vec![None; 2];
+        for _ in 0..2000 {
+            for c in 0..2 {
+                if running[c].is_none() {
+                    running[c] = sched.pick_next(CpuId(c as u32), now);
+                }
+            }
+            now += Duration::from_millis(1);
+            for slot in running.iter_mut() {
+                if let Some(id) = slot.take() {
+                    sched.put_prev(id, Duration::from_millis(1), SwitchReason::Preempted, now);
+                }
+            }
+        }
+        let services: Vec<Duration> = (0..3u64)
+            .map(|i| sched.tags_of(TaskId(i)).unwrap().service)
+            .collect();
+        (sched.stats().migrations, services)
+    }
+
+    #[test]
+    fn affinity_reduces_migrations_without_breaking_fairness() {
+        let (mig_off, svc_off) = run_with_affinity(None);
+        let (mig_on, svc_on) = run_with_affinity(Some(Duration::from_millis(4)));
+        assert!(mig_off > 100, "baseline should migrate: {mig_off}");
+        assert!(
+            mig_on * 2 < mig_off,
+            "affinity did not help: {mig_on} vs {mig_off} migrations"
+        );
+        // Equal weights: every task still gets ~1/3 of 2 CPUs.
+        for svc in [&svc_off, &svc_on] {
+            let min = svc.iter().min().unwrap().as_nanos() as f64;
+            let max = svc.iter().max().unwrap().as_nanos() as f64;
+            assert!(max / min < 1.15, "fairness broken: {svc:?}");
+        }
+        let _ = svc_on;
+    }
+
+    #[test]
+    fn zero_margin_only_perturbs_by_tie_breaking() {
+        let (_mig_zero, svc_zero) = run_with_affinity(Some(Duration::ZERO));
+        let (_mig_off, svc_off) = run_with_affinity(None);
+        // A zero margin only re-breaks exact surplus ties by affinity;
+        // allocations may differ by a few quanta but no more.
+        for (a, b) in svc_zero.iter().zip(svc_off.iter()) {
+            let diff = if a > b { *a - *b } else { *b - *a };
+            assert!(
+                diff <= Duration::from_millis(4),
+                "tie-breaking drifted allocations: {svc_zero:?} vs {svc_off:?}"
+            );
+        }
+    }
+}

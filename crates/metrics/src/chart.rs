@@ -1,0 +1,168 @@
+//! ASCII line charts, used by the `repro` binary to render each paper
+//! figure in the terminal and in the results files.
+
+use crate::series::TimeSeries;
+
+/// Plot styling and dimensions.
+#[derive(Debug, Clone)]
+pub struct ChartConfig {
+    /// Plot-area width in columns.
+    pub width: usize,
+    /// Plot-area height in rows.
+    pub height: usize,
+    /// Label for the x axis.
+    pub x_label: String,
+    /// Label for the y axis.
+    pub y_label: String,
+}
+
+impl Default for ChartConfig {
+    fn default() -> ChartConfig {
+        ChartConfig {
+            width: 72,
+            height: 20,
+            x_label: "x".into(),
+            y_label: "y".into(),
+        }
+    }
+}
+
+const MARKS: &[char] = &['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Renders one or more series into a fixed-size ASCII chart with a
+/// legend; each series gets its own marker character.
+pub fn render(title: &str, series: &[&TimeSeries], cfg: &ChartConfig) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+
+    let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_min, mut y_max) = (0.0f64, f64::NEG_INFINITY);
+    for s in series {
+        for &(x, y) in s.points() {
+            x_min = x_min.min(x);
+            x_max = x_max.max(x);
+            y_min = y_min.min(y);
+            y_max = y_max.max(y);
+        }
+    }
+    if !x_min.is_finite() || x_max <= x_min {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    if y_max <= y_min {
+        y_max = y_min + 1.0;
+    }
+
+    let w = cfg.width.max(8);
+    let h = cfg.height.max(4);
+    let mut grid = vec![vec![' '; w]; h];
+
+    for (si, s) in series.iter().enumerate() {
+        let mark = MARKS[si % MARKS.len()];
+        // Sample the series densely across the width for continuity.
+        for col in 0..w {
+            let x = x_min + (x_max - x_min) * col as f64 / (w - 1) as f64;
+            let y = s.at(x);
+            let row_f = (y - y_min) / (y_max - y_min) * (h - 1) as f64;
+            let row = h - 1 - (row_f.round() as usize).min(h - 1);
+            grid[row][col] = mark;
+        }
+    }
+
+    let y_fmt = |v: f64| -> String {
+        if v.abs() >= 1e6 {
+            format!("{:.2e}", v)
+        } else if v.abs() >= 100.0 {
+            format!("{v:.0}")
+        } else {
+            format!("{v:.2}")
+        }
+    };
+    let label_w = y_fmt(y_max).len().max(y_fmt(y_min).len()).max(6);
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            y_fmt(y_max)
+        } else if i == h - 1 {
+            y_fmt(y_min)
+        } else if i == h / 2 {
+            y_fmt((y_max + y_min) / 2.0)
+        } else {
+            String::new()
+        };
+        out.push_str(&format!("{label:>label_w$} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>label_w$} +{}\n", "", "-".repeat(w)));
+    out.push_str(&format!(
+        "{:>label_w$}  {:<.10}{}{:>.20}\n",
+        "",
+        y_fmt(x_min),
+        " ".repeat(w.saturating_sub(24)),
+        y_fmt(x_max),
+    ));
+    out.push_str(&format!(
+        "{:>label_w$}  [{} vs {}]\n",
+        "", cfg.y_label, cfg.x_label
+    ));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!(
+            "{:>label_w$}  {} {}\n",
+            "",
+            MARKS[si % MARKS.len()],
+            s.name()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(name: &str, k: f64) -> TimeSeries {
+        let mut s = TimeSeries::new(name);
+        for i in 0..=10 {
+            s.push(i as f64, k * i as f64);
+        }
+        s
+    }
+
+    #[test]
+    fn renders_legend_and_axes() {
+        let a = line("fast", 2.0);
+        let b = line("slow", 1.0);
+        let txt = render("demo", &[&a, &b], &ChartConfig::default());
+        assert!(txt.contains("demo"));
+        assert!(txt.contains("* fast"));
+        assert!(txt.contains("+ slow"));
+        assert!(txt.contains('|'));
+        assert!(txt.contains('+'));
+    }
+
+    #[test]
+    fn empty_series_do_not_panic() {
+        let s = TimeSeries::new("empty");
+        let txt = render("t", &[&s], &ChartConfig::default());
+        assert!(txt.contains("(no data)"));
+    }
+
+    #[test]
+    fn marker_rows_track_magnitude() {
+        let a = line("a", 1.0);
+        let cfg = ChartConfig {
+            width: 20,
+            height: 10,
+            ..ChartConfig::default()
+        };
+        let txt = render("t", &[&a], &cfg);
+        // Monotone series: first plot row (max) must contain a marker at
+        // the right edge, last plot row at the left edge.
+        let rows: Vec<&str> = txt.lines().collect();
+        let first = rows[1];
+        let last = rows[10];
+        assert!(first.trim_end().ends_with('*'), "{first:?}");
+        assert!(last.contains('*'), "{last:?}");
+    }
+}

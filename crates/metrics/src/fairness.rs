@@ -1,0 +1,193 @@
+//! Fairness metrics used to evaluate proportional-share schedules.
+//!
+//! * [`jain_index`] — Jain's fairness index over normalised shares.
+//! * [`proportional_error`] — how far measured services deviate from the
+//!   weight-proportional ideal (with feasibility capping, matching GMS).
+//! * [`starvation`] — the longest stretch during which a task received no
+//!   service, the pathology of Example 1.
+
+/// Jain's fairness index of the per-task `ratios` (service divided by
+/// entitlement): `(Σx)² / (n · Σx²)`. 1.0 is perfectly fair; `1/n` is a
+/// single task hogging everything.
+pub fn jain_index(ratios: &[f64]) -> f64 {
+    if ratios.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = ratios.iter().sum();
+    let sum_sq: f64 = ratios.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 1.0;
+    }
+    sum * sum / (ratios.len() as f64 * sum_sq)
+}
+
+/// The GMS-ideal share of total bandwidth for each weight on `cpus`
+/// processors: proportional to weight, but no task exceeds `1/cpus`
+/// (excess redistributed — water-filling, equivalent to §2.1
+/// readjustment).
+pub fn ideal_shares(weights: &[f64], cpus: u32) -> Vec<f64> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let cap = 1.0 / cpus as f64;
+    // If there are no more tasks than CPUs everyone gets a full CPU.
+    if n <= cpus as usize {
+        return vec![1.0 / n as f64; n];
+    }
+    let mut share = vec![0.0; n];
+    let mut capped = vec![false; n];
+    loop {
+        let free_weight: f64 = weights
+            .iter()
+            .zip(&capped)
+            .filter(|(_, &c)| !c)
+            .map(|(w, _)| *w)
+            .sum();
+        let capped_total: f64 = share
+            .iter()
+            .zip(&capped)
+            .filter(|(_, &c)| c)
+            .map(|(s, _)| *s)
+            .sum();
+        let remaining = 1.0 - capped_total;
+        let mut newly_capped = false;
+        for i in 0..n {
+            if capped[i] {
+                continue;
+            }
+            let s = remaining * weights[i] / free_weight;
+            if s > cap + 1e-12 {
+                share[i] = cap;
+                capped[i] = true;
+                newly_capped = true;
+            } else {
+                share[i] = s;
+            }
+        }
+        if !newly_capped {
+            break;
+        }
+    }
+    share
+}
+
+/// Maximum absolute deviation between measured shares (service / total
+/// service) and the weight-proportional ideal with feasibility capping.
+/// 0.0 is a perfect proportional allocation.
+pub fn proportional_error(services: &[f64], weights: &[f64], cpus: u32) -> f64 {
+    assert_eq!(services.len(), weights.len());
+    let total: f64 = services.iter().sum();
+    if total == 0.0 {
+        return 0.0;
+    }
+    let ideal = ideal_shares(weights, cpus);
+    services
+        .iter()
+        .zip(ideal.iter())
+        .map(|(s, i)| (s / total - i).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Finds the longest gap (in x units) in a cumulative-service curve:
+/// the longest interval over which the value did not increase.
+/// `samples` must be ordered by x.
+pub fn starvation(samples: &[(f64, f64)]) -> f64 {
+    let mut longest: f64 = 0.0;
+    let mut gap_start: Option<f64> = None;
+    for w in samples.windows(2) {
+        let ((x0, y0), (x1, y1)) = (w[0], w[1]);
+        if y1 > y0 {
+            // Service was observed by x1: the gap ran from its start to
+            // the sample at which progress reappeared.
+            if let Some(gs) = gap_start.take() {
+                longest = longest.max(x1 - gs);
+            }
+        } else if gap_start.is_none() {
+            gap_start = Some(x0);
+        }
+    }
+    if let (Some(gs), Some(&(xl, _))) = (gap_start, samples.last()) {
+        longest = longest.max(xl - gs);
+    }
+    longest
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jain_perfect_and_worst() {
+        assert!((jain_index(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        let worst = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((worst - 0.25).abs() < 1e-12);
+        assert_eq!(jain_index(&[]), 1.0);
+    }
+
+    #[test]
+    fn ideal_shares_feasible_case() {
+        // 2:1:1 on 2 CPUs: shares 1/2, 1/4, 1/4 (already feasible).
+        let s = ideal_shares(&[2.0, 1.0, 1.0], 2);
+        assert!((s[0] - 0.5).abs() < 1e-9);
+        assert!((s[1] - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_shares_cap_infeasible() {
+        // 10:1 on 2 CPUs: the heavy task caps at 1/2; the rest goes to
+        // the light one.
+        let s = ideal_shares(&[10.0, 1.0], 2);
+        assert!((s[0] - 0.5).abs() < 1e-9);
+        assert!((s[1] - 0.5).abs() < 1e-9);
+        // 10:1:1 on 2 CPUs: 1/2, 1/4, 1/4.
+        let s = ideal_shares(&[10.0, 1.0, 1.0], 2);
+        assert!((s[0] - 0.5).abs() < 1e-9, "{s:?}");
+        assert!((s[1] - 0.25).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn ideal_shares_cascading_caps() {
+        // 100:10:1:1 on 4 CPUs: both heavy tasks cap at 1/4, and the two
+        // light tasks split the remaining half equally (weights equal).
+        let s = ideal_shares(&[100.0, 10.0, 1.0, 1.0], 4);
+        assert!((s[0] - 0.25).abs() < 1e-9, "{s:?}");
+        assert!((s[1] - 0.25).abs() < 1e-9, "{s:?}");
+        assert!((s[2] - 0.25).abs() < 1e-9, "{s:?}");
+        assert!((s[3] - 0.25).abs() < 1e-9, "{s:?}");
+    }
+
+    #[test]
+    fn proportional_error_detects_unfairness() {
+        // Perfect 2:1 split.
+        assert!(proportional_error(&[2.0, 1.0], &[2.0, 1.0], 1) < 1e-12);
+        // Total inversion.
+        let e = proportional_error(&[0.0, 3.0], &[2.0, 1.0], 1);
+        assert!((e - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_finds_flat_stretch() {
+        let curve = [
+            (0.0, 0.0),
+            (1.0, 10.0),
+            (2.0, 10.0),
+            (3.0, 10.0),
+            (4.0, 20.0),
+            (5.0, 30.0),
+        ];
+        assert!((starvation(&curve) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starvation_open_ended_gap() {
+        let curve = [(0.0, 0.0), (1.0, 5.0), (2.0, 5.0), (9.0, 5.0)];
+        assert!((starvation(&curve) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_starvation_when_monotone() {
+        let curve = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)];
+        assert_eq!(starvation(&curve), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Runs `sfs-workloads` behaviours on real threads.
+//!
+//! The same [`Behavior`] state machines the simulator executes can run
+//! under the executor: `Compute` phases spin on the real clock with
+//! checkpoints, `Block`/`BlockUntil` phases release the virtual CPU.
+//! This lets the examples and tests exercise identical workloads on
+//! both substrates.
+
+use std::time::Instant;
+
+use sfs_core::time::{Duration, Time};
+use sfs_workloads::{Behavior, Phase};
+
+use crate::executor::TaskCtx;
+
+/// Statistics from driving a behaviour to completion (or until stop).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DriveStats {
+    /// Completed compute phases (frames, requests, jobs).
+    pub completions: u64,
+    /// Total response time (wake → compute completion), nanoseconds.
+    pub response_ns_total: u64,
+    /// Number of response samples.
+    pub responses: u64,
+}
+
+impl DriveStats {
+    /// Mean response time, if any responses were recorded.
+    pub fn mean_response(&self) -> Option<Duration> {
+        if self.responses == 0 {
+            None
+        } else {
+            Some(Duration::from_nanos(
+                self.response_ns_total / self.responses,
+            ))
+        }
+    }
+}
+
+/// Executes a behaviour on the current task until it exits or the
+/// executor is stopped. Returns the accumulated statistics.
+///
+/// `Compute(d)` phases consume *virtual-CPU hold time*: the spin only
+/// counts progress while the task holds its grant, which checkpointing
+/// approximates closely for small quanta.
+pub fn drive(ctx: &TaskCtx, mut behavior: Box<dyn Behavior>, epoch: Instant) -> DriveStats {
+    let mut stats = DriveStats::default();
+    let now_fn = |epoch: Instant| -> Time {
+        Time(u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    };
+    let mut last_wake = now_fn(epoch);
+    loop {
+        if ctx.stopped() {
+            return stats;
+        }
+        let now = now_fn(epoch);
+        match behavior.next(now) {
+            Phase::Compute(d) => {
+                let deadline = Instant::now() + d.to_std();
+                while Instant::now() < deadline {
+                    if ctx.stopped() {
+                        return stats;
+                    }
+                    std::hint::spin_loop();
+                    ctx.checkpoint();
+                }
+                stats.completions += 1;
+                let response = now_fn(epoch).since(last_wake);
+                stats.response_ns_total += response.as_nanos();
+                stats.responses += 1;
+            }
+            Phase::Block(d) => {
+                ctx.block_for(d);
+                last_wake = now_fn(epoch);
+            }
+            Phase::BlockUntil(t) => {
+                let now = now_fn(epoch);
+                if t > now {
+                    ctx.block_for(t.since(now));
+                }
+                last_wake = now_fn(epoch);
+            }
+            Phase::Exit => return stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{Executor, RtConfig};
+    use crossbeam::channel;
+    use sfs_core::sfs::Sfs;
+    use sfs_core::task::weight;
+    use sfs_workloads::{BehaviorSpec, FiniteLoop};
+
+    #[test]
+    fn finite_loop_completes_and_exits() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                ..RtConfig::default()
+            },
+            Box::new(Sfs::new(1)),
+        );
+        let epoch = Instant::now();
+        let (tx, rx) = channel::bounded(1);
+        let h = ex.spawn("job", weight(1), move |ctx| {
+            let b = Box::new(FiniteLoop::new(Duration::from_millis(20)));
+            let st = drive(ctx, b, epoch);
+            let _ = tx.send(st);
+        });
+        ex.wait();
+        h.join();
+        let st = rx.recv().unwrap();
+        assert_eq!(st.completions, 1);
+    }
+
+    #[test]
+    fn interact_records_responses() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                ..RtConfig::default()
+            },
+            Box::new(Sfs::new(1)),
+        );
+        let epoch = Instant::now();
+        let (tx, rx) = channel::bounded(1);
+        let spec = BehaviorSpec::Interact {
+            think: Duration::from_millis(5),
+            burst: Duration::from_millis(1),
+        };
+        let h = ex.spawn("interact", weight(1), move |ctx| {
+            let b = spec.build(1);
+            let st = drive(ctx, b, epoch);
+            let _ = tx.send(st);
+        });
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        ex.stop();
+        ex.wait();
+        h.join();
+        let st = rx.recv().unwrap();
+        assert!(st.completions >= 3, "completions: {}", st.completions);
+        assert!(st.mean_response().is_some());
+    }
+}

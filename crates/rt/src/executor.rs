@@ -1,0 +1,733 @@
+//! A userspace gang scheduler running real OS threads.
+//!
+//! The executor emulates the paper's kernel environment in user space:
+//! `p` *virtual processors* gate which OS threads may run. A task runs
+//! only while it holds a virtual CPU; the policy (any
+//! [`sfs_core::sched::Scheduler`]) decides who holds one. Preemption is
+//! cooperative at *checkpoints*: a timer thread raises a per-task
+//! preempt flag when the quantum expires, and the task's next
+//! [`TaskCtx::checkpoint`] call enters the scheduler — the userspace
+//! analogue of a timer interrupt hitting at the next instruction
+//! boundary. Blocking I/O is modelled by [`TaskCtx::block_for`], which
+//! releases the virtual CPU for the sleep duration.
+//!
+//! This substrate is what the overhead experiments (Table 1, Fig. 7)
+//! measure: every scheduler entry takes the same lock and runs the same
+//! policy code a kernel implementation would, so the *relative* costs of
+//! SFS vs time sharing are preserved, even though the absolute numbers
+//! are userspace numbers.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Instant;
+
+use parking_lot::{Condvar, Mutex};
+use sfs_core::sched::{Scheduler, SwitchReason};
+use sfs_core::task::{CpuId, TaskId, Weight};
+use sfs_core::time::{Duration, Time};
+
+/// Executor configuration.
+#[derive(Debug, Clone)]
+pub struct RtConfig {
+    /// Number of virtual processors.
+    pub cpus: u32,
+    /// How often the timer thread scans for expired quanta.
+    pub timer_interval: Duration,
+}
+
+impl Default for RtConfig {
+    fn default() -> RtConfig {
+        RtConfig {
+            cpus: 2,
+            timer_interval: Duration::from_millis(1),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CpuSlot {
+    current: Option<TaskId>,
+    dispatched_at: Instant,
+    slice: Duration,
+}
+
+struct RtTask {
+    id: TaskId,
+    name: String,
+    /// Raised by the timer thread or a wakeup preemption; consumed at
+    /// the next checkpoint.
+    preempt: AtomicBool,
+    /// Total CPU service in nanoseconds.
+    service_ns: AtomicU64,
+    /// "You hold a virtual CPU" flag, guarded by its own mutex so a
+    /// parked thread can wait on it without the core lock.
+    granted: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl RtTask {
+    fn grant(&self) {
+        let mut g = self.granted.lock();
+        *g = true;
+        self.cv.notify_one();
+    }
+
+    fn wait_granted(&self) {
+        let mut g = self.granted.lock();
+        while !*g {
+            self.cv.wait(&mut g);
+        }
+    }
+
+    fn revoke(&self) {
+        *self.granted.lock() = false;
+    }
+}
+
+struct Core {
+    sched: Box<dyn Scheduler>,
+    cpus: Vec<CpuSlot>,
+    tasks: Vec<Arc<RtTask>>,
+    /// Tasks currently blocked in the scheduler (event or timed sleep).
+    blocked: std::collections::HashSet<TaskId>,
+    next_id: u64,
+    live: usize,
+    switches: u64,
+}
+
+impl Core {
+    fn task(&self, id: TaskId) -> &Arc<RtTask> {
+        self.tasks
+            .iter()
+            .find(|t| t.id == id)
+            .expect("unknown task id")
+    }
+
+    fn slot_of(&self, id: TaskId) -> Option<usize> {
+        self.cpus.iter().position(|c| c.current == Some(id))
+    }
+}
+
+struct Inner {
+    cfg: RtConfig,
+    core: Mutex<Core>,
+    idle_cv: Condvar,
+    epoch: Instant,
+    shutdown: AtomicBool,
+    stop_requested: AtomicBool,
+}
+
+impl Inner {
+    fn now(&self) -> Time {
+        Time(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+    }
+
+    /// Fills idle virtual CPUs. Caller holds the core lock.
+    fn dispatch_all(&self, core: &mut Core) {
+        let now = self.now();
+        for i in 0..core.cpus.len() {
+            if core.cpus[i].current.is_some() {
+                continue;
+            }
+            let Some(next) = core.sched.pick_next(CpuId(i as u32), now) else {
+                continue;
+            };
+            let slice = core.sched.time_slice(next);
+            core.cpus[i] = CpuSlot {
+                current: Some(next),
+                dispatched_at: Instant::now(),
+                slice,
+            };
+            core.switches += 1;
+            let task = core.task(next).clone();
+            task.preempt.store(false, Ordering::Release);
+            task.grant();
+        }
+    }
+
+    /// Removes `id` from its virtual CPU, charging actual usage.
+    /// Caller holds the core lock.
+    fn stop_running(&self, core: &mut Core, id: TaskId, reason: SwitchReason) {
+        let slot = core.slot_of(id).expect("task not on any cpu");
+        let used = Duration::from_std(core.cpus[slot].dispatched_at.elapsed());
+        core.cpus[slot].current = None;
+        let task = core.task(id).clone();
+        task.service_ns
+            .fetch_add(used.as_nanos(), Ordering::Relaxed);
+        task.revoke();
+        if reason == SwitchReason::Blocked {
+            core.blocked.insert(id);
+        }
+        core.sched.put_prev(id, used, reason, self.now());
+    }
+}
+
+/// A handle to a spawned task, returned by [`Executor::spawn`].
+pub struct TaskHandle {
+    id: TaskId,
+    task: Arc<RtTask>,
+    thread: Option<thread::JoinHandle<()>>,
+}
+
+impl TaskHandle {
+    /// The task's id in the scheduler.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Total CPU service (virtual-CPU hold time) so far.
+    pub fn service(&self) -> Duration {
+        Duration::from_nanos(self.task.service_ns.load(Ordering::Relaxed))
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.task.name
+    }
+
+    /// Waits for the task's thread to finish.
+    pub fn join(mut self) {
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Context passed to every task body.
+pub struct TaskCtx {
+    inner: Arc<Inner>,
+    task: Arc<RtTask>,
+}
+
+impl TaskCtx {
+    /// The task's id.
+    pub fn id(&self) -> TaskId {
+        self.task.id
+    }
+
+    /// True once [`Executor::stop`] has been called; loops should exit.
+    pub fn stopped(&self) -> bool {
+        self.inner.stop_requested.load(Ordering::Relaxed)
+    }
+
+    /// A preemption point: nearly free unless the quantum has expired,
+    /// in which case the thread re-enters the scheduler and may hand its
+    /// virtual CPU to another task.
+    #[inline]
+    pub fn checkpoint(&self) {
+        if self.task.preempt.load(Ordering::Acquire) {
+            self.reschedule(SwitchReason::Preempted);
+        }
+    }
+
+    /// Voluntarily yields the virtual CPU (remains runnable).
+    pub fn yield_now(&self) {
+        self.reschedule(SwitchReason::Yielded);
+    }
+
+    fn reschedule(&self, reason: SwitchReason) {
+        {
+            let mut core = self.inner.core.lock();
+            // The flag may be stale (e.g. raised just as we blocked and
+            // got re-granted); only act when we actually hold a CPU.
+            if core.slot_of(self.task.id).is_none() {
+                self.task.preempt.store(false, Ordering::Release);
+                return;
+            }
+            self.inner.stop_running(&mut core, self.task.id, reason);
+            self.inner.dispatch_all(&mut core);
+        }
+        self.task.wait_granted();
+    }
+
+    /// Event blocking: atomically consumes `token` if set, otherwise
+    /// blocks (releases the virtual CPU) until another task sets the
+    /// token and calls [`TaskCtx::wake_task`]. Returns once the token
+    /// has been consumed.
+    ///
+    /// Token inspection happens under the scheduler lock on both the
+    /// consumer and producer sides, so no wakeup can be lost. This is
+    /// the substrate for pipe-style handoffs (the lmbench `lat_ctx`
+    /// analogue in [`crate::microbench`]).
+    pub fn block_on_token(&self, token: &AtomicBool) {
+        loop {
+            {
+                let mut core = self.inner.core.lock();
+                if token.swap(false, Ordering::AcqRel) {
+                    return;
+                }
+                if self.inner.stop_requested.load(Ordering::Relaxed) {
+                    return;
+                }
+                self.inner
+                    .stop_running(&mut core, self.task.id, SwitchReason::Blocked);
+                self.inner.dispatch_all(&mut core);
+            }
+            self.task.wait_granted();
+        }
+    }
+
+    /// Wakes a task blocked via [`TaskCtx::block_on_token`] (or any
+    /// blocked task). Returns `true` if the task was blocked. The
+    /// producer must set its token *before* calling this.
+    pub fn wake_task(&self, id: TaskId) -> bool {
+        let mut core = self.inner.core.lock();
+        if !core.blocked.remove(&id) {
+            return false;
+        }
+        let now = self.inner.now();
+        core.sched.wake(id, now);
+        self.inner.dispatch_all(&mut core);
+        if core.slot_of(id).is_none() {
+            for i in 0..core.cpus.len() {
+                let Some(running) = core.cpus[i].current else {
+                    continue;
+                };
+                let ran = Duration::from_std(core.cpus[i].dispatched_at.elapsed());
+                if core.sched.wake_preempts(id, running, ran, now) {
+                    core.task(running).preempt.store(true, Ordering::Release);
+                    break;
+                }
+            }
+        }
+        true
+    }
+
+    /// Blocks (releases the virtual CPU) for the given duration — the
+    /// userspace analogue of sleeping on I/O.
+    pub fn block_for(&self, d: Duration) {
+        {
+            let mut core = self.inner.core.lock();
+            self.inner
+                .stop_running(&mut core, self.task.id, SwitchReason::Blocked);
+            self.inner.dispatch_all(&mut core);
+        }
+        thread::sleep(d.to_std());
+        {
+            let mut core = self.inner.core.lock();
+            let now = self.inner.now();
+            // `stop()` or `wake_task` may have woken us already; only
+            // report the wakeup if we are still blocked.
+            if core.blocked.remove(&self.task.id) {
+                core.sched.wake(self.task.id, now);
+                self.inner.dispatch_all(&mut core);
+                // No idle CPU took us: ask for a wakeup preemption.
+                if core.slot_of(self.task.id).is_none() {
+                    for i in 0..core.cpus.len() {
+                        let Some(running) = core.cpus[i].current else {
+                            continue;
+                        };
+                        let ran = Duration::from_std(core.cpus[i].dispatched_at.elapsed());
+                        if core.sched.wake_preempts(self.task.id, running, ran, now) {
+                            core.task(running).preempt.store(true, Ordering::Release);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.task.wait_granted();
+    }
+}
+
+/// The userspace executor: `p` virtual CPUs multiplexed over real
+/// threads by an `sfs-core` scheduling policy.
+pub struct Executor {
+    inner: Arc<Inner>,
+    timer: Option<thread::JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Creates an executor over the given policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler's CPU count differs from the config's.
+    pub fn new(cfg: RtConfig, sched: Box<dyn Scheduler>) -> Executor {
+        assert_eq!(sched.cpus(), cfg.cpus, "scheduler/machine mismatch");
+        let inner = Arc::new(Inner {
+            core: Mutex::new(Core {
+                sched,
+                cpus: vec![
+                    CpuSlot {
+                        current: None,
+                        dispatched_at: Instant::now(),
+                        slice: Duration::ZERO,
+                    };
+                    cfg.cpus as usize
+                ],
+                tasks: Vec::new(),
+                blocked: std::collections::HashSet::new(),
+                next_id: 1,
+                live: 0,
+                switches: 0,
+            }),
+            cfg,
+            idle_cv: Condvar::new(),
+            epoch: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            stop_requested: AtomicBool::new(false),
+        });
+        let timer = {
+            let inner = Arc::clone(&inner);
+            thread::Builder::new()
+                .name("sfs-rt-timer".into())
+                .spawn(move || Executor::timer_loop(&inner))
+                .expect("spawning timer thread")
+        };
+        Executor {
+            inner,
+            timer: Some(timer),
+        }
+    }
+
+    fn timer_loop(inner: &Inner) {
+        while !inner.shutdown.load(Ordering::Acquire) {
+            thread::sleep(inner.cfg.timer_interval.to_std());
+            let core = inner.core.lock();
+            for slot in &core.cpus {
+                let Some(id) = slot.current else { continue };
+                let elapsed = Duration::from_std(slot.dispatched_at.elapsed());
+                if elapsed >= slot.slice {
+                    core.task(id).preempt.store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+
+    /// Spawns a task with a weight; the body receives a [`TaskCtx`] and
+    /// must call [`TaskCtx::checkpoint`] regularly.
+    pub fn spawn<F>(&self, name: &str, weight: Weight, body: F) -> TaskHandle
+    where
+        F: FnOnce(&TaskCtx) + Send + 'static,
+    {
+        let (task, ctx) = {
+            let mut core = self.inner.core.lock();
+            let id = TaskId(core.next_id);
+            core.next_id += 1;
+            let task = Arc::new(RtTask {
+                id,
+                name: name.to_string(),
+                preempt: AtomicBool::new(false),
+                service_ns: AtomicU64::new(0),
+                granted: Mutex::new(false),
+                cv: Condvar::new(),
+            });
+            core.tasks.push(Arc::clone(&task));
+            core.live += 1;
+            let now = self.inner.now();
+            core.sched.attach(id, weight, now);
+            self.inner.dispatch_all(&mut core);
+            let ctx = TaskCtx {
+                inner: Arc::clone(&self.inner),
+                task: Arc::clone(&task),
+            };
+            (task, ctx)
+        };
+        let inner = Arc::clone(&self.inner);
+        let task2 = Arc::clone(&task);
+        let thread = thread::Builder::new()
+            .name(format!("sfs-task-{}", task.id))
+            .spawn(move || {
+                task2.wait_granted();
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    body(&ctx);
+                }));
+                {
+                    let mut core = inner.core.lock();
+                    core.blocked.remove(&task2.id);
+                    if core.slot_of(task2.id).is_some() {
+                        inner.stop_running(&mut core, task2.id, SwitchReason::Exited);
+                    } else {
+                        // Exited while not on a CPU (e.g. right after a
+                        // block woke it but before it was granted —
+                        // cannot happen for well-formed bodies, but a
+                        // panicking body may unwind from anywhere).
+                        core.sched.detach(task2.id, inner.now());
+                    }
+                    core.live -= 1;
+                    inner.dispatch_all(&mut core);
+                    inner.idle_cv.notify_all();
+                }
+                if let Err(p) = result {
+                    // Surface panics to the test harness.
+                    eprintln!("task {} panicked: {p:?}", task2.id);
+                }
+            })
+            .expect("spawning task thread");
+        TaskHandle {
+            id: task.id,
+            task,
+            thread: Some(thread),
+        }
+    }
+
+    /// Asks all cooperative loops to stop (see [`TaskCtx::stopped`]).
+    pub fn stop(&self) {
+        self.inner.stop_requested.store(true, Ordering::Relaxed);
+        // Nudge everything through the scheduler so parked tasks get
+        // CPU time to observe the stop flag, and release event-blocked
+        // tasks so they can observe it too.
+        let mut core = self.inner.core.lock();
+        for t in &core.tasks {
+            t.preempt.store(true, Ordering::Release);
+        }
+        let blocked: Vec<TaskId> = core.blocked.drain().collect();
+        let now = self.inner.now();
+        for id in blocked {
+            core.sched.wake(id, now);
+        }
+        self.inner.dispatch_all(&mut core);
+    }
+
+    /// Blocks until every spawned task has finished.
+    pub fn wait(&self) {
+        let mut core = self.inner.core.lock();
+        while core.live > 0 {
+            self.inner.idle_cv.wait(&mut core);
+        }
+    }
+
+    /// Number of dispatches that granted a virtual CPU.
+    pub fn switches(&self) -> u64 {
+        self.inner.core.lock().switches
+    }
+
+    /// Wakes an event-blocked task from outside the executor (e.g. the
+    /// spawning thread kicking off a token ring). Returns `true` if the
+    /// task was blocked.
+    pub fn wake_task(&self, id: TaskId) -> bool {
+        let mut core = self.inner.core.lock();
+        if !core.blocked.remove(&id) {
+            return false;
+        }
+        let now = self.inner.now();
+        core.sched.wake(id, now);
+        self.inner.dispatch_all(&mut core);
+        true
+    }
+
+    /// Current time since executor start.
+    pub fn now(&self) -> Time {
+        self.inner.now()
+    }
+
+    /// Runs a closure against the scheduler (for stats inspection).
+    pub fn with_scheduler<R>(&self, f: impl FnOnce(&dyn Scheduler) -> R) -> R {
+        let core = self.inner.core.lock();
+        f(core.sched.as_ref())
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        if let Some(t) = self.timer.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_core::sfs::{Sfs, SfsConfig};
+    use sfs_core::task::weight;
+    use sfs_core::timeshare::TimeSharing;
+
+    fn small_sfs(cpus: u32) -> Box<dyn Scheduler> {
+        Box::new(Sfs::with_config(
+            cpus,
+            SfsConfig {
+                quantum: Duration::from_millis(2),
+                ..SfsConfig::default()
+            },
+        ))
+    }
+
+    fn spin(ctx: &TaskCtx) {
+        while !ctx.stopped() {
+            std::hint::spin_loop();
+            ctx.checkpoint();
+        }
+    }
+
+    #[test]
+    fn single_task_runs_and_exits() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                ..RtConfig::default()
+            },
+            small_sfs(1),
+        );
+        let h = ex.spawn("t", weight(1), |_ctx| {
+            // Finite work.
+            let mut acc = 0u64;
+            for i in 0..1_000_000u64 {
+                acc = acc.wrapping_add(i);
+            }
+            assert!(acc > 0);
+        });
+        ex.wait();
+        assert!(h.service() > Duration::ZERO);
+        h.join();
+    }
+
+    #[test]
+    fn proportional_shares_on_one_vcpu() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                timer_interval: Duration::from_micros(200),
+            },
+            small_sfs(1),
+        );
+        let a = ex.spawn("w1", weight(1), spin);
+        let b = ex.spawn("w3", weight(3), spin);
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        ex.stop();
+        ex.wait();
+        let (sa, sb) = (a.service().as_nanos() as f64, b.service().as_nanos() as f64);
+        let ratio = sb / sa.max(1.0);
+        assert!(
+            (1.8..4.5).contains(&ratio),
+            "expected ≈3:1 service ratio, got {ratio:.2} ({sb} vs {sa})"
+        );
+    }
+
+    #[test]
+    fn two_vcpus_run_concurrently() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 2,
+                ..RtConfig::default()
+            },
+            small_sfs(2),
+        );
+        let a = ex.spawn("a", weight(1), spin);
+        let b = ex.spawn("b", weight(1), spin);
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        ex.stop();
+        ex.wait();
+        // Both held a CPU essentially the whole time.
+        assert!(
+            a.service() > Duration::from_millis(150),
+            "{:?}",
+            a.service()
+        );
+        assert!(
+            b.service() > Duration::from_millis(150),
+            "{:?}",
+            b.service()
+        );
+    }
+
+    #[test]
+    fn block_for_releases_the_cpu() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                ..RtConfig::default()
+            },
+            small_sfs(1),
+        );
+        let sleeper = ex.spawn("sleeper", weight(1), |ctx| {
+            for _ in 0..3 {
+                ctx.block_for(Duration::from_millis(30));
+            }
+        });
+        let worker = ex.spawn("worker", weight(1), |ctx| {
+            let until = Instant::now() + std::time::Duration::from_millis(120);
+            while Instant::now() < until {
+                ctx.checkpoint();
+            }
+        });
+        ex.wait();
+        // The worker must have run during the sleeper's blocks.
+        assert!(
+            worker.service() > Duration::from_millis(80),
+            "worker starved: {:?}",
+            worker.service()
+        );
+        assert!(sleeper.service() < Duration::from_millis(60));
+        sleeper.join();
+        worker.join();
+    }
+
+    #[test]
+    fn yield_now_rotates_equal_weight_tasks() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                ..RtConfig::default()
+            },
+            small_sfs(1),
+        );
+        let before = ex.switches();
+        let mk = |ex: &Executor, name: &str| {
+            ex.spawn(name, weight(1), |ctx| {
+                for _ in 0..200 {
+                    ctx.yield_now();
+                }
+            })
+        };
+        let a = mk(&ex, "a");
+        let b = mk(&ex, "b");
+        ex.wait();
+        let switches = ex.switches() - before;
+        // 400 yields must produce at least a few hundred dispatches.
+        assert!(switches >= 300, "only {switches} switches");
+        a.join();
+        b.join();
+    }
+
+    #[test]
+    fn timesharing_policy_also_drives_executor() {
+        // Small epochs (2 ticks = 20 ms) so a 300 ms run spans many
+        // epochs; the default 200 ms quantum would dominate the run.
+        let ts = sfs_core::timeshare::TimeSharingConfig {
+            priority_ticks: 2,
+            ..Default::default()
+        };
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                timer_interval: Duration::from_micros(500),
+            },
+            Box::new(TimeSharing::with_config(1, ts)),
+        );
+        let a = ex.spawn("a", weight(1), spin);
+        let b = ex.spawn("b", weight(10), spin);
+        std::thread::sleep(std::time::Duration::from_millis(300));
+        ex.stop();
+        ex.wait();
+        // Time sharing ignores weights: roughly equal.
+        let ratio = b.service().as_nanos() as f64 / a.service().as_nanos().max(1) as f64;
+        assert!(
+            (0.5..2.0).contains(&ratio),
+            "time sharing should be ≈1:1, got {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn stats_visible_through_executor() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                ..RtConfig::default()
+            },
+            small_sfs(1),
+        );
+        let h = ex.spawn("t", weight(1), |ctx| {
+            for _ in 0..10 {
+                ctx.yield_now();
+            }
+        });
+        ex.wait();
+        let picks = ex.with_scheduler(|s| s.stats().picks);
+        assert!(picks >= 10, "picks = {picks}");
+        h.join();
+    }
+}

@@ -1,0 +1,46 @@
+//! # sfs-sim — a deterministic discrete-event SMP simulator
+//!
+//! The substrate on which the paper's experiments are reproduced
+//! deterministically. It models `p` processors with unsynchronised
+//! quanta, context-switch overhead, blocking/wakeup, arrivals and
+//! departures, and drives any [`sfs_core::sched::Scheduler`]
+//! implementation through the same event protocol the Linux kernel
+//! implementation used (§3.1).
+//!
+//! * [`engine::Simulator`] — the event loop and machine model.
+//! * [`scenario`] — declarative experiment descriptions (tasks,
+//!   replicas, kill times, sequential short-job streams).
+//! * [`trace`] — per-task measurements and the final [`trace::SimReport`].
+//!
+//! Runs are pure functions of their configuration: all randomness is
+//! seeded per task, and all events are totally ordered.
+//!
+//! ```
+//! use sfs_core::sfs::Sfs;
+//! use sfs_core::time::Duration;
+//! use sfs_sim::{Scenario, SimConfig, TaskSpec};
+//! use sfs_workloads::BehaviorSpec;
+//!
+//! let cfg = SimConfig {
+//!     cpus: 2,
+//!     duration: Duration::from_secs(2),
+//!     ..SimConfig::default()
+//! };
+//! // 2:1:1 is feasible on two CPUs: shares are 1/2, 1/4, 1/4.
+//! let report = Scenario::new("demo", cfg)
+//!     .task(TaskSpec::new("heavy", 2, BehaviorSpec::Inf))
+//!     .task(TaskSpec::new("light1", 1, BehaviorSpec::Inf))
+//!     .task(TaskSpec::new("light2", 1, BehaviorSpec::Inf))
+//!     .run(Box::new(Sfs::new(2)));
+//! let h = report.task("heavy").unwrap().service;
+//! let l = report.task("light1").unwrap().service;
+//! assert!(h > l);
+//! ```
+
+pub mod engine;
+pub mod scenario;
+pub mod trace;
+
+pub use engine::{SimConfig, Simulator};
+pub use scenario::{Scenario, StreamSpec, TaskSpec};
+pub use trace::{SimReport, TaskReport};

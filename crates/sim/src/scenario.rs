@@ -1,0 +1,218 @@
+//! Declarative experiment descriptions.
+//!
+//! A [`Scenario`] names a machine, a duration and a set of task specs
+//! (plus optional sequential job streams), and can be run under any
+//! scheduler factory. The figure harnesses in `sfs-bench` are built out
+//! of these, and the integration tests reuse the exact paper scenarios.
+
+use sfs_core::sched::Scheduler;
+use sfs_core::task::Weight;
+use sfs_core::time::{Duration, Time};
+use sfs_workloads::BehaviorSpec;
+
+use crate::engine::{SimConfig, Simulator};
+use crate::trace::SimReport;
+
+/// One or more identical tasks in a scenario.
+#[derive(Debug, Clone)]
+pub struct TaskSpec {
+    /// Base name; replicas are suffixed `#k`.
+    pub name: String,
+    /// Weight for each replica.
+    pub weight: u64,
+    /// Arrival time.
+    pub arrive: Time,
+    /// Kill time, if the task should be stopped mid-run.
+    pub stop_at: Option<Time>,
+    /// The workload.
+    pub behavior: BehaviorSpec,
+    /// Number of identical replicas (default 1).
+    pub count: usize,
+}
+
+impl TaskSpec {
+    /// A single task arriving at t=0.
+    pub fn new(name: &str, weight: u64, behavior: BehaviorSpec) -> TaskSpec {
+        TaskSpec {
+            name: name.to_string(),
+            weight,
+            arrive: Time::ZERO,
+            stop_at: None,
+            behavior,
+            count: 1,
+        }
+    }
+
+    /// Sets the arrival time.
+    pub fn arrive_at(mut self, t: Time) -> TaskSpec {
+        self.arrive = t;
+        self
+    }
+
+    /// Sets a kill time.
+    pub fn stop_at(mut self, t: Time) -> TaskSpec {
+        self.stop_at = Some(t);
+        self
+    }
+
+    /// Replicates the spec into `n` identical tasks.
+    pub fn replicated(mut self, n: usize) -> TaskSpec {
+        self.count = n;
+        self
+    }
+}
+
+/// A sequential stream of short jobs (Example 2 / Fig. 5): each job
+/// arrives when the previous one finishes.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Name prefix; jobs are suffixed `#n`.
+    pub name: String,
+    /// Weight of each job.
+    pub weight: u64,
+    /// First job's arrival.
+    pub first: Time,
+    /// The per-job workload (typically [`BehaviorSpec::Finite`]).
+    pub job: BehaviorSpec,
+    /// Gap between a job's exit and the next arrival.
+    pub gap: Duration,
+    /// No job arrives at or after this instant.
+    pub until: Time,
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (for reports).
+    pub name: String,
+    /// Simulator configuration (machine, duration, sampling).
+    pub config: SimConfig,
+    /// Long-lived tasks.
+    pub tasks: Vec<TaskSpec>,
+    /// Sequential job streams.
+    pub streams: Vec<StreamSpec>,
+}
+
+impl Scenario {
+    /// Creates an empty scenario over the given machine config.
+    pub fn new(name: &str, config: SimConfig) -> Scenario {
+        Scenario {
+            name: name.to_string(),
+            config,
+            tasks: Vec::new(),
+            streams: Vec::new(),
+        }
+    }
+
+    /// Adds a task spec.
+    pub fn task(mut self, spec: TaskSpec) -> Scenario {
+        self.tasks.push(spec);
+        self
+    }
+
+    /// Adds a stream spec.
+    pub fn stream(mut self, spec: StreamSpec) -> Scenario {
+        self.streams.push(spec);
+        self
+    }
+
+    /// Runs the scenario under the given scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any weight in the scenario is zero.
+    pub fn run(&self, sched: Box<dyn Scheduler>) -> SimReport {
+        let mut sim = Simulator::new(self.config.clone(), sched);
+        for spec in &self.tasks {
+            for k in 0..spec.count.max(1) {
+                let name = if spec.count > 1 {
+                    format!("{}#{}", spec.name, k + 1)
+                } else {
+                    spec.name.clone()
+                };
+                let idx = sim.schedule_arrival(
+                    spec.arrive,
+                    &name,
+                    Weight::new(spec.weight).expect("zero weight in scenario"),
+                    spec.behavior.clone(),
+                );
+                if let Some(t) = spec.stop_at {
+                    sim.schedule_kill(t, idx);
+                }
+            }
+        }
+        for s in &self.streams {
+            sim.add_stream(
+                s.first,
+                &s.name,
+                Weight::new(s.weight).expect("zero weight in stream"),
+                s.job.clone(),
+                s.gap,
+                s.until,
+            );
+        }
+        sim.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_core::sfs::Sfs;
+
+    #[test]
+    fn replicated_tasks_get_numbered_names() {
+        let cfg = SimConfig {
+            cpus: 2,
+            duration: Duration::from_secs(2),
+            ..SimConfig::default()
+        };
+        let scenario = Scenario::new("repl", cfg)
+            .task(TaskSpec::new("solo", 1, BehaviorSpec::Inf))
+            .task(TaskSpec::new("bg", 1, BehaviorSpec::Inf).replicated(3));
+        let rep = scenario.run(Box::new(Sfs::new(2)));
+        assert!(rep.task("solo").is_some());
+        assert!(rep.task("bg#1").is_some());
+        assert!(rep.task("bg#3").is_some());
+        assert!(rep.task("bg").is_none());
+        assert_eq!(rep.tasks.len(), 4);
+    }
+
+    #[test]
+    fn stop_at_kills_mid_run() {
+        let cfg = SimConfig {
+            cpus: 1,
+            duration: Duration::from_secs(4),
+            ..SimConfig::default()
+        };
+        let scenario = Scenario::new("stop", cfg)
+            .task(TaskSpec::new("t", 1, BehaviorSpec::Inf).stop_at(Time::from_secs(1)));
+        let rep = scenario.run(Box::new(Sfs::new(1)));
+        let t = rep.task("t").unwrap();
+        assert!(t.exited.is_some());
+        assert!(t.service <= Duration::from_millis(1010));
+    }
+
+    #[test]
+    fn builder_composes() {
+        let cfg = SimConfig {
+            cpus: 2,
+            duration: Duration::from_secs(1),
+            ..SimConfig::default()
+        };
+        let s = Scenario::new("x", cfg)
+            .task(TaskSpec::new("late", 2, BehaviorSpec::Inf).arrive_at(Time::from_millis(500)))
+            .stream(StreamSpec {
+                name: "jobs".into(),
+                weight: 1,
+                first: Time::ZERO,
+                job: BehaviorSpec::Finite(Duration::from_millis(100)),
+                gap: Duration::ZERO,
+                until: Time::from_secs(1),
+            });
+        let rep = s.run(Box::new(Sfs::new(2)));
+        let late = rep.task("late").unwrap();
+        assert!(late.arrived == Time::from_millis(500));
+        assert!(rep.tasks.iter().any(|t| t.name.starts_with("jobs#")));
+    }
+}

@@ -1,0 +1,315 @@
+//! Per-task measurement collection and the experiment report.
+//!
+//! The simulator records, per task: a sampled cumulative-service curve
+//! (the y axis of Figs. 4 and 5 after conversion to iterations),
+//! response-time samples for interactive work (Fig. 6c), completion
+//! counts for periodic work (frame rate, Fig. 6b) and final totals.
+
+use std::collections::HashMap;
+
+use sfs_core::sched::SchedStats;
+use sfs_core::task::TaskId;
+use sfs_core::time::{Duration, Time};
+use sfs_metrics::{Summary, TimeSeries};
+
+/// Collects samples during a run.
+#[derive(Debug, Default)]
+pub struct Trace {
+    tasks: HashMap<TaskId, TaskTrace>,
+    order: Vec<TaskId>,
+}
+
+#[derive(Debug)]
+struct TaskTrace {
+    name: String,
+    weight: u64,
+    iteration_cost: Option<Duration>,
+    series: TimeSeries,
+    responses_ms: Vec<f64>,
+    completions: u64,
+    service: Duration,
+    arrived: Time,
+    exited: Option<Time>,
+}
+
+impl Trace {
+    /// Registers a task at arrival.
+    pub fn register(
+        &mut self,
+        id: TaskId,
+        name: &str,
+        weight: u64,
+        iteration_cost: Option<Duration>,
+        now: Time,
+    ) {
+        self.order.push(id);
+        let mut series = TimeSeries::new(name);
+        // Anchor the cumulative curve at arrival so window arithmetic
+        // over short-lived tasks is exact.
+        series.push(now.as_secs_f64(), 0.0);
+        self.tasks.insert(
+            id,
+            TaskTrace {
+                name: name.to_string(),
+                weight,
+                iteration_cost,
+                series,
+                responses_ms: Vec::new(),
+                completions: 0,
+                service: Duration::ZERO,
+                arrived: now,
+                exited: None,
+            },
+        );
+    }
+
+    /// Adds CPU service to a task's running total.
+    pub fn add_service(&mut self, id: TaskId, d: Duration) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            t.service += d;
+        }
+    }
+
+    /// Takes a cumulative-service sample for a task at time `now`;
+    /// `in_flight` is CPU time consumed in the current quantum but not
+    /// yet charged.
+    pub fn sample(&mut self, id: TaskId, now: Time, in_flight: Duration) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            let total = t.service + in_flight;
+            t.series.push(now.as_secs_f64(), total.as_secs_f64());
+        }
+    }
+
+    /// Records a completed interactive request/frame with its response
+    /// time.
+    pub fn complete(&mut self, id: TaskId, response: Option<Duration>) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            t.completions += 1;
+            if let Some(r) = response {
+                t.responses_ms.push(r.as_millis_f64());
+            }
+        }
+    }
+
+    /// Marks a task exited, anchoring its final cumulative sample so
+    /// the curve is exact even if no periodic sample fell in its
+    /// lifetime.
+    pub fn exited(&mut self, id: TaskId, now: Time) {
+        if let Some(t) = self.tasks.get_mut(&id) {
+            t.exited = Some(now);
+            t.series.push(now.as_secs_f64(), t.service.as_secs_f64());
+        }
+    }
+
+    /// Total service charged to a task so far.
+    pub fn service_of(&self, id: TaskId) -> Duration {
+        self.tasks
+            .get(&id)
+            .map(|t| t.service)
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Finalises into a report.
+    pub fn into_report(
+        self,
+        sched_name: &str,
+        cpus: u32,
+        duration: Duration,
+        stats: SchedStats,
+        ctx_switches: u64,
+    ) -> SimReport {
+        let mut tasks = Vec::new();
+        for id in &self.order {
+            let t = &self.tasks[id];
+            tasks.push(TaskReport {
+                id: *id,
+                name: t.name.clone(),
+                weight: t.weight,
+                service: t.service,
+                iterations: t
+                    .iteration_cost
+                    .map(|c| t.service.as_nanos() / c.as_nanos().max(1)),
+                completions: t.completions,
+                responses: if t.responses_ms.is_empty() {
+                    None
+                } else {
+                    Some(Summary::from(t.responses_ms.iter().copied()))
+                },
+                series: t.series.clone(),
+                arrived: t.arrived,
+                exited: t.exited,
+                gms_error: None,
+            });
+        }
+        SimReport {
+            sched_name: sched_name.to_string(),
+            cpus,
+            duration,
+            tasks,
+            sched_stats: stats,
+            ctx_switches,
+        }
+    }
+}
+
+/// Final measurements for one task.
+#[derive(Debug, Clone)]
+pub struct TaskReport {
+    /// Task id.
+    pub id: TaskId,
+    /// Scenario name (e.g. `"T1"`, `"gcc#3"`).
+    pub name: String,
+    /// Assigned weight.
+    pub weight: u64,
+    /// Total CPU service received.
+    pub service: Duration,
+    /// Application-level iterations executed (service / iteration cost),
+    /// if the workload defines them.
+    pub iterations: Option<u64>,
+    /// Completed compute phases (frames decoded, requests served, jobs
+    /// finished).
+    pub completions: u64,
+    /// Response-time summary (ms), for workloads that sleep then compute.
+    pub responses: Option<Summary>,
+    /// Sampled cumulative service curve (seconds vs seconds).
+    pub series: TimeSeries,
+    /// Arrival time.
+    pub arrived: Time,
+    /// Exit time, if the task finished before the run ended.
+    pub exited: Option<Time>,
+    /// |service − GMS fluid service|, when GMS co-simulation was on.
+    pub gms_error: Option<Duration>,
+}
+
+impl TaskReport {
+    /// The task's iterations as a time series (Figs. 4/5 y-axis), i.e.
+    /// the service curve scaled by the iteration cost.
+    pub fn iteration_series(&self, iteration_cost: Duration) -> TimeSeries {
+        self.series
+            .scaled(1e9 / iteration_cost.as_nanos().max(1) as f64)
+    }
+
+    /// Mean completion rate over the task's lifetime (e.g. frames/sec).
+    pub fn completion_rate(&self, run_end: Time) -> f64 {
+        let end = self.exited.unwrap_or(run_end);
+        let lifetime = end.since(self.arrived).as_secs_f64();
+        if lifetime <= 0.0 {
+            0.0
+        } else {
+            self.completions as f64 / lifetime
+        }
+    }
+}
+
+/// The outcome of one simulated experiment run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Name of the scheduling policy that produced this run.
+    pub sched_name: String,
+    /// Number of processors simulated.
+    pub cpus: u32,
+    /// Wall-clock length of the run.
+    pub duration: Duration,
+    /// Per-task measurements, in arrival order.
+    pub tasks: Vec<TaskReport>,
+    /// Scheduler work counters.
+    pub sched_stats: SchedStats,
+    /// Dispatches that switched to a different task.
+    pub ctx_switches: u64,
+}
+
+impl SimReport {
+    /// Looks a task up by scenario name.
+    pub fn task(&self, name: &str) -> Option<&TaskReport> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Sum of services over tasks whose name starts with `prefix`.
+    pub fn group_service(&self, prefix: &str) -> Duration {
+        self.tasks
+            .iter()
+            .filter(|t| t.name.starts_with(prefix))
+            .fold(Duration::ZERO, |acc, t| acc + t.service)
+    }
+
+    /// Total service over all tasks.
+    pub fn total_service(&self) -> Duration {
+        self.tasks
+            .iter()
+            .fold(Duration::ZERO, |acc, t| acc + t.service)
+    }
+
+    /// Per-task share of total service, in task order.
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total_service().as_nanos() as f64;
+        self.tasks
+            .iter()
+            .map(|t| {
+                if total == 0.0 {
+                    0.0
+                } else {
+                    t.service.as_nanos() as f64 / total
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_core::sched::SchedStats;
+
+    #[test]
+    fn trace_accumulates_and_reports() {
+        let mut tr = Trace::default();
+        tr.register(
+            TaskId(1),
+            "T1",
+            2,
+            Some(Duration::from_micros(1)),
+            Time::ZERO,
+        );
+        tr.add_service(TaskId(1), Duration::from_millis(10));
+        tr.sample(TaskId(1), Time::from_millis(10), Duration::ZERO);
+        tr.complete(TaskId(1), Some(Duration::from_millis(3)));
+        tr.complete(TaskId(1), None);
+        let rep = tr.into_report("SFS", 2, Duration::from_secs(1), SchedStats::default(), 7);
+        assert_eq!(rep.ctx_switches, 7);
+        let t = rep.task("T1").unwrap();
+        assert_eq!(t.service, Duration::from_millis(10));
+        assert_eq!(t.iterations, Some(10_000));
+        assert_eq!(t.completions, 2);
+        let r = t.responses.as_ref().unwrap();
+        assert_eq!(r.count(), 1);
+        assert!((r.mean() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_shares_and_groups() {
+        let mut tr = Trace::default();
+        tr.register(TaskId(1), "a#1", 1, None, Time::ZERO);
+        tr.register(TaskId(2), "a#2", 1, None, Time::ZERO);
+        tr.register(TaskId(3), "b", 1, None, Time::ZERO);
+        tr.add_service(TaskId(1), Duration::from_millis(10));
+        tr.add_service(TaskId(2), Duration::from_millis(20));
+        tr.add_service(TaskId(3), Duration::from_millis(30));
+        let rep = tr.into_report("x", 1, Duration::from_secs(1), SchedStats::default(), 0);
+        assert_eq!(rep.group_service("a#"), Duration::from_millis(30));
+        assert_eq!(rep.total_service(), Duration::from_millis(60));
+        let shares = rep.shares();
+        assert!((shares[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_rate_uses_lifetime() {
+        let mut tr = Trace::default();
+        tr.register(TaskId(1), "mpeg", 1, None, Time::ZERO);
+        for _ in 0..60 {
+            tr.complete(TaskId(1), None);
+        }
+        let rep = tr.into_report("x", 1, Duration::from_secs(2), SchedStats::default(), 0);
+        let t = rep.task("mpeg").unwrap();
+        assert!((t.completion_rate(Time::from_secs(2)) - 30.0).abs() < 1e-9);
+    }
+}

