@@ -45,7 +45,7 @@ fn main() -> ExitCode {
                 println!("{}", usage());
                 return ExitCode::SUCCESS;
             }
-            "all" => ids.extend(all_ids().iter().map(|s| s.to_string())),
+            "all" => ids.extend(all_ids().iter().map(ToString::to_string)),
             id if all_ids().contains(&id) => ids.push(id.to_string()),
             other => {
                 eprintln!("unknown argument {other:?}\n{}", usage());
@@ -54,7 +54,7 @@ fn main() -> ExitCode {
         }
     }
     if ids.is_empty() {
-        ids.extend(all_ids().iter().map(|s| s.to_string()));
+        ids.extend(all_ids().iter().map(ToString::to_string));
     }
     ids.dedup();
 

@@ -41,14 +41,14 @@ fn accuracy(threads: usize, k: usize, picks: u64) -> f64 {
     let mut running: Vec<Option<TaskId>> = vec![None; cpus as usize];
     let mut done = 0u64;
     while done < picks {
-        for slot in running.iter_mut() {
+        for slot in &mut running {
             if slot.is_none() {
                 *slot = sched.pick_next(CpuId(0), now);
                 done += 1;
             }
         }
         now += quantum;
-        for slot in running.iter_mut() {
+        for slot in &mut running {
             if let Some(id) = slot.take() {
                 sched.put_prev(id, quantum, SwitchReason::Preempted, now);
             }

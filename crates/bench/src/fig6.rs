@@ -12,7 +12,7 @@
 //!   boosts I/O-bound tasks).
 
 use sfs_core::time::Duration;
-use sfs_metrics::{render, ChartConfig, Table, TimeSeries};
+use sfs_metrics::{render, ChartConfig, Summary, Table, TimeSeries};
 use sfs_sim::{Scenario, SimConfig, SimReport, TaskSpec};
 use sfs_workloads::BehaviorSpec;
 
@@ -172,7 +172,7 @@ fn run_6c_point(kind: &str, simjobs: usize, effort: Effort) -> f64 {
         .unwrap()
         .responses
         .as_ref()
-        .map(|r| r.mean())
+        .map(Summary::mean)
         .unwrap_or(0.0)
 }
 

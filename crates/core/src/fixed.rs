@@ -192,9 +192,9 @@ impl fmt::Display for Fixed {
         let int = self.0 / SCALE;
         let frac = (self.0 % SCALE).unsigned_abs();
         if self.0 < 0 && int == 0 {
-            write!(f, "-0.{:04}", frac)
+            write!(f, "-0.{frac:04}")
         } else {
-            write!(f, "{}.{:04}", int, frac)
+            write!(f, "{int}.{frac:04}")
         }
     }
 }

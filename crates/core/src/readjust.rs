@@ -373,8 +373,8 @@ mod tests {
         let adj = readjust(&w, 2);
         let phi = apply(&w, &adj);
         let total: f64 = phi.iter().map(|f| f.to_f64()).sum();
-        for i in 0..adj.clamped {
-            let share = phi[i].to_f64() / total;
+        for p in phi.iter().take(adj.clamped) {
+            let share = p.to_f64() / total;
             assert!((share - 0.5).abs() < 1e-3, "share {share}");
         }
     }

@@ -232,7 +232,7 @@ impl Sfs {
                 continue;
             }
             let cand = (key, e.task.start_tag, id);
-            if best.map_or(true, |b| cand < b) {
+            if best.is_none_or(|b| cand < b) {
                 best = Some(cand);
             }
         }
@@ -273,7 +273,7 @@ impl Sfs {
             }
             let alpha = sfs.surplus(sfs.feas.phi(id, e.task.weight), e.task.start_tag);
             let cand = (alpha, e.task.start_tag, id);
-            if best.map_or(true, |b| cand < b) {
+            if best.is_none_or(|b| cand < b) {
                 *best = Some(cand);
             }
         };
@@ -743,13 +743,11 @@ mod tests {
             sim.spawn(i, 1);
         }
         let mut short_service = Duration::ZERO;
-        let mut next_id = 100;
-        for _ in 0..40 {
+        for next_id in 100..140 {
             sim.spawn(next_id, 5);
             sim.run_quanta(30);
             short_service += sim.service(next_id);
             sim.kill(next_id);
-            next_id += 1;
         }
         let t1 = sim.service(1).as_nanos() as f64;
         let shorts = short_service.as_nanos() as f64;
@@ -1039,13 +1037,13 @@ mod affinity_tests {
         let mut now = now0;
         let mut running: Vec<Option<TaskId>> = vec![None; 2];
         for _ in 0..2000 {
-            for c in 0..2 {
-                if running[c].is_none() {
-                    running[c] = sched.pick_next(CpuId(c as u32), now);
+            for (c, slot) in running.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = sched.pick_next(CpuId(c as u32), now);
                 }
             }
             now += Duration::from_millis(1);
-            for slot in running.iter_mut() {
+            for slot in &mut running {
                 if let Some(id) = slot.take() {
                     sched.put_prev(id, Duration::from_millis(1), SwitchReason::Preempted, now);
                 }

@@ -61,8 +61,8 @@ pub fn render(title: &str, series: &[&TimeSeries], cfg: &ChartConfig) -> String 
     for (si, s) in series.iter().enumerate() {
         let mark = MARKS[si % MARKS.len()];
         // Sample the series densely across the width for continuity.
-        for col in 0..w {
-            let x = x_min + (x_max - x_min) * col as f64 / (w - 1) as f64;
+        let xs = (0..w).map(|col| x_min + (x_max - x_min) * col as f64 / (w - 1) as f64);
+        for (col, x) in xs.enumerate() {
             let y = s.at(x);
             let row_f = (y - y_min) / (y_max - y_min) * (h - 1) as f64;
             let row = h - 1 - (row_f.round() as usize).min(h - 1);
@@ -72,7 +72,7 @@ pub fn render(title: &str, series: &[&TimeSeries], cfg: &ChartConfig) -> String 
 
     let y_fmt = |v: f64| -> String {
         if v.abs() >= 1e6 {
-            format!("{:.2e}", v)
+            format!("{v:.2e}")
         } else if v.abs() >= 100.0 {
             format!("{v:.0}")
         } else {

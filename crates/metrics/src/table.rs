@@ -16,7 +16,7 @@ impl Table {
     pub fn new(title: impl Into<String>, header: &[&str]) -> Table {
         Table {
             title: title.into(),
-            header: header.iter().map(|s| s.to_string()).collect(),
+            header: header.iter().map(ToString::to_string).collect(),
             rows: Vec::new(),
         }
     }
@@ -30,7 +30,7 @@ impl Table {
     /// Appends a row of displayable items.
     pub fn row_display<T: std::fmt::Display>(&mut self, cells: &[T]) -> &mut Table {
         self.rows
-            .push(cells.iter().map(|c| c.to_string()).collect());
+            .push(cells.iter().map(ToString::to_string).collect());
         self
     }
 
@@ -48,7 +48,7 @@ impl Table {
         let cols = self
             .header
             .len()
-            .max(self.rows.iter().map(|r| r.len()).max().unwrap_or(0));
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
         let mut w = vec![0usize; cols];
         for (i, h) in self.header.iter().enumerate() {
             w[i] = w[i].max(h.chars().count());
@@ -187,7 +187,7 @@ mod tests {
 
     #[test]
     fn fnum_formats() {
-        assert_eq!(fnum(3.14159, 2), "3.14");
+        assert_eq!(fnum(1.23456, 2), "1.23");
         assert_eq!(fnum(10.0, 0), "10");
     }
 

@@ -27,13 +27,9 @@ pub struct DriveStats {
 impl DriveStats {
     /// Mean response time, if any responses were recorded.
     pub fn mean_response(&self) -> Option<Duration> {
-        if self.responses == 0 {
-            None
-        } else {
-            Some(Duration::from_nanos(
-                self.response_ns_total / self.responses,
-            ))
-        }
+        self.response_ns_total
+            .checked_div(self.responses)
+            .map(Duration::from_nanos)
     }
 }
 

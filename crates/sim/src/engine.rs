@@ -701,8 +701,10 @@ mod tests {
     }
 
     fn sfs(cpus: u32) -> Box<dyn Scheduler> {
-        let mut cfg = sfs_core::sfs::SfsConfig::default();
-        cfg.quantum = Duration::from_millis(20);
+        let cfg = sfs_core::sfs::SfsConfig {
+            quantum: Duration::from_millis(20),
+            ..sfs_core::sfs::SfsConfig::default()
+        };
         Box::new(Sfs::with_config(cpus, cfg))
     }
 

@@ -6,6 +6,7 @@
 //! Run with: `cargo run --example interactive_desktop`
 
 use sfs::core::timeshare::TimeSharing;
+use sfs::metrics::Summary;
 use sfs::prelude::*;
 
 fn response_ms(sched: Box<dyn Scheduler>, batch: usize) -> f64 {
@@ -43,7 +44,7 @@ fn response_ms(sched: Box<dyn Scheduler>, batch: usize) -> f64 {
         .unwrap()
         .responses
         .as_ref()
-        .map(|r| r.mean())
+        .map(Summary::mean)
         .unwrap_or(0.0)
 }
 

@@ -21,6 +21,7 @@
 //!
 //! Run with: `cargo run --example web_hosting`
 
+use sfs::metrics::Summary;
 use sfs::prelude::*;
 
 fn domain(scenario: Scenario, name: &str, weight: u64, seed_jitter: u64) -> Scenario {
@@ -98,7 +99,7 @@ fn gold_quality(rep: &SimReport) -> (f64, f64) {
     let http = rep.task("gold-http").unwrap();
     (
         stream.completion_rate(Time::from_secs(20)),
-        http.responses.as_ref().map(|r| r.mean()).unwrap_or(0.0),
+        http.responses.as_ref().map(Summary::mean).unwrap_or(0.0),
     )
 }
 

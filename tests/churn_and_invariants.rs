@@ -43,15 +43,15 @@ fn churn(mut sched: Box<dyn Scheduler>, ops: &[Op]) {
     let mut running: Vec<Option<TaskId>> = vec![None; 2];
 
     let fill = |sched: &mut Box<dyn Scheduler>,
-                    running: &mut Vec<Option<TaskId>>,
-                    ready: &mut Vec<TaskId>,
-                    now: Time| {
-        for c in 0..running.len() {
-            if running[c].is_none() {
+                running: &mut Vec<Option<TaskId>>,
+                ready: &mut Vec<TaskId>,
+                now: Time| {
+        for (c, slot) in running.iter_mut().enumerate() {
+            if slot.is_none() {
                 if let Some(id) = sched.pick_next(CpuId(c as u32), now) {
                     assert!(ready.contains(&id), "picked non-ready task {id}");
                     ready.retain(|&r| r != id);
-                    running[c] = Some(id);
+                    *slot = Some(id);
                 }
             }
         }
@@ -91,8 +91,8 @@ fn churn(mut sched: Box<dyn Scheduler>, ops: &[Op]) {
                 for _ in 0..*n {
                     fill(&mut sched, &mut running, &mut ready, now);
                     now += quantum;
-                    for c in 0..2 {
-                        if let Some(id) = running[c].take() {
+                    for slot in &mut running {
+                        if let Some(id) = slot.take() {
                             sched.put_prev(id, quantum, SwitchReason::Preempted, now);
                             ready.push(id);
                         }
@@ -116,7 +116,7 @@ fn churn(mut sched: Box<dyn Scheduler>, ops: &[Op]) {
         fill(&mut sched, &mut running, &mut ready, now);
         if !ready.is_empty() {
             assert!(
-                running.iter().all(|c| c.is_some()),
+                running.iter().all(Option::is_some),
                 "idle CPU with ready tasks after {op:?}"
             );
         }
@@ -189,17 +189,17 @@ proptest! {
                 }
                 Op::RunQuanta(n) => {
                     for _ in 0..*n {
-                        for c in 0..2 {
-                            if running[c].is_none() {
+                        for (c, slot) in running.iter_mut().enumerate() {
+                            if slot.is_none() {
                                 if let Some(id) = sched.pick_next(CpuId(c as u32), now) {
                                     ready.retain(|&r| r != id);
-                                    running[c] = Some(id);
+                                    *slot = Some(id);
                                 }
                             }
                         }
                         now += quantum;
-                        for c in 0..2 {
-                            if let Some(id) = running[c].take() {
+                        for slot in &mut running {
+                            if let Some(id) = slot.take() {
                                 sched.put_prev(id, quantum, SwitchReason::Preempted, now);
                                 ready.push(id);
                             }

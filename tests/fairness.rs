@@ -182,3 +182,77 @@ fn ideal_shares_match_fluid_gms() {
         );
     }
 }
+
+#[test]
+fn sfs_reduces_to_sfq_under_churn_on_one_cpu() {
+    // The uniprocessor degeneration property (§2.3) — SFS and SFQ make
+    // identical decisions on one CPU — must survive dynamic events, not
+    // just a static task set: arrivals, departures, blocking and
+    // wakeups all hit the tag machinery differently. Later events use
+    // larger ids, matching how ids are allocated in practice, so the
+    // two schedulers' tie-breaks (SFS by id, SFQ by queue order) agree
+    // when an arrival or wakeup lands exactly on the virtual time.
+    use sfs::core::sfq::{Sfq, SfqConfig};
+
+    let q = Duration::from_millis(1);
+    let mut sfs = Sfs::with_config(
+        1,
+        SfsConfig {
+            quantum: q,
+            ..SfsConfig::default()
+        },
+    );
+    let mut sfq = Sfq::with_config(
+        1,
+        SfqConfig {
+            quantum: q,
+            readjust: true,
+            ..SfqConfig::default()
+        },
+    );
+    let mut now = Time::ZERO;
+    for (id, w) in [(1u64, 3u64), (2, 1), (3, 7), (4, 2)] {
+        sfs.attach(TaskId(id), weight(w), now);
+        sfq.attach(TaskId(id), weight(w), now);
+    }
+    let mut sleeper: Option<TaskId> = None;
+    for step in 0u64..600 {
+        // A deterministic event schedule exercising every transition.
+        match step {
+            100 => {
+                sfs.attach(TaskId(5), weight(5), now);
+                sfq.attach(TaskId(5), weight(5), now);
+            }
+            350 => {
+                let id = sleeper.take().expect("someone blocked at step 200");
+                sfs.wake(id, now);
+                sfq.wake(id, now);
+            }
+            400 => {
+                sfs.detach(TaskId(3), now);
+                sfq.detach(TaskId(3), now);
+            }
+            450 => {
+                sfs.set_weight(TaskId(2), weight(6), now);
+                sfq.set_weight(TaskId(2), weight(6), now);
+            }
+            _ => {}
+        }
+        let a = sfs.pick_next(CpuId(0), now);
+        let b = sfq.pick_next(CpuId(0), now);
+        assert_eq!(a, b, "diverged at step {step}");
+        let id = a.unwrap();
+        now += q;
+        // Whichever task runs at step 200 blocks there (until 350);
+        // everyone else is preempted at each quantum boundary.
+        let reason = if step == 200 {
+            sleeper = Some(id);
+            SwitchReason::Blocked
+        } else {
+            SwitchReason::Preempted
+        };
+        sfs.put_prev(id, q, reason, now);
+        sfq.put_prev(id, q, reason, now);
+    }
+    assert!(sleeper.is_none(), "the blocked task was woken and ran");
+}

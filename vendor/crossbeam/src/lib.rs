@@ -1,0 +1,156 @@
+//! A minimal, offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel::{bounded, unbounded}` backed by
+//! `std::sync::mpsc`. Only the subset this workspace uses is
+//! implemented (send/recv/try_recv, `Sender: Clone`); crossbeam's
+//! select machinery and MPMC receivers are not.
+
+/// Multi-producer channels (std-backed subset).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders have disconnected.
+        Disconnected,
+    }
+
+    enum AnySender<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for AnySender<T> {
+        fn clone(&self) -> AnySender<T> {
+            match self {
+                AnySender::Bounded(s) => AnySender::Bounded(s.clone()),
+                AnySender::Unbounded(s) => AnySender::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        inner: AnySender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                AnySender::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                AnySender::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Creates a channel that holds at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (
+            Sender {
+                inner: AnySender::Bounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+
+    /// Creates a channel with unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: AnySender::Unbounded(tx),
+            },
+            Receiver { inner: rx },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn bounded_roundtrip() {
+        let (tx, rx) = channel::bounded(1);
+        tx.send(42u32).unwrap();
+        assert_eq!(rx.recv(), Ok(42));
+    }
+
+    #[test]
+    fn unbounded_across_threads() {
+        let (tx, rx) = channel::unbounded();
+        let t = std::thread::spawn(move || {
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+        });
+        t.join().unwrap();
+        let got: Vec<i32> = (0..100).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_fails_when_senders_dropped() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        drop(tx);
+        assert!(rx.recv().is_err());
+        let (tx2, rx2) = channel::bounded::<u8>(1);
+        assert_eq!(rx2.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx2);
+        assert_eq!(rx2.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+}
