@@ -4,15 +4,9 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use sfs_core::bvt::{Bvt, BvtConfig};
-use sfs_core::rr::RoundRobin;
+use sfs_core::policy::PolicySpec;
 use sfs_core::sched::Scheduler;
-use sfs_core::sfq::{Sfq, SfqConfig};
-use sfs_core::sfs::{Sfs, SfsConfig};
-use sfs_core::stride::{Stride, StrideConfig};
 use sfs_core::time::Duration;
-use sfs_core::timeshare::TimeSharing;
-use sfs_core::wfq::{Wfq, WfqConfig};
 
 /// How much work to spend on an experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -90,7 +84,29 @@ impl ExpResult {
         self.summary.push((key.to_string(), value));
     }
 
-    /// Writes the report and CSVs under `dir`.
+    /// The machine-readable summary (`BENCH_<id>.json` contents): the
+    /// experiment id, title and every recorded finding, so successive
+    /// runs can be diffed and perf trajectories tracked by tooling.
+    pub fn summary_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"id\": \"{}\",", json_escape(&self.id));
+        let _ = writeln!(out, "  \"title\": \"{}\",", json_escape(&self.title));
+        out.push_str("  \"summary\": {");
+        for (i, (k, v)) in self.summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": \"{}\"", json_escape(k), json_escape(v));
+        }
+        if !self.summary.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+
+    /// Writes the report, CSVs and the `BENCH_<id>.json` machine-readable
+    /// summary under `dir`.
     pub fn write_to(&self, dir: &Path) -> std::io::Result<Vec<PathBuf>> {
         fs::create_dir_all(dir)?;
         let mut written = Vec::new();
@@ -106,6 +122,9 @@ impl ExpResult {
         }
         fs::write(&txt, full)?;
         written.push(txt);
+        let json = dir.join(format!("BENCH_{}.json", self.id));
+        fs::write(&json, self.summary_json())?;
+        written.push(json);
         for (name, content) in &self.csv {
             let p = dir.join(name);
             fs::write(&p, content)?;
@@ -115,88 +134,54 @@ impl ExpResult {
     }
 }
 
-/// Named scheduler constructors with a common quantum, used by the
-/// experiments to run the same scenario under several policies.
-pub fn make_sched(kind: &str, cpus: u32, quantum: Duration) -> Box<dyn Scheduler> {
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The policy spec for one of the experiments' named configurations,
+/// with a common quantum. These are the paper's §4 policy variants,
+/// expressed through the `sfs-core` policy registry.
+pub fn policy(kind: &str, quantum: Duration) -> PolicySpec {
     match kind {
-        "sfs" => Box::new(Sfs::with_config(
-            cpus,
-            SfsConfig {
-                quantum,
-                ..SfsConfig::default()
-            },
-        )),
-        "sfs-heuristic" => Box::new(Sfs::with_config(
-            cpus,
-            SfsConfig {
-                quantum,
-                heuristic: Some(20),
-                ..SfsConfig::default()
-            },
-        )),
-        "sfs-affinity" => Box::new(Sfs::with_config(
-            cpus,
-            SfsConfig {
-                quantum,
-                affinity_margin: Some(quantum * 2),
-                ..SfsConfig::default()
-            },
-        )),
-        "sfq" => Box::new(Sfq::with_config(
-            cpus,
-            SfqConfig {
-                quantum,
-                readjust: false,
-                ..SfqConfig::default()
-            },
-        )),
-        "sfq-readjust" => Box::new(Sfq::with_config(
-            cpus,
-            SfqConfig {
-                quantum,
-                readjust: true,
-                ..SfqConfig::default()
-            },
-        )),
-        "timeshare" => Box::new(TimeSharing::new(cpus)),
-        "stride" => Box::new(Stride::with_config(
-            cpus,
-            StrideConfig {
-                quantum,
-                readjust: false,
-            },
-        )),
-        "stride-readjust" => Box::new(Stride::with_config(
-            cpus,
-            StrideConfig {
-                quantum,
-                readjust: true,
-            },
-        )),
-        "bvt" => Box::new(Bvt::with_config(
-            cpus,
-            BvtConfig {
-                quantum,
-                readjust: false,
-            },
-        )),
-        "bvt-readjust" => Box::new(Bvt::with_config(
-            cpus,
-            BvtConfig {
-                quantum,
-                readjust: true,
-            },
-        )),
-        "wfq" => Box::new(Wfq::with_config(
-            cpus,
-            WfqConfig {
-                quantum,
-                readjust: false,
-            },
-        )),
-        "rr" => Box::new(RoundRobin::new(cpus, quantum)),
+        "sfs" => PolicySpec::sfs().with_quantum(quantum),
+        "sfs-heuristic" => PolicySpec::sfs().with_quantum(quantum).with_heuristic(20),
+        "sfs-affinity" => PolicySpec::sfs()
+            .with_quantum(quantum)
+            .with_affinity_margin(quantum * 2),
+        "sfq" => PolicySpec::sfq().with_quantum(quantum),
+        "sfq-readjust" => PolicySpec::sfq().with_quantum(quantum).with_readjustment(),
+        "timeshare" => PolicySpec::time_sharing(),
+        "stride" => PolicySpec::stride().with_quantum(quantum),
+        "stride-readjust" => PolicySpec::stride()
+            .with_quantum(quantum)
+            .with_readjustment(),
+        "bvt" => PolicySpec::bvt().with_quantum(quantum),
+        "bvt-readjust" => PolicySpec::bvt().with_quantum(quantum).with_readjustment(),
+        "wfq" => PolicySpec::wfq().with_quantum(quantum),
+        "rr" => PolicySpec::round_robin().with_quantum(quantum),
         other => panic!("unknown scheduler kind {other:?}"),
     }
+}
+
+/// Builds a scheduler for one of the named experiment configurations —
+/// a thin convenience over [`policy`] + [`PolicySpec::build`].
+pub fn make_sched(kind: &str, cpus: u32, quantum: Duration) -> Box<dyn Scheduler> {
+    policy(kind, quantum).build(cpus)
 }
 
 #[cfg(test)]
@@ -228,6 +213,11 @@ mod tests {
             "wfq",
             "rr",
         ] {
+            let spec = policy(kind, Duration::from_millis(100));
+            // Every named configuration round-trips through the string
+            // form of the registry.
+            let reparsed: PolicySpec = spec.to_string().parse().unwrap();
+            assert_eq!(reparsed, spec, "{kind}");
             let s = make_sched(kind, 2, Duration::from_millis(100));
             assert_eq!(s.cpus(), 2, "{kind}");
         }
@@ -241,10 +231,22 @@ mod tests {
         r.csv.push(("t1_data.csv".into(), "a,b\n1,2\n".into()));
         let dir = std::env::temp_dir().join("sfs_exp_test");
         let files = r.write_to(&dir).unwrap();
-        assert_eq!(files.len(), 2);
+        assert_eq!(files.len(), 3);
         let txt = fs::read_to_string(&files[0]).unwrap();
         assert!(txt.contains("hello"));
         assert!(txt.contains("x: 1"));
+        let json = fs::read_to_string(&files[1]).unwrap();
+        assert!(files[1].ends_with("BENCH_t1.json"), "{:?}", files[1]);
+        assert!(json.contains("\"x\": \"1\""), "{json}");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        let mut r = ExpResult::new("q\"uote", "line\nbreak\ttab\\slash");
+        r.finding("k", "v".into());
+        let json = r.summary_json();
+        assert!(json.contains(r#""q\"uote""#));
+        assert!(json.contains(r"line\nbreak\ttab\\slash"));
     }
 }

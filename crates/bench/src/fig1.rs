@@ -9,16 +9,16 @@
 //! readjustment) no starvation occurs.
 
 use sfs_core::time::{Duration, Time};
+use sfs_experiment::{ComparisonReport, Experiment};
 use sfs_metrics::{fairness, render, ChartConfig, Table};
 use sfs_sim::{Scenario, SimConfig, TaskSpec};
 use sfs_workloads::BehaviorSpec;
 
-use crate::common::{make_sched, Effort, ExpResult};
+use crate::common::{policy, Effort, ExpResult};
 use crate::helpers::to_iterations;
 
-/// Runs the Example 1 scenario under one policy.
-fn run_one(kind: &str, effort: Effort) -> sfs_sim::SimReport {
-    let quantum = Duration::from_millis(1);
+/// The Example 1 scenario.
+fn scenario(effort: Effort) -> Scenario {
     let duration = effort.scale(Duration::from_secs(3));
     let arrive3 = Time(duration.as_nanos() / 3);
     let cfg = SimConfig {
@@ -33,7 +33,18 @@ fn run_one(kind: &str, effort: Effort) -> sfs_sim::SimReport {
         .task(TaskSpec::new("T1", 1, BehaviorSpec::Inf))
         .task(TaskSpec::new("T2", 10, BehaviorSpec::Inf))
         .task(TaskSpec::new("T3", 1, BehaviorSpec::Inf).arrive_at(arrive3))
-        .run(make_sched(kind, 2, quantum))
+}
+
+/// Runs the three-policy comparison (plain SFQ as the baseline).
+fn compare(effort: Effort) -> ComparisonReport {
+    let quantum = Duration::from_millis(1);
+    Experiment::new(scenario(effort))
+        .compare(&[
+            policy("sfq", quantum),
+            policy("sfq-readjust", quantum),
+            policy("sfs", quantum),
+        ])
+        .expect("fig1 scenario is well-formed")
 }
 
 /// Regenerates Figure 1.
@@ -43,6 +54,7 @@ pub fn run(effort: Effort) -> ExpResult {
         "Infeasible weights: SFQ starves T1 after T3 arrives (Example 1)",
     );
 
+    let cmp = compare(effort);
     let mut table = Table::new(
         "starvation of T1 after T3's arrival",
         &[
@@ -53,19 +65,20 @@ pub fn run(effort: Effort) -> ExpResult {
             "T3 share",
         ],
     );
-    for kind in ["sfq", "sfq-readjust", "sfs"] {
-        let rep = run_one(kind, effort);
+    for run in &cmp.runs {
+        let rep = run.sim_report();
         let t1 = rep.task("T1").unwrap();
         let starve = fairness::starvation(t1.series.points());
         let shares = rep.shares();
         table.row(&[
-            rep.sched_name.clone(),
+            run.sched_name.clone(),
             format!("{starve:.2}"),
             format!("{:.3}", shares[0]),
             format!("{:.3}", shares[1]),
             format!("{:.3}", shares[2]),
         ]);
-        if kind == "sfq" {
+        let is_plain_sfq = run.policy == cmp.baseline().policy;
+        if is_plain_sfq {
             let iters: Vec<_> = rep
                 .tasks
                 .iter()
@@ -96,11 +109,12 @@ pub fn run(effort: Effort) -> ExpResult {
             }
             res.csv.push(("fig1_sfq.csv".into(), csv));
         }
-        if kind == "sfs" {
+        if run.sched_name == "SFS" {
             res.finding("sfs_t1_starvation_s", format!("{starve:.2}"));
         }
     }
     res.section(&table.to_text());
+    res.section(&cmp.to_table());
     res
 }
 
@@ -128,5 +142,22 @@ mod tests {
             .parse()
             .unwrap();
         assert!(sfq > 5.0 * sfs.max(0.02), "sfq {sfq} vs sfs {sfs}");
+    }
+
+    #[test]
+    fn comparison_report_is_navigable() {
+        // Whole-run share indices are not the discriminator for this
+        // dynamic-arrival scenario (T3 exists for only a third of the
+        // run) — the starvation gap is, and the other test covers it.
+        // Here we check the comparative plumbing itself.
+        let cmp = compare(Effort::Quick);
+        assert_eq!(cmp.runs.len(), 3);
+        assert_eq!(cmp.baseline().sched_name, "SFQ");
+        let quantum = Duration::from_millis(1);
+        let sfs = cmp.get(&policy("sfs", quantum)).expect("SFS run present");
+        assert_eq!(sfs.sched_name, "SFS");
+        let deltas = cmp.deltas();
+        assert_eq!(deltas[0].jain_delta, 0.0);
+        assert_eq!(deltas[0].share_error_delta, 0.0);
     }
 }

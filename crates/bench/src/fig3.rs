@@ -7,7 +7,7 @@
 //! entries examined (`k`). The paper reports >99% accuracy by k≈20 even
 //! at 400 runnable threads.
 
-use sfs_core::sfs::{Sfs, SfsConfig};
+use sfs_core::policy::PolicySpec;
 use sfs_core::task::{weight, TaskId};
 use sfs_core::time::Duration;
 use sfs_metrics::{render, ChartConfig, TimeSeries};
@@ -16,22 +16,18 @@ use crate::common::{Effort, ExpResult};
 
 /// One accuracy measurement.
 fn accuracy(threads: usize, k: usize, picks: u64) -> f64 {
-    use sfs_core::sched::{Scheduler, SwitchReason};
+    use sfs_core::sched::SwitchReason;
     use sfs_core::task::CpuId;
     use sfs_core::time::Time;
 
     let cpus = 4u32;
     let quantum = Duration::from_millis(1);
-    let mut sched = Sfs::with_config(
-        cpus,
-        SfsConfig {
-            quantum,
-            heuristic: Some(k),
-            refresh_every: 100,
-            audit_heuristic: true,
-            ..SfsConfig::default()
-        },
-    );
+    let mut sched = PolicySpec::sfs()
+        .with_quantum(quantum)
+        .with_heuristic(k)
+        .with_refresh_every(100)
+        .with_audit()
+        .build(cpus);
     let mut now = Time::ZERO;
     for i in 0..threads {
         // Mixed weights 1..=10, deterministic.

@@ -8,21 +8,21 @@
 //! receives its proportional share (Fig. 4b).
 
 use sfs_core::time::{Duration, Time};
+use sfs_experiment::Experiment;
 use sfs_metrics::{fairness, render, ChartConfig, Table};
 use sfs_sim::{Scenario, SimConfig, SimReport, TaskSpec};
 use sfs_workloads::BehaviorSpec;
 
-use crate::common::{make_sched, Effort, ExpResult};
+use crate::common::{policy, Effort, ExpResult};
 use crate::helpers::to_iterations;
 
-struct Fig4Run {
-    report: SimReport,
+struct Fig4Times {
     t_arrive: f64,
     t_stop: f64,
     t_end: f64,
 }
 
-fn run_one(kind: &str, effort: Effort) -> Fig4Run {
+fn scenario(effort: Effort) -> (Scenario, Fig4Times) {
     let duration = effort.scale(Duration::from_secs(40));
     let ns = duration.as_nanos();
     let t_arrive = Time(ns * 15 / 40);
@@ -35,17 +35,28 @@ fn run_one(kind: &str, effort: Effort) -> Fig4Run {
         track_gms: false,
         seed: 4,
     };
-    let report = Scenario::new("fig4", cfg)
+    let scenario = Scenario::new("fig4", cfg)
         .task(TaskSpec::new("T1", 1, BehaviorSpec::Inf))
         .task(TaskSpec::new("T2", 10, BehaviorSpec::Inf).stop_at(t_stop))
-        .task(TaskSpec::new("T3", 1, BehaviorSpec::Inf).arrive_at(t_arrive))
-        .run(make_sched(kind, 2, effort.quantum()));
-    Fig4Run {
-        report,
-        t_arrive: t_arrive.as_secs_f64(),
-        t_stop: t_stop.as_secs_f64(),
-        t_end: duration.as_secs_f64(),
-    }
+        .task(TaskSpec::new("T3", 1, BehaviorSpec::Inf).arrive_at(t_arrive));
+    (
+        scenario,
+        Fig4Times {
+            t_arrive: t_arrive.as_secs_f64(),
+            t_stop: t_stop.as_secs_f64(),
+            t_end: duration.as_secs_f64(),
+        },
+    )
+}
+
+/// Runs one policy variant, returning the detailed simulator report.
+#[cfg(test)]
+fn run_one(kind: &str, effort: Effort) -> (SimReport, Fig4Times) {
+    let (scenario, times) = scenario(effort);
+    let run = Experiment::new(scenario)
+        .run(&policy(kind, effort.quantum()))
+        .expect("fig4 scenario is well-formed");
+    (run.sim_report().clone(), times)
 }
 
 /// Service gained by a task in a time window, from its sampled series.
@@ -60,16 +71,23 @@ pub fn run(effort: Effort) -> ExpResult {
         "fig4",
         "Impact of weight readjustment: SFQ without vs with readjustment",
     );
+    let (scenario, times) = scenario(effort);
+    let cmp = Experiment::new(scenario)
+        .compare(&[
+            policy("sfq", effort.quantum()),
+            policy("sfq-readjust", effort.quantum()),
+        ])
+        .expect("fig4 scenario is well-formed");
+
     let mut table = Table::new(
         "middle window (T3 present, T2 alive): share ratios T1:T2:T3",
         &["policy", "T1", "T2", "T3", "T1 starvation (s)"],
     );
-    for (panel, kind) in [("(a)", "sfq"), ("(b)", "sfq-readjust")] {
-        let run = run_one(kind, effort);
-        let rep = &run.report;
+    for (panel, run) in ["(a)", "(b)"].iter().zip(&cmp.runs) {
+        let rep = run.sim_report();
         // Measure inside the window where all three tasks are present,
         // with margin for the 200 ms quantum granularity.
-        let (w0, w1) = (run.t_arrive + 1.0, run.t_stop - 1.0);
+        let (w0, w1) = (times.t_arrive + 1.0, times.t_stop - 1.0);
         let g1 = gained(rep, "T1", w0, w1);
         let g2 = gained(rep, "T2", w0, w1);
         let g3 = gained(rep, "T3", w0, w1);
@@ -93,7 +111,7 @@ pub fn run(effort: Effort) -> ExpResult {
         res.section(&render(
             &format!(
                 "Figure 4{panel} {}: cumulative iterations (T3 arrives @{:.0}s, T2 stops @{:.0}s)",
-                rep.sched_name, run.t_arrive, run.t_stop
+                rep.sched_name, times.t_arrive, times.t_stop
             ),
             &refs,
             &ChartConfig {
@@ -105,7 +123,7 @@ pub fn run(effort: Effort) -> ExpResult {
 
         let mut csv = String::from("time_s,T1,T2,T3\n");
         for i in 0..=80 {
-            let x = run.t_end * i as f64 / 80.0;
+            let x = times.t_end * i as f64 / 80.0;
             csv.push_str(&format!(
                 "{x:.3},{:.0},{:.0},{:.0}\n",
                 iters[0].at(x),
@@ -114,7 +132,7 @@ pub fn run(effort: Effort) -> ExpResult {
             ));
         }
         res.csv.push((
-            format!("fig4{}.csv", if panel == "(a)" { "a" } else { "b" }),
+            format!("fig4{}.csv", if *panel == "(a)" { "a" } else { "b" }),
             csv,
         ));
 
@@ -128,6 +146,7 @@ pub fn run(effort: Effort) -> ExpResult {
         );
     }
     res.section(&table.to_text());
+    res.section(&cmp.to_table());
     res
 }
 
@@ -137,21 +156,21 @@ mod tests {
 
     #[test]
     fn readjustment_restores_1_2_1() {
-        let run_b = run_one("sfq-readjust", Effort::Quick);
-        let (w0, w1) = (run_b.t_arrive + 0.3, run_b.t_stop - 0.3);
-        let g1 = gained(&run_b.report, "T1", w0, w1);
-        let g2 = gained(&run_b.report, "T2", w0, w1);
-        let g3 = gained(&run_b.report, "T3", w0, w1);
+        let (rep, times) = run_one("sfq-readjust", Effort::Quick);
+        let (w0, w1) = (times.t_arrive + 0.3, times.t_stop - 0.3);
+        let g1 = gained(&rep, "T1", w0, w1);
+        let g2 = gained(&rep, "T2", w0, w1);
+        let g3 = gained(&rep, "T3", w0, w1);
         assert!((g2 / g1 - 2.0).abs() < 0.4, "T2:T1 = {}", g2 / g1);
         assert!((g3 / g1 - 1.0).abs() < 0.3, "T3:T1 = {}", g3 / g1);
     }
 
     #[test]
     fn plain_sfq_starves_t1_in_the_window() {
-        let run_a = run_one("sfq", Effort::Quick);
-        let (w0, w1) = (run_a.t_arrive + 0.2, run_a.t_stop - 0.2);
-        let g1 = gained(&run_a.report, "T1", w0, w1);
-        let g3 = gained(&run_a.report, "T3", w0, w1);
+        let (rep, times) = run_one("sfq", Effort::Quick);
+        let (w0, w1) = (times.t_arrive + 0.2, times.t_stop - 0.2);
+        let g1 = gained(&rep, "T1", w0, w1);
+        let g3 = gained(&rep, "T3", w0, w1);
         assert!(
             g1 < 0.2 * g3,
             "T1 should starve relative to T3: {g1} vs {g3}"

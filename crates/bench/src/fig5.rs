@@ -22,14 +22,15 @@
 //! for SFQ and in the steady-state window for SFS.
 
 use sfs_core::time::{Duration, Time};
+use sfs_experiment::Experiment;
 use sfs_metrics::{render, ChartConfig, Table};
 use sfs_sim::{Scenario, SimConfig, SimReport, StreamSpec, TaskSpec};
 use sfs_workloads::BehaviorSpec;
 
-use crate::common::{make_sched, Effort, ExpResult};
+use crate::common::{policy, Effort, ExpResult};
 use crate::helpers::{sum_series, to_iterations};
 
-fn run_one(kind: &str, effort: Effort, q_full_ms: u64) -> SimReport {
+fn scenario(effort: Effort, q_full_ms: u64) -> (Scenario, Duration) {
     let duration = effort.scale(Duration::from_secs(60));
     // Quick mode scales every time constant by 8, which reproduces the
     // full-scale tag dynamics exactly (verified by the scaling test).
@@ -48,18 +49,23 @@ fn run_one(kind: &str, effort: Effort, q_full_ms: u64) -> SimReport {
         track_gms: false,
         seed: 5,
     };
-    Scenario::new("fig5", cfg)
+    let scenario = Scenario::new("fig5", cfg)
         .task(TaskSpec::new("T1", 20, BehaviorSpec::Inf))
         .task(TaskSpec::new("bg", 1, BehaviorSpec::Inf).replicated(20))
-        .stream(StreamSpec {
-            name: "short".into(),
-            weight: 5,
-            first: Time::ZERO,
-            job: BehaviorSpec::Finite(job_len),
-            gap: Duration::ZERO,
-            until: Time(duration.as_nanos()),
-        })
-        .run(make_sched(kind, 2, quantum))
+        .stream(
+            StreamSpec::new("short", 5, BehaviorSpec::Finite(job_len))
+                .until(Time(duration.as_nanos())),
+        );
+    (scenario, quantum)
+}
+
+fn run_one(kind: &str, effort: Effort, q_full_ms: u64) -> SimReport {
+    let (scenario, quantum) = scenario(effort, q_full_ms);
+    Experiment::new(scenario)
+        .run(&policy(kind, quantum))
+        .expect("fig5 scenario is well-formed")
+        .sim_report()
+        .clone()
 }
 
 /// Group services in seconds over `[w0, w1]`: (T1, T2–T21, shorts).
@@ -108,12 +114,17 @@ pub fn run(effort: Effort) -> ExpResult {
     );
     // Quantum sweep: the paper's nominal 200 ms maximum plus the
     // regime where a 300 ms job spans several quanta (a real 2.2 kernel
-    // interrupts long quanta constantly; see EXPERIMENTS.md).
+    // interrupts long quanta constantly; see EXPERIMENTS.md). Each
+    // quantum is one comparative run with SFQ as the baseline.
     for q_ms in [200u64, 100, 60] {
-        for kind in ["sfq", "sfs"] {
-            let rep = run_one(kind, effort, q_ms);
+        let (scn, quantum) = scenario(effort, q_ms);
+        let cmp = Experiment::new(scn)
+            .compare(&[policy("sfq", quantum), policy("sfs", quantum)])
+            .expect("fig5 scenario is well-formed");
+        for run in &cmp.runs {
+            let rep = run.sim_report();
             let end = rep.duration.as_secs_f64();
-            let (t1, bg, shorts) = window_services(&rep, 0.0, end);
+            let (t1, bg, shorts) = window_services(rep, 0.0, end);
             table.row(&[
                 rep.sched_name.to_string(),
                 format!("q={q_ms}ms"),
@@ -122,7 +133,7 @@ pub fn run(effort: Effort) -> ExpResult {
                 format!("{shorts:.2}"),
                 format!("{:.2}", t1 / shorts.max(1e-9)),
             ]);
-            let (all, _ss) = ratios(&rep);
+            let (all, _ss) = ratios(rep);
             res.finding(
                 &format!("{}_q{q_ms}_t1_to_short", rep.sched_name),
                 format!("{all:.2}"),

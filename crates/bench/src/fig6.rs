@@ -12,11 +12,12 @@
 //!   boosts I/O-bound tasks).
 
 use sfs_core::time::Duration;
+use sfs_experiment::{Experiment, RunReport};
 use sfs_metrics::{render, ChartConfig, Summary, Table, TimeSeries};
 use sfs_sim::{Scenario, SimConfig, SimReport, TaskSpec};
 use sfs_workloads::BehaviorSpec;
 
-use crate::common::{make_sched, Effort, ExpResult};
+use crate::common::{policy, Effort, ExpResult};
 
 fn base_cfg(effort: Effort, full_secs: u64, seed: u64) -> SimConfig {
     let duration = effort.scale(Duration::from_secs(full_secs));
@@ -34,11 +35,15 @@ fn base_cfg(effort: Effort, full_secs: u64, seed: u64) -> SimConfig {
 
 fn run_6a_pair(w_a: u64, w_b: u64, effort: Effort) -> SimReport {
     let cfg = base_cfg(effort, 10, 60 + w_b);
-    Scenario::new("fig6a", cfg)
+    let scenario = Scenario::new("fig6a", cfg)
         .task(TaskSpec::new("bg", 1, BehaviorSpec::Dhrystone).replicated(20))
         .task(TaskSpec::new("A", w_a, BehaviorSpec::Dhrystone))
-        .task(TaskSpec::new("B", w_b, BehaviorSpec::Dhrystone))
-        .run(make_sched("sfs", 2, effort.quantum()))
+        .task(TaskSpec::new("B", w_b, BehaviorSpec::Dhrystone));
+    Experiment::new(scenario)
+        .run(&policy("sfs", effort.quantum()))
+        .expect("fig6a scenario is well-formed")
+        .sim_report()
+        .clone()
 }
 
 /// Regenerates Figure 6(a): proportionate allocation.
@@ -74,7 +79,9 @@ pub fn run_6a(effort: Effort) -> ExpResult {
 
 // ---------------------------------------------------------------- 6(b)
 
-fn run_6b_point(kind: &str, compilations: usize, effort: Effort) -> f64 {
+/// MPEG frame rate at one load point under SFS and time sharing — a
+/// single comparative run.
+fn run_6b_point(compilations: usize, effort: Effort) -> (f64, f64) {
     let cfg = base_cfg(effort, 20, 61);
     let mut scenario = Scenario::new("fig6b", cfg).task(TaskSpec::new(
         "mpeg",
@@ -97,9 +104,19 @@ fn run_6b_point(kind: &str, compilations: usize, effort: Effort) -> f64 {
             .replicated(compilations),
         );
     }
-    let rep = scenario.run(make_sched(kind, 2, effort.quantum()));
-    let t = rep.task("mpeg").unwrap();
-    t.completion_rate(sfs_core::time::Time(rep.duration.as_nanos()))
+    let cmp = Experiment::new(scenario)
+        .compare(&[
+            policy("sfs", effort.quantum()),
+            policy("timeshare", effort.quantum()),
+        ])
+        .expect("fig6b scenario is well-formed");
+    let fps = |run: &RunReport| {
+        let rep = run.sim_report();
+        rep.task("mpeg")
+            .unwrap()
+            .completion_rate(sfs_core::time::Time(rep.duration.as_nanos()))
+    };
+    (fps(&cmp.runs[0]), fps(&cmp.runs[1]))
 }
 
 /// Regenerates Figure 6(b): application isolation.
@@ -116,8 +133,7 @@ pub fn run_6b(effort: Effort) -> ExpResult {
     let mut sfs_series = TimeSeries::new("SFS");
     let mut ts_series = TimeSeries::new("Time sharing");
     for &n in &ns {
-        let f_sfs = run_6b_point("sfs", n, effort);
-        let f_ts = run_6b_point("timeshare", n, effort);
+        let (f_sfs, f_ts) = run_6b_point(n, effort);
         sfs_series.push(n as f64, f_sfs);
         ts_series.push(n as f64, f_ts);
         csv.push_str(&format!("{n},{f_sfs:.2},{f_ts:.2}\n"));
@@ -144,7 +160,9 @@ pub fn run_6b(effort: Effort) -> ExpResult {
 
 // ---------------------------------------------------------------- 6(c)
 
-fn run_6c_point(kind: &str, simjobs: usize, effort: Effort) -> f64 {
+/// Interactive mean response at one load point under SFS and time
+/// sharing — a single comparative run.
+fn run_6c_point(simjobs: usize, effort: Effort) -> (f64, f64) {
     let cfg = base_cfg(effort, 30, 62);
     let mut scenario = Scenario::new("fig6c", cfg).task(TaskSpec::new(
         "interact",
@@ -167,13 +185,21 @@ fn run_6c_point(kind: &str, simjobs: usize, effort: Effort) -> f64 {
             .replicated(simjobs),
         );
     }
-    let rep = scenario.run(make_sched(kind, 2, effort.quantum()));
-    rep.task("interact")
-        .unwrap()
-        .responses
-        .as_ref()
-        .map(Summary::mean)
-        .unwrap_or(0.0)
+    let cmp = Experiment::new(scenario)
+        .compare(&[
+            policy("sfs", effort.quantum()),
+            policy("timeshare", effort.quantum()),
+        ])
+        .expect("fig6c scenario is well-formed");
+    let mean_response = |run: &RunReport| {
+        run.task("interact")
+            .unwrap()
+            .responses
+            .as_ref()
+            .map(Summary::mean)
+            .unwrap_or(0.0)
+    };
+    (mean_response(&cmp.runs[0]), mean_response(&cmp.runs[1]))
 }
 
 /// Regenerates Figure 6(c): interactive performance.
@@ -190,8 +216,7 @@ pub fn run_6c(effort: Effort) -> ExpResult {
     let mut sfs_series = TimeSeries::new("SFS");
     let mut ts_series = TimeSeries::new("Time sharing");
     for &n in &ns {
-        let r_sfs = run_6c_point("sfs", n, effort);
-        let r_ts = run_6c_point("timeshare", n, effort);
+        let (r_sfs, r_ts) = run_6c_point(n, effort);
         sfs_series.push(n as f64, r_sfs);
         ts_series.push(n as f64, r_ts);
         csv.push_str(&format!("{n},{r_sfs:.2},{r_ts:.2}\n"));
@@ -232,16 +257,14 @@ mod tests {
 
     #[test]
     fn fig6b_sfs_isolates_but_timeshare_degrades() {
-        let sfs = run_6b_point("sfs", 8, Effort::Quick);
-        let ts = run_6b_point("timeshare", 8, Effort::Quick);
+        let (sfs, ts) = run_6b_point(8, Effort::Quick);
         assert!(sfs > 25.0, "SFS frame rate dropped to {sfs}");
         assert!(ts < 0.8 * sfs, "time sharing should degrade: {ts} vs {sfs}");
     }
 
     #[test]
     fn fig6c_sfs_responses_comparable() {
-        let sfs = run_6c_point("sfs", 6, Effort::Quick);
-        let ts = run_6c_point("timeshare", 6, Effort::Quick);
+        let (sfs, ts) = run_6c_point(6, Effort::Quick);
         assert!(sfs < 60.0, "SFS response {sfs} ms");
         assert!(ts < 60.0, "TS response {ts} ms");
     }

@@ -5,7 +5,7 @@
 //! Algorithm for Symmetric Multiprocessors* (Chandra, Adler, Goyal,
 //! Shenoy; OSDI 2000):
 //!
-//! * [`readjust`] — the optimal weight readjustment algorithm (§2.1)
+//! * [`mod@readjust`] — the optimal weight readjustment algorithm (§2.1)
 //!   that maps infeasible weight assignments to the closest feasible
 //!   ones, plus [`feasible::FeasibleWeights`], which re-runs it on every
 //!   runnable-set change as the kernel implementation does (§3.1).
@@ -48,6 +48,7 @@ pub mod bvt;
 pub mod feasible;
 pub mod fixed;
 pub mod gms;
+pub mod policy;
 pub mod queues;
 pub mod readjust;
 pub mod rr;
@@ -67,6 +68,7 @@ pub mod prelude {
     pub use crate::bvt::{Bvt, BvtConfig};
     pub use crate::fixed::Fixed;
     pub use crate::gms::FluidGms;
+    pub use crate::policy::{ParsePolicyError, PolicyKind, PolicySpec};
     pub use crate::readjust::{is_feasible, readjust, Readjustment};
     pub use crate::rr::RoundRobin;
     pub use crate::sched::{SchedStats, Scheduler, SwitchReason};

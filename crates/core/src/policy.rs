@@ -1,0 +1,690 @@
+//! A typed, parseable description of a scheduling policy.
+//!
+//! Every experiment in this repository compares policies — SFS against
+//! SFQ, time sharing, stride, BVT, WFQ, round-robin (§4) — so the
+//! policy-plus-configuration pair is itself a first-class value:
+//! [`PolicySpec`] is a small, serialisable registry entry that
+//!
+//! * round-trips through strings (`"sfs:quantum=5ms"`,
+//!   `"sfq:quantum=1ms,readjust"`, `"ts"`, `"rr"`), so harness CLIs,
+//!   result files and test matrices all speak the same dialect;
+//! * builds a ready [`Scheduler`] for any CPU count via
+//!   [`PolicySpec::build`], replacing ad-hoc constructor calls at every
+//!   comparison site;
+//! * enumerates the registry via [`PolicySpec::registered`], so generic
+//!   properties (conservation, churn survival) run against *every*
+//!   policy automatically.
+//!
+//! The grammar is `kind[:opt,opt,...]` where each `opt` is `key=value`
+//! or a bare flag. Options are validated against the kind — `ts:readjust`
+//! is a parse error, not a silent no-op — and [`fmt::Display`] prints a
+//! canonical form, so `parse ∘ to_string` is the identity on every
+//! constructible spec.
+
+use core::fmt;
+use core::str::FromStr;
+
+use crate::bvt::{Bvt, BvtConfig};
+use crate::rr::RoundRobin;
+use crate::sched::Scheduler;
+use crate::sfq::{Sfq, SfqConfig};
+use crate::sfs::{Sfs, SfsConfig};
+use crate::stride::{Stride, StrideConfig};
+use crate::time::Duration;
+use crate::timeshare::{TimeSharing, TimeSharingConfig};
+use crate::wfq::{Wfq, WfqConfig};
+
+/// The algorithms registered with [`PolicySpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// Surplus fair scheduling (§2.3, §3).
+    Sfs,
+    /// Start-time fair queueing (Goyal et al.), optionally readjusted.
+    Sfq,
+    /// The Linux 2.2 epoch/goodness time-sharing scheduler.
+    TimeSharing,
+    /// Stride scheduling (Waldspurger & Weihl).
+    Stride,
+    /// Borrowed virtual time (Duda & Cheriton).
+    Bvt,
+    /// Weighted fair queueing (finish-tag based).
+    Wfq,
+    /// Plain round-robin.
+    RoundRobin,
+}
+
+impl PolicyKind {
+    /// Every registered kind, in canonical order.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Sfs,
+        PolicyKind::Sfq,
+        PolicyKind::TimeSharing,
+        PolicyKind::Stride,
+        PolicyKind::Bvt,
+        PolicyKind::Wfq,
+        PolicyKind::RoundRobin,
+    ];
+
+    /// The canonical string token (`"sfs"`, `"ts"`, ...).
+    pub fn token(self) -> &'static str {
+        match self {
+            PolicyKind::Sfs => "sfs",
+            PolicyKind::Sfq => "sfq",
+            PolicyKind::TimeSharing => "ts",
+            PolicyKind::Stride => "stride",
+            PolicyKind::Bvt => "bvt",
+            PolicyKind::Wfq => "wfq",
+            PolicyKind::RoundRobin => "rr",
+        }
+    }
+
+    /// Whether the `quantum` option applies to this kind.
+    fn has_quantum(self) -> bool {
+        !matches!(self, PolicyKind::TimeSharing)
+    }
+
+    /// Whether the `readjust` flag applies to this kind (SFS always
+    /// readjusts; time sharing and round-robin ignore weights).
+    fn has_readjust(self) -> bool {
+        matches!(
+            self,
+            PolicyKind::Sfq | PolicyKind::Stride | PolicyKind::Bvt | PolicyKind::Wfq
+        )
+    }
+
+    fn parse(token: &str) -> Option<PolicyKind> {
+        Some(match token {
+            "sfs" => PolicyKind::Sfs,
+            "sfq" => PolicyKind::Sfq,
+            "ts" | "timeshare" | "timesharing" => PolicyKind::TimeSharing,
+            "stride" => PolicyKind::Stride,
+            "bvt" => PolicyKind::Bvt,
+            "wfq" => PolicyKind::Wfq,
+            "rr" | "roundrobin" => PolicyKind::RoundRobin,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A serialisable policy + configuration description.
+///
+/// Construct one with the per-kind builders ([`PolicySpec::sfs`],
+/// [`PolicySpec::sfq`], ...), refine it with the `with_*` methods, or
+/// parse it from its string form. Build a live scheduler for a machine
+/// with [`PolicySpec::build`].
+///
+/// ```
+/// use sfs_core::policy::PolicySpec;
+/// use sfs_core::time::Duration;
+///
+/// let spec: PolicySpec = "sfs:quantum=5ms".parse().unwrap();
+/// assert_eq!(spec, PolicySpec::sfs().with_quantum(Duration::from_millis(5)));
+/// assert_eq!(spec.to_string(), "sfs:quantum=5ms");
+/// let sched = spec.build(2);
+/// assert_eq!(sched.cpus(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PolicySpec {
+    kind: PolicyKind,
+    quantum: Option<Duration>,
+    readjust: bool,
+    heuristic: Option<usize>,
+    refresh_every: Option<u64>,
+    affinity_margin: Option<Duration>,
+    audit: bool,
+    ticks: Option<i64>,
+}
+
+impl PolicySpec {
+    /// A spec of the given kind with every option at its default.
+    pub fn new(kind: PolicyKind) -> PolicySpec {
+        PolicySpec {
+            kind,
+            quantum: None,
+            readjust: false,
+            heuristic: None,
+            refresh_every: None,
+            affinity_margin: None,
+            audit: false,
+            ticks: None,
+        }
+    }
+
+    /// Surplus fair scheduling with default configuration.
+    #[must_use]
+    pub fn sfs() -> PolicySpec {
+        PolicySpec::new(PolicyKind::Sfs)
+    }
+
+    /// Start-time fair queueing (no readjustment).
+    #[must_use]
+    pub fn sfq() -> PolicySpec {
+        PolicySpec::new(PolicyKind::Sfq)
+    }
+
+    /// The Linux 2.2 time-sharing baseline.
+    #[must_use]
+    pub fn time_sharing() -> PolicySpec {
+        PolicySpec::new(PolicyKind::TimeSharing)
+    }
+
+    /// Stride scheduling.
+    #[must_use]
+    pub fn stride() -> PolicySpec {
+        PolicySpec::new(PolicyKind::Stride)
+    }
+
+    /// Borrowed virtual time.
+    #[must_use]
+    pub fn bvt() -> PolicySpec {
+        PolicySpec::new(PolicyKind::Bvt)
+    }
+
+    /// Weighted fair queueing.
+    #[must_use]
+    pub fn wfq() -> PolicySpec {
+        PolicySpec::new(PolicyKind::Wfq)
+    }
+
+    /// Round-robin.
+    #[must_use]
+    pub fn round_robin() -> PolicySpec {
+        PolicySpec::new(PolicyKind::RoundRobin)
+    }
+
+    /// One canonical (all-defaults) spec per registered kind — the
+    /// registry that generic cross-policy tests iterate.
+    pub fn registered() -> Vec<PolicySpec> {
+        PolicyKind::ALL
+            .iter()
+            .copied()
+            .map(PolicySpec::new)
+            .collect()
+    }
+
+    /// The policy kind.
+    pub fn kind(&self) -> PolicyKind {
+        self.kind
+    }
+
+    /// The configured quantum, if overridden.
+    pub fn quantum(&self) -> Option<Duration> {
+        self.quantum
+    }
+
+    /// Sets the scheduling quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics for time sharing, which derives its quantum from epoch
+    /// ticks (use [`PolicySpec::with_ticks`]).
+    #[must_use]
+    pub fn with_quantum(mut self, q: Duration) -> PolicySpec {
+        assert!(
+            self.kind.has_quantum(),
+            "`quantum` does not apply to {}",
+            self.kind
+        );
+        self.quantum = Some(q);
+        self
+    }
+
+    /// Enables §2.1 weight readjustment (SFQ / stride / BVT / WFQ only;
+    /// SFS always readjusts).
+    ///
+    /// # Panics
+    ///
+    /// Panics for kinds that do not take the flag.
+    #[must_use]
+    pub fn with_readjustment(mut self) -> PolicySpec {
+        assert!(
+            self.kind.has_readjust(),
+            "`readjust` does not apply to {}",
+            self.kind
+        );
+        self.readjust = true;
+        self
+    }
+
+    /// Enables the §3.2 bounded-lookahead heuristic, examining `k`
+    /// entries per queue (SFS only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-SFS kinds.
+    #[must_use]
+    pub fn with_heuristic(mut self, k: usize) -> PolicySpec {
+        assert!(
+            self.kind == PolicyKind::Sfs,
+            "`heuristic` does not apply to {}",
+            self.kind
+        );
+        self.heuristic = Some(k);
+        self
+    }
+
+    /// Forces a full surplus refresh every `n` heuristic picks (SFS
+    /// only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-SFS kinds.
+    #[must_use]
+    pub fn with_refresh_every(mut self, n: u64) -> PolicySpec {
+        assert!(
+            self.kind == PolicyKind::Sfs,
+            "`refresh` does not apply to {}",
+            self.kind
+        );
+        self.refresh_every = Some(n);
+        self
+    }
+
+    /// Enables the §5 processor-affinity extension with the given
+    /// surplus margin (SFS only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-SFS kinds.
+    #[must_use]
+    pub fn with_affinity_margin(mut self, margin: Duration) -> PolicySpec {
+        assert!(
+            self.kind == PolicyKind::Sfs,
+            "`affinity` does not apply to {}",
+            self.kind
+        );
+        self.affinity_margin = Some(margin);
+        self
+    }
+
+    /// Audits every heuristic pick against the exact choice (Fig. 3;
+    /// SFS only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-SFS kinds.
+    #[must_use]
+    pub fn with_audit(mut self) -> PolicySpec {
+        assert!(
+            self.kind == PolicyKind::Sfs,
+            "`audit` does not apply to {}",
+            self.kind
+        );
+        self.audit = true;
+        self
+    }
+
+    /// Sets the per-epoch tick grant (time sharing only).
+    ///
+    /// # Panics
+    ///
+    /// Panics for non-time-sharing kinds.
+    #[must_use]
+    pub fn with_ticks(mut self, ticks: i64) -> PolicySpec {
+        assert!(
+            self.kind == PolicyKind::TimeSharing,
+            "`ticks` does not apply to {}",
+            self.kind
+        );
+        self.ticks = Some(ticks);
+        self
+    }
+
+    /// Builds a live scheduler for a `cpus`-processor machine.
+    pub fn build(&self, cpus: u32) -> Box<dyn Scheduler> {
+        match self.kind {
+            PolicyKind::Sfs => {
+                let mut cfg = SfsConfig::default();
+                if let Some(q) = self.quantum {
+                    cfg.quantum = q;
+                }
+                cfg.heuristic = self.heuristic;
+                if let Some(n) = self.refresh_every {
+                    cfg.refresh_every = n;
+                }
+                cfg.affinity_margin = self.affinity_margin;
+                cfg.audit_heuristic = self.audit;
+                Box::new(Sfs::with_config(cpus, cfg))
+            }
+            PolicyKind::Sfq => {
+                let mut cfg = SfqConfig::default();
+                if let Some(q) = self.quantum {
+                    cfg.quantum = q;
+                }
+                cfg.readjust = self.readjust;
+                Box::new(Sfq::with_config(cpus, cfg))
+            }
+            PolicyKind::TimeSharing => {
+                let mut cfg = TimeSharingConfig::default();
+                if let Some(t) = self.ticks {
+                    cfg.priority_ticks = t;
+                }
+                Box::new(TimeSharing::with_config(cpus, cfg))
+            }
+            PolicyKind::Stride => {
+                let mut cfg = StrideConfig::default();
+                if let Some(q) = self.quantum {
+                    cfg.quantum = q;
+                }
+                cfg.readjust = self.readjust;
+                Box::new(Stride::with_config(cpus, cfg))
+            }
+            PolicyKind::Bvt => {
+                let mut cfg = BvtConfig::default();
+                if let Some(q) = self.quantum {
+                    cfg.quantum = q;
+                }
+                cfg.readjust = self.readjust;
+                Box::new(Bvt::with_config(cpus, cfg))
+            }
+            PolicyKind::Wfq => {
+                let mut cfg = WfqConfig::default();
+                if let Some(q) = self.quantum {
+                    cfg.quantum = q;
+                }
+                cfg.readjust = self.readjust;
+                Box::new(Wfq::with_config(cpus, cfg))
+            }
+            PolicyKind::RoundRobin => {
+                let q = self.quantum.unwrap_or(Duration::from_millis(200));
+                Box::new(RoundRobin::new(cpus, q))
+            }
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind.token())?;
+        let mut sep = ':';
+        let mut emit = |f: &mut fmt::Formatter<'_>, opt: fmt::Arguments<'_>| -> fmt::Result {
+            write!(f, "{sep}{opt}")?;
+            sep = ',';
+            Ok(())
+        };
+        if let Some(q) = self.quantum {
+            emit(f, format_args!("quantum={}", FmtDuration(q)))?;
+        }
+        if let Some(t) = self.ticks {
+            emit(f, format_args!("ticks={t}"))?;
+        }
+        if let Some(k) = self.heuristic {
+            emit(f, format_args!("heuristic={k}"))?;
+        }
+        if let Some(n) = self.refresh_every {
+            emit(f, format_args!("refresh={n}"))?;
+        }
+        if let Some(m) = self.affinity_margin {
+            emit(f, format_args!("affinity={}", FmtDuration(m)))?;
+        }
+        if self.readjust {
+            emit(f, format_args!("readjust"))?;
+        }
+        if self.audit {
+            emit(f, format_args!("audit"))?;
+        }
+        Ok(())
+    }
+}
+
+/// Error from parsing a [`PolicySpec`] string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    message: String,
+}
+
+impl ParsePolicyError {
+    fn new(message: impl Into<String>) -> ParsePolicyError {
+        ParsePolicyError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid policy spec: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for PolicySpec {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<PolicySpec, ParsePolicyError> {
+        let s = s.trim();
+        let (kind_tok, opts) = match s.split_once(':') {
+            Some((k, o)) => (k, Some(o)),
+            None => (s, None),
+        };
+        let kind = PolicyKind::parse(kind_tok).ok_or_else(|| {
+            ParsePolicyError::new(format!(
+                "unknown policy {kind_tok:?}; known: {}",
+                PolicyKind::ALL.map(PolicyKind::token).join(" ")
+            ))
+        })?;
+        let mut spec = PolicySpec::new(kind);
+        let Some(opts) = opts else { return Ok(spec) };
+        if opts.is_empty() {
+            return Err(ParsePolicyError::new("trailing `:` with no options"));
+        }
+        for opt in opts.split(',') {
+            let (key, value) = match opt.split_once('=') {
+                Some((k, v)) => (k.trim(), Some(v.trim())),
+                None => (opt.trim(), None),
+            };
+            let check = |ok: bool| -> Result<(), ParsePolicyError> {
+                if ok {
+                    Ok(())
+                } else {
+                    Err(ParsePolicyError::new(format!(
+                        "option {key:?} does not apply to policy {kind}"
+                    )))
+                }
+            };
+            let want_value = || -> Result<&str, ParsePolicyError> {
+                value.ok_or_else(|| ParsePolicyError::new(format!("option {key:?} needs a value")))
+            };
+            let want_flag = |v: Option<&str>| -> Result<(), ParsePolicyError> {
+                if v.is_some() {
+                    Err(ParsePolicyError::new(format!(
+                        "flag {key:?} does not take a value"
+                    )))
+                } else {
+                    Ok(())
+                }
+            };
+            match key {
+                "quantum" => {
+                    check(kind.has_quantum())?;
+                    spec.quantum = Some(parse_duration(want_value()?)?);
+                }
+                "readjust" => {
+                    check(kind.has_readjust())?;
+                    want_flag(value)?;
+                    spec.readjust = true;
+                }
+                "heuristic" => {
+                    check(kind == PolicyKind::Sfs)?;
+                    spec.heuristic = Some(parse_num(want_value()?, "heuristic")?);
+                }
+                "refresh" => {
+                    check(kind == PolicyKind::Sfs)?;
+                    spec.refresh_every = Some(parse_num(want_value()?, "refresh")?);
+                }
+                "affinity" => {
+                    check(kind == PolicyKind::Sfs)?;
+                    spec.affinity_margin = Some(parse_duration(want_value()?)?);
+                }
+                "audit" => {
+                    check(kind == PolicyKind::Sfs)?;
+                    want_flag(value)?;
+                    spec.audit = true;
+                }
+                "ticks" => {
+                    check(kind == PolicyKind::TimeSharing)?;
+                    spec.ticks = Some(parse_num(want_value()?, "ticks")?);
+                }
+                other => {
+                    return Err(ParsePolicyError::new(format!("unknown option {other:?}")));
+                }
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn parse_num<T: FromStr>(v: &str, key: &str) -> Result<T, ParsePolicyError> {
+    v.parse()
+        .map_err(|_| ParsePolicyError::new(format!("bad {key} value {v:?}")))
+}
+
+/// Parses a duration literal: an unsigned integer followed by `ns`,
+/// `us`, `ms` or `s` (e.g. `5ms`, `300us`, `2s`).
+fn parse_duration(v: &str) -> Result<Duration, ParsePolicyError> {
+    let bad = || ParsePolicyError::new(format!("bad duration {v:?} (want e.g. `5ms`, `300us`)"));
+    let split = v
+        .find(|c: char| !c.is_ascii_digit())
+        .filter(|&i| i > 0)
+        .ok_or_else(bad)?;
+    let (digits, unit) = v.split_at(split);
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    let scale = match unit {
+        "ns" => 1,
+        "us" => 1_000,
+        "ms" => 1_000_000,
+        "s" => 1_000_000_000,
+        _ => return Err(bad()),
+    };
+    n.checked_mul(scale)
+        .map(Duration::from_nanos)
+        .ok_or_else(bad)
+}
+
+/// Renders a duration with the largest unit that divides it exactly,
+/// so `parse_duration ∘ to_string` round-trips.
+struct FmtDuration(Duration);
+
+impl fmt::Display for FmtDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0.as_nanos();
+        if ns == 0 || ns.is_multiple_of(1_000_000_000) {
+            write!(f, "{}s", ns / 1_000_000_000)
+        } else if ns.is_multiple_of(1_000_000) {
+            write!(f, "{}ms", ns / 1_000_000)
+        } else if ns.is_multiple_of(1_000) {
+            write!(f, "{}us", ns / 1_000)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_specs_round_trip() {
+        for spec in PolicySpec::registered() {
+            let s = spec.to_string();
+            let back: PolicySpec = s.parse().unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert_eq!(back, spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn configured_specs_round_trip() {
+        let specs = [
+            PolicySpec::sfs()
+                .with_quantum(Duration::from_millis(5))
+                .with_heuristic(20)
+                .with_refresh_every(100)
+                .with_affinity_margin(Duration::from_millis(10))
+                .with_audit(),
+            PolicySpec::sfq()
+                .with_quantum(Duration::from_micros(1500))
+                .with_readjustment(),
+            PolicySpec::time_sharing().with_ticks(2),
+            PolicySpec::stride().with_readjustment(),
+            PolicySpec::bvt().with_quantum(Duration::from_secs(1)),
+            PolicySpec::wfq().with_readjustment(),
+            PolicySpec::round_robin().with_quantum(Duration::from_nanos(777)),
+        ];
+        for spec in specs {
+            let s = spec.to_string();
+            assert_eq!(s.parse::<PolicySpec>().unwrap(), spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn parse_examples_from_the_docs() {
+        let spec: PolicySpec = "sfs:quantum=5ms".parse().unwrap();
+        assert_eq!(spec.quantum(), Some(Duration::from_millis(5)));
+        assert_eq!(spec.to_string(), "sfs:quantum=5ms");
+        let spec: PolicySpec = "sfq:quantum=1ms,readjust".parse().unwrap();
+        assert_eq!(spec.to_string(), "sfq:quantum=1ms,readjust");
+        assert_eq!(
+            "timeshare".parse::<PolicySpec>().unwrap().kind(),
+            PolicyKind::TimeSharing
+        );
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        for bad in [
+            "cfs",
+            "sfs:",
+            "sfs:quantum",
+            "sfs:quantum=",
+            "sfs:quantum=5parsecs",
+            "sfs:readjust",
+            "ts:quantum=5ms",
+            "rr:heuristic=3",
+            "sfs:audit=1",
+            "sfq:bogus=2",
+        ] {
+            assert!(bad.parse::<PolicySpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn build_respects_cpu_count_and_name() {
+        for spec in PolicySpec::registered() {
+            let sched = spec.build(3);
+            assert_eq!(sched.cpus(), 3, "{spec}");
+            assert!(!sched.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn build_applies_options() {
+        let sched = PolicySpec::sfs()
+            .with_quantum(Duration::from_millis(7))
+            .build(1);
+        assert_eq!(
+            sched.time_slice(crate::task::TaskId(0)),
+            Duration::from_millis(7)
+        );
+        let sched = PolicySpec::round_robin()
+            .with_quantum(Duration::from_millis(3))
+            .build(1);
+        assert_eq!(
+            sched.time_slice(crate::task::TaskId(0)),
+            Duration::from_millis(3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not apply")]
+    fn builder_rejects_misapplied_option() {
+        let _ = PolicySpec::time_sharing().with_quantum(Duration::from_millis(1));
+    }
+}

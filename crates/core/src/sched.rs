@@ -159,18 +159,11 @@ pub trait Scheduler: Send {
     fn virtual_time(&self) -> Option<Fixed> {
         None
     }
-}
 
-/// A boxed scheduler factory, used by experiment harnesses to run the
-/// same scenario under several policies.
-pub type SchedulerFactory = Box<dyn Fn(u32) -> Box<dyn Scheduler> + Send + Sync>;
-
-/// Builds a [`SchedulerFactory`] from a closure taking the CPU count.
-pub fn factory<F>(f: F) -> SchedulerFactory
-where
-    F: Fn(u32) -> Box<dyn Scheduler> + Send + Sync + 'static,
-{
-    Box::new(f)
+    /// Verifies internal data-structure invariants, panicking on any
+    /// violation. The default does nothing; policies with a checker
+    /// (SFS) override it so stress tests can audit any boxed policy.
+    fn check_invariants(&self) {}
 }
 
 #[cfg(test)]

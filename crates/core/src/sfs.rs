@@ -659,6 +659,10 @@ impl Scheduler for Sfs {
     fn virtual_time(&self) -> Option<Fixed> {
         Some(self.current_v())
     }
+
+    fn check_invariants(&self) {
+        Sfs::check_invariants(self);
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,236 @@
+//! # sfs-experiment — one front-end over both execution substrates
+//!
+//! The paper's whole argument is comparative: the same workloads run
+//! under SFS, SFQ and time sharing, and the *differences* are the
+//! results (§4). This crate makes that shape first-class:
+//!
+//! * [`Substrate`] — anything that can execute a declarative
+//!   [`Scenario`] under a [`PolicySpec`]: the deterministic
+//!   discrete-event simulator ([`SimSubstrate`]) or the real-thread
+//!   runtime ([`RtSubstrate`]).
+//! * [`Experiment`] — a scenario bound to a substrate. One call runs a
+//!   policy ([`Experiment::run`]); one call runs a whole policy matrix
+//!   and summarises the fairness deltas ([`Experiment::compare`]).
+//! * [`RunReport`] / [`ComparisonReport`] — substrate-independent
+//!   results: per-task service, shares, response-time summaries,
+//!   scheduler work counters, and fairness indices via `sfs-metrics`.
+//!
+//! ```
+//! use sfs_core::policy::PolicySpec;
+//! use sfs_core::time::Duration;
+//! use sfs_experiment::Experiment;
+//! use sfs_sim::{Scenario, SimConfig, TaskSpec};
+//! use sfs_workloads::BehaviorSpec;
+//!
+//! let cfg = SimConfig {
+//!     cpus: 2,
+//!     duration: Duration::from_secs(2),
+//!     ..SimConfig::default()
+//! };
+//! let scenario = Scenario::new("demo", cfg)
+//!     .task(TaskSpec::new("db", 2, BehaviorSpec::Inf))
+//!     .task(TaskSpec::new("http", 1, BehaviorSpec::Inf))
+//!     .task(TaskSpec::new("batch", 1, BehaviorSpec::Inf));
+//!
+//! // One policy, one substrate-independent report.
+//! let sfs: PolicySpec = "sfs:quantum=10ms".parse().unwrap();
+//! let report = Experiment::new(scenario.clone()).run(&sfs).unwrap();
+//! assert!(report.task("db").unwrap().service > report.task("http").unwrap().service);
+//!
+//! // A policy matrix: SFS vs time sharing, with fairness deltas.
+//! let cmp = Experiment::new(scenario)
+//!     .compare(&[sfs, "ts".parse().unwrap()])
+//!     .unwrap();
+//! let d = cmp.deltas();
+//! assert!(d[0].fairness.max_share_error < d[1].fairness.max_share_error);
+//! ```
+
+pub mod report;
+pub mod substrate;
+
+use core::fmt;
+
+use sfs_core::policy::{ParsePolicyError, PolicySpec};
+use sfs_sim::{Scenario, ScenarioError};
+
+pub use report::{ComparisonReport, Fairness, FairnessDelta, RunReport, TaskOutcome};
+pub use substrate::{RtSubstrate, SimSubstrate, Substrate};
+
+/// Why an experiment could not run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// The scenario is malformed (zero weight, empty machine).
+    Scenario(ScenarioError),
+    /// A policy string did not parse.
+    Policy(ParsePolicyError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Scenario(e) => write!(f, "scenario error: {e}"),
+            ExperimentError::Policy(e) => write!(f, "policy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Scenario(e) => Some(e),
+            ExperimentError::Policy(e) => Some(e),
+        }
+    }
+}
+
+impl From<ScenarioError> for ExperimentError {
+    fn from(e: ScenarioError) -> ExperimentError {
+        ExperimentError::Scenario(e)
+    }
+}
+
+impl From<ParsePolicyError> for ExperimentError {
+    fn from(e: ParsePolicyError) -> ExperimentError {
+        ExperimentError::Policy(e)
+    }
+}
+
+/// A scenario bound to an execution substrate: the single entry point
+/// for running and comparing policies.
+pub struct Experiment {
+    scenario: Scenario,
+    substrate: Box<dyn Substrate>,
+}
+
+impl Experiment {
+    /// An experiment on the deterministic discrete-event simulator (the
+    /// default substrate: exact, fast, reproducible).
+    #[must_use]
+    pub fn new(scenario: Scenario) -> Experiment {
+        Experiment::on(scenario, SimSubstrate)
+    }
+
+    /// An experiment on an explicit substrate (e.g. [`RtSubstrate`] to
+    /// drive real OS threads; the scenario then runs in real time, so
+    /// keep its duration short).
+    #[must_use]
+    pub fn on(scenario: Scenario, substrate: impl Substrate + 'static) -> Experiment {
+        Experiment {
+            scenario,
+            substrate: Box::new(substrate),
+        }
+    }
+
+    /// The scenario under experiment.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// Runs the scenario under one policy.
+    pub fn run(&self, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
+        self.substrate.run(&self.scenario, policy)
+    }
+
+    /// Runs the scenario under a policy given in its string form
+    /// (`"sfs:quantum=5ms"`).
+    pub fn run_str(&self, policy: &str) -> Result<RunReport, ExperimentError> {
+        let spec: PolicySpec = policy.parse()?;
+        self.run(&spec)
+    }
+
+    /// Runs the same scenario under every policy in the matrix and
+    /// returns the comparative report. The first policy is the
+    /// baseline that fairness deltas are measured against.
+    pub fn compare(&self, policies: &[PolicySpec]) -> Result<ComparisonReport, ExperimentError> {
+        let mut runs = Vec::with_capacity(policies.len());
+        for p in policies {
+            runs.push(self.run(p)?);
+        }
+        Ok(ComparisonReport {
+            scenario: self.scenario.name.clone(),
+            runs,
+        })
+    }
+
+    /// [`Experiment::compare`] with string policies.
+    pub fn compare_strs(&self, policies: &[&str]) -> Result<ComparisonReport, ExperimentError> {
+        let specs: Vec<PolicySpec> = policies
+            .iter()
+            .map(|s| s.parse().map_err(ExperimentError::Policy))
+            .collect::<Result<_, _>>()?;
+        self.compare(&specs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_core::time::Duration;
+    use sfs_sim::{SimConfig, TaskSpec};
+    use sfs_workloads::BehaviorSpec;
+
+    fn scenario() -> Scenario {
+        let cfg = SimConfig {
+            cpus: 2,
+            duration: Duration::from_secs(2),
+            ..SimConfig::default()
+        };
+        Scenario::new("t", cfg)
+            .task(TaskSpec::new("a", 2, BehaviorSpec::Inf))
+            .task(TaskSpec::new("b", 1, BehaviorSpec::Inf))
+            .task(TaskSpec::new("c", 1, BehaviorSpec::Inf))
+    }
+
+    #[test]
+    fn run_and_compare_on_the_simulator() {
+        let exp = Experiment::new(scenario());
+        let rep = exp.run_str("sfs:quantum=10ms").unwrap();
+        assert_eq!(rep.substrate, "sim");
+        assert_eq!(rep.cpus, 2);
+        assert!(rep.task("a").unwrap().service > rep.task("b").unwrap().service);
+        assert!(rep.sim.is_some());
+
+        let cmp = exp.compare_strs(&["sfs:quantum=10ms", "ts"]).unwrap();
+        assert_eq!(cmp.runs.len(), 2);
+        let deltas = cmp.deltas();
+        // SFS honours 2:1:1; time sharing equalises → worse share error.
+        assert!(deltas[1].share_error_delta > 0.0, "{deltas:?}");
+        assert!(cmp.to_table().contains("SFS"));
+    }
+
+    #[test]
+    fn malformed_scenario_surfaces_typed_error() {
+        let cfg = SimConfig {
+            cpus: 2,
+            duration: Duration::from_millis(10),
+            ..SimConfig::default()
+        };
+        let exp = Experiment::new(Scenario::new("bad", cfg).task(TaskSpec::new(
+            "z",
+            0,
+            BehaviorSpec::Inf,
+        )));
+        let err = exp.run_str("sfs").unwrap_err();
+        assert!(matches!(err, ExperimentError::Scenario(_)), "{err}");
+        let err = exp.run_str("not-a-policy").unwrap_err();
+        assert!(matches!(err, ExperimentError::Policy(_)), "{err}");
+
+        // A zero-CPU machine must be a typed error, not a scheduler
+        // constructor panic.
+        let cfg = SimConfig {
+            cpus: 0,
+            duration: Duration::from_millis(10),
+            ..SimConfig::default()
+        };
+        let exp = Experiment::new(Scenario::new("nocpu", cfg).task(TaskSpec::new(
+            "t",
+            1,
+            BehaviorSpec::Inf,
+        )));
+        let err = exp.run_str("sfs").unwrap_err();
+        assert!(
+            matches!(err, ExperimentError::Scenario(ScenarioError::NoCpus)),
+            "{err}"
+        );
+    }
+}

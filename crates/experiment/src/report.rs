@@ -1,0 +1,331 @@
+//! Substrate-independent run results and the comparative report.
+
+use sfs_core::policy::PolicySpec;
+use sfs_core::sched::SchedStats;
+use sfs_core::time::{Duration, Time};
+use sfs_metrics::{fairness, Summary, Table};
+use sfs_sim::SimReport;
+
+/// Final measurements for one task, common to both substrates.
+#[derive(Debug, Clone)]
+pub struct TaskOutcome {
+    /// Scenario name (e.g. `"T1"`, `"gcc#3"`).
+    pub name: String,
+    /// Assigned weight.
+    pub weight: u64,
+    /// Total CPU service received.
+    pub service: Duration,
+    /// Completed compute phases (frames decoded, requests served, jobs
+    /// finished).
+    pub completions: u64,
+    /// Response-time summary (ms), for workloads that sleep then compute.
+    pub responses: Option<Summary>,
+    /// Arrival time.
+    pub arrived: Time,
+    /// Exit time, if the task finished before the run ended.
+    pub exited: Option<Time>,
+}
+
+/// Fairness indices of one run, computed against the GMS-capped ideal
+/// (§2.1 readjustment semantics) via `sfs-metrics`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fairness {
+    /// Jain's index over entitlement-normalised shares (1.0 = every
+    /// task at exactly its capped proportional share).
+    pub jain: f64,
+    /// Largest absolute deviation between a measured share and its
+    /// capped proportional ideal (0.0 = perfect).
+    pub max_share_error: f64,
+}
+
+/// The outcome of one experiment run on either substrate.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Which substrate produced it (`"sim"` or `"rt"`).
+    pub substrate: &'static str,
+    /// The policy that was run.
+    pub policy: PolicySpec,
+    /// The scheduler's human-readable name (e.g. `"SFS"`).
+    pub sched_name: String,
+    /// Number of processors.
+    pub cpus: u32,
+    /// Wall-clock length of the run.
+    pub duration: Duration,
+    /// Per-task measurements, in arrival order.
+    pub tasks: Vec<TaskOutcome>,
+    /// Scheduler work counters.
+    pub sched_stats: SchedStats,
+    /// Dispatches that switched to a different task.
+    pub ctx_switches: u64,
+    /// The full simulator report (sampled service curves, iteration
+    /// counts, GMS errors) when the run was simulated; `None` on the
+    /// real-thread substrate.
+    pub sim: Option<SimReport>,
+}
+
+impl RunReport {
+    /// Builds the common report from a simulator report.
+    pub fn from_sim(scenario: &str, policy: PolicySpec, rep: SimReport) -> RunReport {
+        let tasks = rep
+            .tasks
+            .iter()
+            .map(|t| TaskOutcome {
+                name: t.name.clone(),
+                weight: t.weight,
+                service: t.service,
+                completions: t.completions,
+                responses: t.responses.clone(),
+                arrived: t.arrived,
+                exited: t.exited,
+            })
+            .collect();
+        RunReport {
+            scenario: scenario.to_string(),
+            substrate: "sim",
+            policy,
+            sched_name: rep.sched_name.clone(),
+            cpus: rep.cpus,
+            duration: rep.duration,
+            tasks,
+            sched_stats: rep.sched_stats,
+            ctx_switches: rep.ctx_switches,
+            sim: Some(rep),
+        }
+    }
+
+    /// Looks a task up by scenario name.
+    pub fn task(&self, name: &str) -> Option<&TaskOutcome> {
+        self.tasks.iter().find(|t| t.name == name)
+    }
+
+    /// Total service over all tasks.
+    pub fn total_service(&self) -> Duration {
+        self.tasks
+            .iter()
+            .fold(Duration::ZERO, |acc, t| acc + t.service)
+    }
+
+    /// Sum of services over tasks whose name starts with `prefix`.
+    pub fn group_service(&self, prefix: &str) -> Duration {
+        self.tasks
+            .iter()
+            .filter(|t| t.name.starts_with(prefix))
+            .fold(Duration::ZERO, |acc, t| acc + t.service)
+    }
+
+    /// Per-task share of total service, in task order.
+    pub fn shares(&self) -> Vec<f64> {
+        let total = self.total_service().as_nanos() as f64;
+        self.tasks
+            .iter()
+            .map(|t| {
+                if total == 0.0 {
+                    0.0
+                } else {
+                    t.service.as_nanos() as f64 / total
+                }
+            })
+            .collect()
+    }
+
+    /// Fairness indices of this run against the capped proportional
+    /// ideal of the task weights.
+    ///
+    /// The ideal assumes every task is present (and hungry) for the
+    /// whole run; for scenarios with mid-run arrivals or departures,
+    /// window the services yourself (the sampled curves are in
+    /// [`RunReport::sim_report`]) or compare starvation gaps instead.
+    pub fn fairness(&self) -> Fairness {
+        let services: Vec<f64> = self.tasks.iter().map(|t| t.service.as_secs_f64()).collect();
+        let weights: Vec<f64> = self.tasks.iter().map(|t| t.weight as f64).collect();
+        let total: f64 = services.iter().sum();
+        let ideal = fairness::ideal_shares(&weights, self.cpus);
+        let ratios: Vec<f64> = services
+            .iter()
+            .zip(ideal.iter())
+            .map(|(&s, &i)| {
+                if total <= 0.0 || i <= 0.0 {
+                    0.0
+                } else {
+                    (s / total) / i
+                }
+            })
+            .collect();
+        Fairness {
+            jain: fairness::jain_index(&ratios),
+            max_share_error: fairness::proportional_error(&services, &weights, self.cpus),
+        }
+    }
+
+    /// The underlying simulator report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run was produced on the real-thread substrate,
+    /// which keeps no sampled curves.
+    pub fn sim_report(&self) -> &SimReport {
+        self.sim
+            .as_ref()
+            .expect("detailed SimReport only exists for simulator runs")
+    }
+}
+
+/// One policy's fairness, with deltas against the comparison baseline.
+#[derive(Debug, Clone)]
+pub struct FairnessDelta {
+    /// The policy's string form.
+    pub policy: String,
+    /// The scheduler's display name.
+    pub sched_name: String,
+    /// This run's fairness indices.
+    pub fairness: Fairness,
+    /// `jain − jain(baseline)`: positive means fairer than baseline.
+    pub jain_delta: f64,
+    /// `max_share_error − baseline`: positive means *less* fair.
+    pub share_error_delta: f64,
+}
+
+/// The outcome of running one scenario under several policies
+/// ([`crate::Experiment::compare`]). The first run is the baseline.
+#[derive(Debug, Clone)]
+pub struct ComparisonReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// One run per policy, in the order given to `compare`.
+    pub runs: Vec<RunReport>,
+}
+
+impl ComparisonReport {
+    /// Looks a run up by its policy spec.
+    pub fn get(&self, policy: &PolicySpec) -> Option<&RunReport> {
+        self.runs.iter().find(|r| &r.policy == policy)
+    }
+
+    /// The baseline run (the first policy given to `compare`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the comparison is empty.
+    pub fn baseline(&self) -> &RunReport {
+        &self.runs[0]
+    }
+
+    /// Per-policy fairness indices with deltas against the baseline.
+    pub fn deltas(&self) -> Vec<FairnessDelta> {
+        let base = self.runs.first().map(RunReport::fairness);
+        self.runs
+            .iter()
+            .map(|r| {
+                let f = r.fairness();
+                let b = base.unwrap_or(f);
+                FairnessDelta {
+                    policy: r.policy.to_string(),
+                    sched_name: r.sched_name.clone(),
+                    fairness: f,
+                    jain_delta: f.jain - b.jain,
+                    share_error_delta: f.max_share_error - b.max_share_error,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the comparison as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut table = Table::new(
+            format!("{}: policy comparison", self.scenario),
+            &[
+                "policy",
+                "scheduler",
+                "total service (s)",
+                "Jain",
+                "ΔJain",
+                "share err",
+                "Δerr",
+                "switches",
+            ],
+        );
+        // deltas() is in runs order, so zip instead of looking runs up
+        // by policy string (which would conflate duplicate policies).
+        for (run, d) in self.runs.iter().zip(self.deltas()) {
+            table.row(&[
+                d.policy.clone(),
+                d.sched_name.clone(),
+                format!("{:.2}", run.total_service().as_secs_f64()),
+                format!("{:.4}", d.fairness.jain),
+                format!("{:+.4}", d.jain_delta),
+                format!("{:.4}", d.fairness.max_share_error),
+                format!("{:+.4}", d.share_error_delta),
+                format!("{}", run.ctx_switches),
+            ]);
+        }
+        table.to_text()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(name: &str, weight: u64, service_ms: u64) -> TaskOutcome {
+        TaskOutcome {
+            name: name.into(),
+            weight,
+            service: Duration::from_millis(service_ms),
+            completions: 0,
+            responses: None,
+            arrived: Time::ZERO,
+            exited: None,
+        }
+    }
+
+    fn report(tasks: Vec<TaskOutcome>) -> RunReport {
+        RunReport {
+            scenario: "t".into(),
+            substrate: "sim",
+            policy: PolicySpec::sfs(),
+            sched_name: "SFS".into(),
+            cpus: 1,
+            duration: Duration::from_secs(1),
+            tasks,
+            sched_stats: SchedStats::default(),
+            ctx_switches: 0,
+            sim: None,
+        }
+    }
+
+    #[test]
+    fn perfect_proportional_split_scores_one() {
+        let rep = report(vec![outcome("a", 2, 600), outcome("b", 1, 300)]);
+        // Shares 2/3 : 1/3 exactly match weights 2:1 on one CPU.
+        let f = rep.fairness();
+        assert!((f.jain - 1.0).abs() < 1e-9, "{f:?}");
+        assert!(f.max_share_error < 1e-9, "{f:?}");
+        assert_eq!(rep.shares()[0], 2.0 / 3.0);
+        assert_eq!(rep.group_service("a"), Duration::from_millis(600));
+    }
+
+    #[test]
+    fn inverted_split_scores_poorly() {
+        let rep = report(vec![outcome("a", 10, 100), outcome("b", 1, 900)]);
+        let f = rep.fairness();
+        assert!(f.jain < 0.9, "{f:?}");
+        assert!(f.max_share_error > 0.5, "{f:?}");
+    }
+
+    #[test]
+    fn comparison_deltas_use_the_first_run_as_baseline() {
+        let fair = report(vec![outcome("a", 2, 600), outcome("b", 1, 300)]);
+        let unfair = report(vec![outcome("a", 2, 300), outcome("b", 1, 600)]);
+        let cmp = ComparisonReport {
+            scenario: "t".into(),
+            runs: vec![fair, unfair],
+        };
+        let d = cmp.deltas();
+        assert_eq!(d[0].jain_delta, 0.0);
+        assert!(d[1].jain_delta < 0.0);
+        assert!(d[1].share_error_delta > 0.0);
+        assert!(cmp.to_table().contains("policy"));
+    }
+}

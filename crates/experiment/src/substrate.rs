@@ -1,0 +1,303 @@
+//! Execution substrates: anything that can run a [`Scenario`] under a
+//! [`PolicySpec`] and produce a common [`RunReport`].
+//!
+//! Two are provided, mirroring the repository's two run-time stacks:
+//!
+//! * [`SimSubstrate`] — the deterministic discrete-event simulator
+//!   (`sfs-sim`). Exact, fast, bit-reproducible; the default.
+//! * [`RtSubstrate`] — the real-thread runtime (`sfs-rt`). The same
+//!   declarative scenario drives actual OS threads through the
+//!   userspace executor: arrivals become delayed spawns, kill times
+//!   become behaviour deadlines, and sequential job streams become
+//!   spawn-join loops. Runs take the scenario's duration in *wall
+//!   clock* time, so keep rt scenarios short.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::Instant;
+
+use sfs_core::policy::PolicySpec;
+use sfs_core::task::Weight;
+use sfs_core::time::{Duration, Time};
+use sfs_metrics::Summary;
+use sfs_rt::{drive_recording_until, DriveRecord, Executor, RtConfig};
+use sfs_sim::{Scenario, StreamSpec, TaskSpec};
+
+use crate::report::{RunReport, TaskOutcome};
+use crate::ExperimentError;
+
+/// An execution environment for scenarios.
+pub trait Substrate {
+    /// Short substrate name for reports (`"sim"`, `"rt"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the scenario under the policy, producing the common report.
+    fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError>;
+}
+
+/// The deterministic discrete-event simulator substrate.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimSubstrate;
+
+impl Substrate for SimSubstrate {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
+        // Validate before building: scheduler constructors assert on a
+        // zero-CPU machine, and that must be a typed error, not a panic.
+        scenario.validate()?;
+        let rep = scenario.try_run(policy.build(scenario.config.cpus))?;
+        Ok(RunReport::from_sim(&scenario.name, policy.clone(), rep))
+    }
+}
+
+/// The real-thread runtime substrate: the scenario plays out in wall
+/// clock time on OS threads gated by virtual CPUs.
+#[derive(Debug, Clone, Copy)]
+pub struct RtSubstrate {
+    /// Quantum-expiry scan interval of the executor's timer thread.
+    pub timer_interval: Duration,
+}
+
+impl Default for RtSubstrate {
+    fn default() -> RtSubstrate {
+        RtSubstrate {
+            timer_interval: Duration::from_micros(250),
+        }
+    }
+}
+
+fn now_time(epoch: Instant) -> Time {
+    Time(u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
+}
+
+fn sleep_until(epoch: Instant, t: Time) {
+    let now = now_time(epoch);
+    if t > now {
+        std::thread::sleep(t.since(now).to_std());
+    }
+}
+
+/// Spawns one executor task driving `spec`'s behaviour (bounded by
+/// `stop_at`, if any), waits for it to finish, and returns its outcome.
+fn run_rt_task(
+    ex: &Executor,
+    epoch: Instant,
+    name: &str,
+    weight: Weight,
+    spec: &TaskSpec,
+    seed: u64,
+    arrived: Time,
+) -> TaskOutcome {
+    let (tx, rx) = mpsc::channel::<(DriveRecord, Time)>();
+    let behavior_spec = spec.behavior.clone();
+    let stop_at = spec.stop_at;
+    let handle = ex.spawn(name, weight, move |ctx| {
+        let behavior = behavior_spec.build(seed);
+        // `stop_at` becomes a drive deadline: the phase in flight is
+        // aborted without counting a completion, matching the
+        // simulator's kill event.
+        let rec = drive_recording_until(ctx, behavior, epoch, stop_at);
+        let _ = tx.send((rec, now_time(epoch)));
+    });
+    // A panicking body drops the sender; fall back to an empty record.
+    let (rec, ended) = rx
+        .recv()
+        .unwrap_or_else(|_| (DriveRecord::default(), now_time(epoch)));
+    let service = handle.join_service();
+    TaskOutcome {
+        name: name.to_string(),
+        weight: weight.get(),
+        service,
+        completions: rec.completions,
+        responses: if rec.responses_ms.is_empty() {
+            None
+        } else {
+            Some(Summary::from(rec.responses_ms.iter().copied()))
+        },
+        arrived,
+        // Killed tasks record their kill time as the exit, like the
+        // simulator does.
+        exited: (rec.finished || rec.deadline_hit).then_some(ended),
+    }
+}
+
+/// Issues a stream's jobs back to back until its horizon; each job is a
+/// fresh executor task, arriving when the previous one exits (plus the
+/// configured gap) — exactly the simulator's stream semantics.
+fn run_rt_stream(
+    ex: &Executor,
+    epoch: Instant,
+    stream: &StreamSpec,
+    horizon: Time,
+    seeds: &AtomicU64,
+    outcomes: &Mutex<Vec<TaskOutcome>>,
+) {
+    let weight = Weight::new(stream.weight).expect("validated non-zero");
+    let horizon = horizon.min(stream.until);
+    let mut next = stream.first;
+    let mut n = 0u64;
+    while next < horizon {
+        sleep_until(epoch, next);
+        if now_time(epoch) >= horizon {
+            break;
+        }
+        n += 1;
+        let job = TaskSpec::new(
+            &format!("{}#{}", stream.name, n),
+            stream.weight,
+            stream.job.clone(),
+        );
+        let arrived = now_time(epoch);
+        let outcome = run_rt_task(
+            ex,
+            epoch,
+            &job.name,
+            weight,
+            &job,
+            seeds.fetch_add(1, Ordering::Relaxed),
+            arrived,
+        );
+        outcomes.lock().expect("outcome lock").push(outcome);
+        next = now_time(epoch) + stream.gap;
+    }
+}
+
+impl Substrate for RtSubstrate {
+    fn name(&self) -> &'static str {
+        "rt"
+    }
+
+    fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
+        scenario.validate()?;
+        let cpus = scenario.config.cpus;
+        let duration = scenario.config.duration;
+        let horizon = Time(duration.as_nanos());
+        let sched = policy.build(cpus);
+        let sched_name = sched.name().to_string();
+        let ex = Executor::new(
+            RtConfig {
+                cpus,
+                timer_interval: self.timer_interval,
+            },
+            sched,
+        );
+        let epoch = Instant::now();
+        let seeds = AtomicU64::new(scenario.config.seed);
+        let outcomes: Mutex<Vec<TaskOutcome>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|s| {
+            for spec in &scenario.tasks {
+                let weight = Weight::new(spec.weight).expect("validated non-zero");
+                for k in 0..spec.count.max(1) {
+                    let name = if spec.count > 1 {
+                        format!("{}#{}", spec.name, k + 1)
+                    } else {
+                        spec.name.clone()
+                    };
+                    let seed = seeds.fetch_add(1, Ordering::Relaxed);
+                    let (ex, outcomes) = (&ex, &outcomes);
+                    s.spawn(move || {
+                        // The simulator still processes an arrival landing
+                        // exactly at the end of the run (zero service), so
+                        // only strictly-later arrivals are dropped.
+                        if spec.arrive > horizon {
+                            return;
+                        }
+                        sleep_until(epoch, spec.arrive);
+                        let outcome =
+                            run_rt_task(ex, epoch, &name, weight, spec, seed, spec.arrive);
+                        outcomes.lock().expect("outcome lock").push(outcome);
+                    });
+                }
+            }
+            for stream in &scenario.streams {
+                let (ex, outcomes, seeds) = (&ex, &outcomes, &seeds);
+                s.spawn(move || run_rt_stream(ex, epoch, stream, horizon, seeds, outcomes));
+            }
+            // The experiment clock: let the scenario play out, then stop
+            // every cooperative loop.
+            std::thread::sleep(duration.to_std());
+            ex.stop();
+        });
+        ex.wait();
+
+        let mut tasks = outcomes.into_inner().expect("outcome lock");
+        tasks.sort_by(|a, b| a.arrived.cmp(&b.arrived).then_with(|| a.name.cmp(&b.name)));
+        let sched_stats = ex.with_scheduler(|s| s.stats());
+        Ok(RunReport {
+            scenario: scenario.name.clone(),
+            substrate: self.name(),
+            policy: policy.clone(),
+            sched_name,
+            cpus,
+            duration,
+            tasks,
+            sched_stats,
+            ctx_switches: ex.switches(),
+            sim: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_sim::SimConfig;
+    use sfs_workloads::BehaviorSpec;
+
+    fn quick_cfg(cpus: u32, ms: u64) -> SimConfig {
+        SimConfig {
+            cpus,
+            duration: Duration::from_millis(ms),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn rt_substrate_tracks_weights() {
+        let scenario = Scenario::new("rt-weights", quick_cfg(1, 400))
+            .task(TaskSpec::new("w3", 3, BehaviorSpec::Inf))
+            .task(TaskSpec::new("w1", 1, BehaviorSpec::Inf));
+        let policy: PolicySpec = "sfs:quantum=2ms".parse().unwrap();
+        let rep = RtSubstrate::default().run(&scenario, &policy).unwrap();
+        assert_eq!(rep.substrate, "rt");
+        assert!(rep.sim.is_none());
+        let heavy = rep.task("w3").unwrap().service.as_secs_f64();
+        let light = rep.task("w1").unwrap().service.as_secs_f64();
+        let ratio = heavy / light.max(1e-9);
+        assert!((1.8..4.5).contains(&ratio), "w3:w1 = {ratio:.2}");
+    }
+
+    #[test]
+    fn rt_substrate_handles_arrivals_stops_and_streams() {
+        let scenario = Scenario::new("rt-dynamics", quick_cfg(1, 350))
+            .task(TaskSpec::new("base", 1, BehaviorSpec::Inf))
+            .task(
+                TaskSpec::new("late", 1, BehaviorSpec::Inf)
+                    .arrive_at(Time::from_millis(150))
+                    .stop_at(Time::from_millis(250)),
+            )
+            .stream(
+                StreamSpec::new("job", 1, BehaviorSpec::Finite(Duration::from_millis(15)))
+                    .until(Time::from_millis(200)),
+            );
+        let policy: PolicySpec = "sfs:quantum=2ms".parse().unwrap();
+        let rep = RtSubstrate::default().run(&scenario, &policy).unwrap();
+        let late = rep.task("late").unwrap();
+        assert_eq!(late.arrived, Time::from_millis(150));
+        assert!(late.exited.is_some(), "stop_at must exit the task");
+        assert!(
+            rep.tasks.iter().any(|t| t.name.starts_with("job#")),
+            "stream issued no jobs: {:?}",
+            rep.tasks.iter().map(|t| &t.name).collect::<Vec<_>>()
+        );
+        // Jobs are sequential: job#2 exists only if job#1 finished.
+        if let Some(j2) = rep.task("job#2") {
+            let j1 = rep.task("job#1").unwrap();
+            assert!(j2.arrived >= j1.arrived);
+        }
+    }
+}

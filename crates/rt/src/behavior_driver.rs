@@ -33,52 +33,149 @@ impl DriveStats {
     }
 }
 
-/// Executes a behaviour on the current task until it exits or the
-/// executor is stopped. Returns the accumulated statistics.
-///
-/// `Compute(d)` phases consume *virtual-CPU hold time*: the spin only
-/// counts progress while the task holds its grant, which checkpointing
-/// approximates closely for small quanta.
-pub fn drive(ctx: &TaskCtx, mut behavior: Box<dyn Behavior>, epoch: Instant) -> DriveStats {
-    let mut stats = DriveStats::default();
+/// Full per-phase record from driving a behaviour: everything in
+/// [`DriveStats`] plus the individual response samples (for percentile
+/// summaries) and how the drive ended, as the common experiment
+/// reports need.
+#[derive(Debug, Clone, Default)]
+pub struct DriveRecord {
+    /// Completed compute phases (frames, requests, jobs).
+    pub completions: u64,
+    /// Response-time samples (wake → compute completion), milliseconds.
+    pub responses_ms: Vec<f64>,
+    /// True if the behaviour reached [`Phase::Exit`] (as opposed to
+    /// being cut off by an executor stop or a kill deadline).
+    pub finished: bool,
+    /// True if the drive was aborted by the caller's kill deadline
+    /// (the rt analogue of the simulator's kill event).
+    pub deadline_hit: bool,
+}
+
+/// How a drive loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DriveEnd {
+    /// The executor's stop flag was observed.
+    Stopped,
+    /// The kill deadline passed (mid-phase aborts count nothing).
+    DeadlineHit,
+    /// The behaviour reached [`Phase::Exit`].
+    Finished,
+}
+
+/// The shared drive loop: runs the behaviour, reporting each completed
+/// compute phase's response time to `on_response`, until the behaviour
+/// exits, the executor stops, or the kill `deadline` (if any) passes.
+/// A compute phase cut off by the deadline is aborted *without*
+/// counting a completion — the simulator's kill-event semantics.
+fn drive_loop(
+    ctx: &TaskCtx,
+    mut behavior: Box<dyn Behavior>,
+    epoch: Instant,
+    deadline: Option<Time>,
+    mut on_response: impl FnMut(Duration),
+) -> (u64, DriveEnd) {
     let now_fn = |epoch: Instant| -> Time {
         Time(u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
     };
+    // Lazy: the clock is only read for this check when a deadline is
+    // actually set, keeping the common (deadline-less) spin loop at one
+    // clock read per iteration.
+    let past_deadline = || deadline.is_some_and(|d| now_fn(epoch) >= d);
+    let mut completions = 0u64;
     let mut last_wake = now_fn(epoch);
     loop {
         if ctx.stopped() {
-            return stats;
+            return (completions, DriveEnd::Stopped);
+        }
+        if past_deadline() {
+            return (completions, DriveEnd::DeadlineHit);
         }
         let now = now_fn(epoch);
         match behavior.next(now) {
             Phase::Compute(d) => {
-                let deadline = Instant::now() + d.to_std();
-                while Instant::now() < deadline {
+                let spin_until = Instant::now() + d.to_std();
+                while Instant::now() < spin_until {
                     if ctx.stopped() {
-                        return stats;
+                        return (completions, DriveEnd::Stopped);
+                    }
+                    if past_deadline() {
+                        return (completions, DriveEnd::DeadlineHit);
                     }
                     std::hint::spin_loop();
                     ctx.checkpoint();
                 }
-                stats.completions += 1;
-                let response = now_fn(epoch).since(last_wake);
-                stats.response_ns_total += response.as_nanos();
-                stats.responses += 1;
+                completions += 1;
+                on_response(now_fn(epoch).since(last_wake));
             }
             Phase::Block(d) => {
+                // Clip sleeps to the deadline so a killed task does not
+                // linger asleep past its kill time.
+                let d = match deadline {
+                    Some(kill) => d.min(kill.since(now)),
+                    None => d,
+                };
                 ctx.block_for(d);
                 last_wake = now_fn(epoch);
             }
             Phase::BlockUntil(t) => {
-                let now = now_fn(epoch);
+                let t = match deadline {
+                    Some(kill) => t.min(kill),
+                    None => t,
+                };
                 if t > now {
                     ctx.block_for(t.since(now));
                 }
                 last_wake = now_fn(epoch);
             }
-            Phase::Exit => return stats,
+            Phase::Exit => return (completions, DriveEnd::Finished),
         }
     }
+}
+
+/// Executes a behaviour on the current task until it exits or the
+/// executor is stopped. Returns the accumulated statistics in constant
+/// space (no per-sample allocation).
+///
+/// `Compute(d)` phases consume *virtual-CPU hold time*: the spin only
+/// counts progress while the task holds its grant, which checkpointing
+/// approximates closely for small quanta.
+pub fn drive(ctx: &TaskCtx, behavior: Box<dyn Behavior>, epoch: Instant) -> DriveStats {
+    let mut stats = DriveStats::default();
+    let (completions, _) = drive_loop(ctx, behavior, epoch, None, |response| {
+        stats.response_ns_total += response.as_nanos();
+        stats.responses += 1;
+    });
+    stats.completions = completions;
+    stats
+}
+
+/// Like [`drive`], but keeps the individual response samples and the
+/// completion flag (the experiment front-end builds its substrate-
+/// independent reports from this).
+pub fn drive_recording(ctx: &TaskCtx, behavior: Box<dyn Behavior>, epoch: Instant) -> DriveRecord {
+    drive_recording_until(ctx, behavior, epoch, None)
+}
+
+/// Like [`drive_recording`], with an optional kill deadline: once the
+/// epoch-relative clock reaches `deadline` the drive aborts — mid-phase,
+/// without crediting the cut-off phase as a completion — mirroring the
+/// simulator's kill event for `TaskSpec::stop_at`.
+pub fn drive_recording_until(
+    ctx: &TaskCtx,
+    behavior: Box<dyn Behavior>,
+    epoch: Instant,
+    deadline: Option<Time>,
+) -> DriveRecord {
+    let mut rec = DriveRecord::default();
+    let mut responses_ms = Vec::new();
+    let (completions, end) = drive_loop(ctx, behavior, epoch, deadline, |response| {
+        responses_ms.push(response.as_millis_f64());
+    });
+    rec.completions = completions;
+    rec.responses_ms = responses_ms;
+    rec.finished = end == DriveEnd::Finished;
+    rec.deadline_hit = end == DriveEnd::DeadlineHit;
+    rec
 }
 
 #[cfg(test)]
@@ -86,7 +183,7 @@ mod tests {
     use super::*;
     use crate::executor::{Executor, RtConfig};
     use crossbeam::channel;
-    use sfs_core::sfs::Sfs;
+    use sfs_core::policy::PolicySpec;
     use sfs_core::task::weight;
     use sfs_workloads::{BehaviorSpec, FiniteLoop};
 
@@ -97,7 +194,7 @@ mod tests {
                 cpus: 1,
                 ..RtConfig::default()
             },
-            Box::new(Sfs::new(1)),
+            PolicySpec::sfs().build(1),
         );
         let epoch = Instant::now();
         let (tx, rx) = channel::bounded(1);
@@ -119,7 +216,7 @@ mod tests {
                 cpus: 1,
                 ..RtConfig::default()
             },
-            Box::new(Sfs::new(1)),
+            PolicySpec::sfs().build(1),
         );
         let epoch = Instant::now();
         let (tx, rx) = channel::bounded(1);

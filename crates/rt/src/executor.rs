@@ -192,6 +192,16 @@ impl TaskHandle {
             let _ = h.join();
         }
     }
+
+    /// Waits for the task's thread to finish — including the scheduler
+    /// bookkeeping that charges its final quantum — and returns the
+    /// task's total CPU service.
+    pub fn join_service(mut self) -> Duration {
+        if let Some(h) = self.thread.take() {
+            let _ = h.join();
+        }
+        Duration::from_nanos(self.task.service_ns.load(Ordering::Relaxed))
+    }
 }
 
 /// Context passed to every task body.
@@ -532,18 +542,13 @@ impl Drop for Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfs_core::sfs::{Sfs, SfsConfig};
+    use sfs_core::policy::PolicySpec;
     use sfs_core::task::weight;
-    use sfs_core::timeshare::TimeSharing;
 
     fn small_sfs(cpus: u32) -> Box<dyn Scheduler> {
-        Box::new(Sfs::with_config(
-            cpus,
-            SfsConfig {
-                quantum: Duration::from_millis(2),
-                ..SfsConfig::default()
-            },
-        ))
+        PolicySpec::sfs()
+            .with_quantum(Duration::from_millis(2))
+            .build(cpus)
     }
 
     fn spin(ctx: &TaskCtx) {
@@ -687,16 +692,12 @@ mod tests {
     fn timesharing_policy_also_drives_executor() {
         // Small epochs (2 ticks = 20 ms) so a 300 ms run spans many
         // epochs; the default 200 ms quantum would dominate the run.
-        let ts = sfs_core::timeshare::TimeSharingConfig {
-            priority_ticks: 2,
-            ..Default::default()
-        };
         let ex = Executor::new(
             RtConfig {
                 cpus: 1,
                 timer_interval: Duration::from_micros(500),
             },
-            Box::new(TimeSharing::with_config(1, ts)),
+            PolicySpec::time_sharing().with_ticks(2).build(1),
         );
         let a = ex.spawn("a", weight(1), spin);
         let b = ex.spawn("b", weight(10), spin);

@@ -16,13 +16,13 @@
 //!    relative SFS vs time-sharing comparison of the paper.
 //!
 //! ```
-//! use sfs_core::sfs::Sfs;
+//! use sfs_core::policy::PolicySpec;
 //! use sfs_core::task::weight;
 //! use sfs_rt::{Executor, RtConfig};
 //!
 //! let ex = Executor::new(
 //!     RtConfig { cpus: 2, ..RtConfig::default() },
-//!     Box::new(Sfs::new(2)),
+//!     PolicySpec::sfs().build(2),
 //! );
 //! let h = ex.spawn("hello", weight(1), |ctx| {
 //!     for _ in 0..1000 {
@@ -37,6 +37,6 @@ pub mod behavior_driver;
 pub mod executor;
 pub mod microbench;
 
-pub use behavior_driver::{drive, DriveStats};
+pub use behavior_driver::{drive, drive_recording, drive_recording_until, DriveRecord, DriveStats};
 pub use executor::{Executor, RtConfig, TaskCtx, TaskHandle};
 pub use microbench::{checkpoint_cost, ctx_switch_latency, spawn_cost};

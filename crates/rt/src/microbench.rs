@@ -131,19 +131,18 @@ pub fn ctx_switch_latency(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfs_core::sfs::Sfs;
-    use sfs_core::timeshare::TimeSharing;
+    use sfs_core::policy::PolicySpec;
 
     #[test]
     fn checkpoint_fast_path_is_cheap() {
-        let cost = checkpoint_cost(Box::new(Sfs::new(1)), 200_000);
+        let cost = checkpoint_cost(PolicySpec::sfs().build(1), 200_000);
         // An atomic load + branch: well under a microsecond.
         assert!(cost < Duration::from_micros(1), "checkpoint cost {cost}");
     }
 
     #[test]
     fn spawn_cost_is_bounded() {
-        let cost = spawn_cost(|| Box::new(Sfs::new(1)), 20);
+        let cost = spawn_cost(|| PolicySpec::sfs().build(1), 20);
         // Thread spawn + scheduler attach; generous bound for CI boxes.
         assert!(cost < Duration::from_millis(20), "spawn cost {cost}");
         assert!(cost > Duration::ZERO);
@@ -152,8 +151,8 @@ mod tests {
     #[test]
     fn ctx_switch_measurable_for_both_policies() {
         for sched in [
-            Box::new(Sfs::new(1)) as Box<dyn Scheduler>,
-            Box::new(TimeSharing::new(1)),
+            PolicySpec::sfs().build(1),
+            PolicySpec::time_sharing().build(1),
         ] {
             let lat = ctx_switch_latency(sched, 2, 0, 300);
             assert!(lat > Duration::ZERO);
@@ -165,8 +164,8 @@ mod tests {
     fn bigger_working_sets_cost_more() {
         // 64 KB of working set must cost measurably more per switch
         // than 0 KB (cache restoration dominates, §4.5).
-        let small = ctx_switch_latency(Box::new(Sfs::new(1)), 2, 0, 300);
-        let large = ctx_switch_latency(Box::new(Sfs::new(1)), 2, 64, 300);
+        let small = ctx_switch_latency(PolicySpec::sfs().build(1), 2, 0, 300);
+        let large = ctx_switch_latency(PolicySpec::sfs().build(1), 2, 64, 300);
         assert!(large > small, "64KB ({large}) should exceed 0KB ({small})");
     }
 }

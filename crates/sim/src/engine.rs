@@ -687,9 +687,8 @@ enum Resolved {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfs_core::sfs::Sfs;
+    use sfs_core::policy::PolicySpec;
     use sfs_core::task::weight;
-    use sfs_core::timeshare::TimeSharing;
 
     fn quick_cfg(cpus: u32, secs: u64) -> SimConfig {
         SimConfig {
@@ -701,11 +700,9 @@ mod tests {
     }
 
     fn sfs(cpus: u32) -> Box<dyn Scheduler> {
-        let cfg = sfs_core::sfs::SfsConfig {
-            quantum: Duration::from_millis(20),
-            ..sfs_core::sfs::SfsConfig::default()
-        };
-        Box::new(Sfs::with_config(cpus, cfg))
+        PolicySpec::sfs()
+            .with_quantum(Duration::from_millis(20))
+            .build(cpus)
     }
 
     #[test]
@@ -901,7 +898,7 @@ mod tests {
 
     #[test]
     fn timesharing_ignores_weights_in_sim() {
-        let mut sim = Simulator::new(quick_cfg(2, 10), Box::new(TimeSharing::new(2)));
+        let mut sim = Simulator::new(quick_cfg(2, 10), PolicySpec::time_sharing().build(2));
         sim.schedule_arrival(Time::ZERO, "w10", weight(10), BehaviorSpec::Inf);
         sim.schedule_arrival(Time::ZERO, "w1a", weight(1), BehaviorSpec::Inf);
         sim.schedule_arrival(Time::ZERO, "w1b", weight(1), BehaviorSpec::Inf);

@@ -16,7 +16,7 @@
 //! seeded per task, and all events are totally ordered.
 //!
 //! ```
-//! use sfs_core::sfs::Sfs;
+//! use sfs_core::policy::PolicySpec;
 //! use sfs_core::time::Duration;
 //! use sfs_sim::{Scenario, SimConfig, TaskSpec};
 //! use sfs_workloads::BehaviorSpec;
@@ -27,11 +27,13 @@
 //!     ..SimConfig::default()
 //! };
 //! // 2:1:1 is feasible on two CPUs: shares are 1/2, 1/4, 1/4.
+//! let policy: PolicySpec = "sfs".parse().unwrap();
 //! let report = Scenario::new("demo", cfg)
 //!     .task(TaskSpec::new("heavy", 2, BehaviorSpec::Inf))
 //!     .task(TaskSpec::new("light1", 1, BehaviorSpec::Inf))
 //!     .task(TaskSpec::new("light2", 1, BehaviorSpec::Inf))
-//!     .run(Box::new(Sfs::new(2)));
+//!     .try_run(policy.build(2))
+//!     .unwrap();
 //! let h = report.task("heavy").unwrap().service;
 //! let l = report.task("light1").unwrap().service;
 //! assert!(h > l);
@@ -42,5 +44,5 @@ pub mod scenario;
 pub mod trace;
 
 pub use engine::{SimConfig, Simulator};
-pub use scenario::{Scenario, StreamSpec, TaskSpec};
+pub use scenario::{Scenario, ScenarioError, StreamSpec, TaskSpec};
 pub use trace::{SimReport, TaskReport};

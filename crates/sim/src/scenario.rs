@@ -2,8 +2,12 @@
 //!
 //! A [`Scenario`] names a machine, a duration and a set of task specs
 //! (plus optional sequential job streams), and can be run under any
-//! scheduler factory. The figure harnesses in `sfs-bench` are built out
-//! of these, and the integration tests reuse the exact paper scenarios.
+//! boxed scheduling policy — or, through the `sfs-experiment` crate's
+//! `Experiment` front-end, on either execution substrate. The figure
+//! harnesses in `sfs-bench` are built out of these, and the integration
+//! tests reuse the exact paper scenarios.
+
+use core::fmt;
 
 use sfs_core::sched::Scheduler;
 use sfs_core::task::Weight;
@@ -12,6 +16,40 @@ use sfs_workloads::BehaviorSpec;
 
 use crate::engine::{SimConfig, Simulator};
 use crate::trace::SimReport;
+
+/// A malformed [`Scenario`], reported by [`Scenario::validate`] and
+/// [`Scenario::try_run`] instead of a panic deep inside the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// A task spec carries weight 0 (weights are strictly positive, §2).
+    ZeroTaskWeight {
+        /// Name of the offending task spec.
+        task: String,
+    },
+    /// A stream spec carries weight 0.
+    ZeroStreamWeight {
+        /// Name of the offending stream spec.
+        stream: String,
+    },
+    /// The machine has no processors.
+    NoCpus,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::ZeroTaskWeight { task } => {
+                write!(f, "task {task:?} has zero weight (weights must be ≥ 1)")
+            }
+            ScenarioError::ZeroStreamWeight { stream } => {
+                write!(f, "stream {stream:?} has zero weight (weights must be ≥ 1)")
+            }
+            ScenarioError::NoCpus => write!(f, "scenario machine has zero processors"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 /// One or more identical tasks in a scenario.
 #[derive(Debug, Clone)]
@@ -32,6 +70,7 @@ pub struct TaskSpec {
 
 impl TaskSpec {
     /// A single task arriving at t=0.
+    #[must_use]
     pub fn new(name: &str, weight: u64, behavior: BehaviorSpec) -> TaskSpec {
         TaskSpec {
             name: name.to_string(),
@@ -44,18 +83,21 @@ impl TaskSpec {
     }
 
     /// Sets the arrival time.
+    #[must_use]
     pub fn arrive_at(mut self, t: Time) -> TaskSpec {
         self.arrive = t;
         self
     }
 
     /// Sets a kill time.
+    #[must_use]
     pub fn stop_at(mut self, t: Time) -> TaskSpec {
         self.stop_at = Some(t);
         self
     }
 
     /// Replicates the spec into `n` identical tasks.
+    #[must_use]
     pub fn replicated(mut self, n: usize) -> TaskSpec {
         self.count = n;
         self
@@ -80,6 +122,43 @@ pub struct StreamSpec {
     pub until: Time,
 }
 
+impl StreamSpec {
+    /// A back-to-back stream starting at t=0 and running for the whole
+    /// experiment.
+    #[must_use]
+    pub fn new(name: &str, weight: u64, job: BehaviorSpec) -> StreamSpec {
+        StreamSpec {
+            name: name.to_string(),
+            weight,
+            first: Time::ZERO,
+            job,
+            gap: Duration::ZERO,
+            until: Time::MAX,
+        }
+    }
+
+    /// Sets the first job's arrival time.
+    #[must_use]
+    pub fn starting_at(mut self, t: Time) -> StreamSpec {
+        self.first = t;
+        self
+    }
+
+    /// Sets the gap between a job's exit and the next arrival.
+    #[must_use]
+    pub fn with_gap(mut self, gap: Duration) -> StreamSpec {
+        self.gap = gap;
+        self
+    }
+
+    /// Stops issuing jobs at or after this instant.
+    #[must_use]
+    pub fn until(mut self, t: Time) -> StreamSpec {
+        self.until = t;
+        self
+    }
+}
+
 /// A complete experiment description.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -95,6 +174,7 @@ pub struct Scenario {
 
 impl Scenario {
     /// Creates an empty scenario over the given machine config.
+    #[must_use]
     pub fn new(name: &str, config: SimConfig) -> Scenario {
         Scenario {
             name: name.to_string(),
@@ -105,37 +185,57 @@ impl Scenario {
     }
 
     /// Adds a task spec.
+    #[must_use]
     pub fn task(mut self, spec: TaskSpec) -> Scenario {
         self.tasks.push(spec);
         self
     }
 
     /// Adds a stream spec.
+    #[must_use]
     pub fn stream(mut self, spec: StreamSpec) -> Scenario {
         self.streams.push(spec);
         self
     }
 
-    /// Runs the scenario under the given scheduler.
-    ///
-    /// # Panics
-    ///
-    /// Panics if any weight in the scenario is zero.
-    pub fn run(&self, sched: Box<dyn Scheduler>) -> SimReport {
+    /// Checks the scenario for structural errors (zero weights, empty
+    /// machine) without running it. Substrates call this up front so a
+    /// malformed description fails fast with a typed error.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.config.cpus == 0 {
+            return Err(ScenarioError::NoCpus);
+        }
+        for spec in &self.tasks {
+            if spec.weight == 0 {
+                return Err(ScenarioError::ZeroTaskWeight {
+                    task: spec.name.clone(),
+                });
+            }
+        }
+        for s in &self.streams {
+            if s.weight == 0 {
+                return Err(ScenarioError::ZeroStreamWeight {
+                    stream: s.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the scenario under the given scheduler on the simulator,
+    /// reporting malformed scenarios as a [`ScenarioError`].
+    pub fn try_run(&self, sched: Box<dyn Scheduler>) -> Result<SimReport, ScenarioError> {
+        self.validate()?;
         let mut sim = Simulator::new(self.config.clone(), sched);
         for spec in &self.tasks {
+            let weight = Weight::new(spec.weight).expect("validated non-zero");
             for k in 0..spec.count.max(1) {
                 let name = if spec.count > 1 {
                     format!("{}#{}", spec.name, k + 1)
                 } else {
                     spec.name.clone()
                 };
-                let idx = sim.schedule_arrival(
-                    spec.arrive,
-                    &name,
-                    Weight::new(spec.weight).expect("zero weight in scenario"),
-                    spec.behavior.clone(),
-                );
+                let idx = sim.schedule_arrival(spec.arrive, &name, weight, spec.behavior.clone());
                 if let Some(t) = spec.stop_at {
                     sim.schedule_kill(t, idx);
                 }
@@ -145,20 +245,35 @@ impl Scenario {
             sim.add_stream(
                 s.first,
                 &s.name,
-                Weight::new(s.weight).expect("zero weight in stream"),
+                Weight::new(s.weight).expect("validated non-zero"),
                 s.job.clone(),
                 s.gap,
                 s.until,
             );
         }
-        sim.run()
+        Ok(sim.run())
+    }
+
+    /// Runs the scenario under the given scheduler; panicking
+    /// convenience wrapper around [`Scenario::try_run`] for tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is malformed (see [`ScenarioError`]).
+    pub fn run(&self, sched: Box<dyn Scheduler>) -> SimReport {
+        self.try_run(sched)
+            .unwrap_or_else(|e| panic!("scenario {:?}: {e}", self.name))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sfs_core::sfs::Sfs;
+    use sfs_core::policy::PolicySpec;
+
+    fn sfs(cpus: u32) -> Box<dyn Scheduler> {
+        PolicySpec::sfs().build(cpus)
+    }
 
     #[test]
     fn replicated_tasks_get_numbered_names() {
@@ -170,7 +285,7 @@ mod tests {
         let scenario = Scenario::new("repl", cfg)
             .task(TaskSpec::new("solo", 1, BehaviorSpec::Inf))
             .task(TaskSpec::new("bg", 1, BehaviorSpec::Inf).replicated(3));
-        let rep = scenario.run(Box::new(Sfs::new(2)));
+        let rep = scenario.run(sfs(2));
         assert!(rep.task("solo").is_some());
         assert!(rep.task("bg#1").is_some());
         assert!(rep.task("bg#3").is_some());
@@ -187,7 +302,7 @@ mod tests {
         };
         let scenario = Scenario::new("stop", cfg)
             .task(TaskSpec::new("t", 1, BehaviorSpec::Inf).stop_at(Time::from_secs(1)));
-        let rep = scenario.run(Box::new(Sfs::new(1)));
+        let rep = scenario.run(sfs(1));
         let t = rep.task("t").unwrap();
         assert!(t.exited.is_some());
         assert!(t.service <= Duration::from_millis(1010));
@@ -202,17 +317,51 @@ mod tests {
         };
         let s = Scenario::new("x", cfg)
             .task(TaskSpec::new("late", 2, BehaviorSpec::Inf).arrive_at(Time::from_millis(500)))
-            .stream(StreamSpec {
-                name: "jobs".into(),
-                weight: 1,
-                first: Time::ZERO,
-                job: BehaviorSpec::Finite(Duration::from_millis(100)),
-                gap: Duration::ZERO,
-                until: Time::from_secs(1),
-            });
-        let rep = s.run(Box::new(Sfs::new(2)));
+            .stream(
+                StreamSpec::new("jobs", 1, BehaviorSpec::Finite(Duration::from_millis(100)))
+                    .until(Time::from_secs(1)),
+            );
+        let rep = s.run(sfs(2));
         let late = rep.task("late").unwrap();
         assert!(late.arrived == Time::from_millis(500));
         assert!(rep.tasks.iter().any(|t| t.name.starts_with("jobs#")));
+    }
+
+    #[test]
+    fn zero_weight_is_a_typed_error() {
+        let cfg = SimConfig {
+            cpus: 1,
+            duration: Duration::from_millis(10),
+            ..SimConfig::default()
+        };
+        let err = Scenario::new("bad", cfg.clone())
+            .task(TaskSpec::new("t", 0, BehaviorSpec::Inf))
+            .try_run(sfs(1))
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroTaskWeight { task: "t".into() });
+        assert!(err.to_string().contains("zero weight"));
+
+        let err = Scenario::new("bad2", cfg)
+            .stream(StreamSpec::new(
+                "s",
+                0,
+                BehaviorSpec::Finite(Duration::from_millis(1)),
+            ))
+            .try_run(sfs(1))
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::ZeroStreamWeight { stream: "s".into() });
+    }
+
+    #[test]
+    #[should_panic(expected = "zero weight")]
+    fn run_panics_on_zero_weight() {
+        let cfg = SimConfig {
+            cpus: 1,
+            duration: Duration::from_millis(10),
+            ..SimConfig::default()
+        };
+        let _ = Scenario::new("bad", cfg)
+            .task(TaskSpec::new("t", 0, BehaviorSpec::Inf))
+            .run(sfs(1));
     }
 }

@@ -5,11 +5,10 @@
 //!
 //! Run with: `cargo run --example interactive_desktop`
 
-use sfs::core::timeshare::TimeSharing;
 use sfs::metrics::Summary;
 use sfs::prelude::*;
 
-fn response_ms(sched: Box<dyn Scheduler>, batch: usize) -> f64 {
+fn response_ms(policy: &str, batch: usize) -> f64 {
     let cfg = SimConfig {
         cpus: 2,
         duration: Duration::from_secs(20),
@@ -39,7 +38,9 @@ fn response_ms(sched: Box<dyn Scheduler>, batch: usize) -> f64 {
             .replicated(batch),
         );
     }
-    let rep = s.run(sched);
+    let rep = Experiment::new(s)
+        .run_str(policy)
+        .expect("well-formed scenario and policy");
     rep.task("editor")
         .unwrap()
         .responses
@@ -56,17 +57,8 @@ fn main() {
     );
     println!("{}", "-".repeat(40));
     for batch in [0usize, 2, 4, 6, 8, 10] {
-        let sfs = response_ms(
-            Box::new(Sfs::with_config(
-                2,
-                SfsConfig {
-                    quantum: Duration::from_millis(20),
-                    ..SfsConfig::default()
-                },
-            )),
-            batch,
-        );
-        let ts = response_ms(Box::new(TimeSharing::new(2)), batch);
+        let sfs = response_ms("sfs:quantum=20ms", batch);
+        let ts = response_ms("ts", batch);
         println!("{batch:>11} | {sfs:>9.2} | {ts:>12.2}");
     }
     println!(

@@ -1,59 +1,73 @@
-//! Quickstart: surplus fair scheduling over real OS threads.
+//! Quickstart: one scenario, one policy string, both substrates.
 //!
-//! Three compute-bound tasks with weights 3:2:1 share two virtual CPUs
-//! under SFS. Because 3/(3+2+1) = 1/2 ≤ 1/p, the assignment is feasible
-//! and no readjustment is needed; services should track 3:2:1.
+//! A two-CPU machine runs three compute-bound tasks with weights 3:2:1
+//! under surplus fair scheduling. The scenario is declared once and
+//! executed twice through the `Experiment` front-end:
+//!
+//! 1. on the deterministic discrete-event **simulator**, and
+//! 2. on the **real-thread runtime**, where the same declarative tasks
+//!    become OS threads gated by virtual CPUs (the scenario's duration
+//!    then runs in wall clock time).
+//!
+//! Because 3/(3+2+1) = 1/2 ≤ 1/p the weights are feasible and no
+//! readjustment is needed; both substrates should report shares close
+//! to 50% / 33% / 17%. A final comparative run shows time sharing
+//! ignoring the weights — the paper's core contrast in three lines.
 //!
 //! Run with: `cargo run --example quickstart`
 
 use sfs::prelude::*;
 
-fn main() {
-    let cpus = 2;
-    let ex = Executor::new(
-        RtConfig {
-            cpus,
-            timer_interval: Duration::from_micros(500),
-        },
-        Box::new(Sfs::with_config(
-            cpus,
-            SfsConfig {
-                quantum: Duration::from_millis(5),
-                ..SfsConfig::default()
-            },
-        )),
-    );
-
-    // Spawn three spinners; `checkpoint()` is the cooperative preemption
-    // point (the userspace analogue of a timer interrupt).
-    let spin = |ctx: &TaskCtx| {
-        let mut n = 0u64;
-        while !ctx.stopped() {
-            n = n.wrapping_add(1);
-            ctx.checkpoint();
-        }
+fn scenario() -> Scenario {
+    let cfg = SimConfig {
+        cpus: 2,
+        duration: Duration::from_millis(800), // wall clock on rt
+        sample_every: Duration::from_millis(100),
+        ..SimConfig::default()
     };
-    let a = ex.spawn("video (wt=3)", weight(3), spin);
-    let b = ex.spawn("web (wt=2)", weight(2), spin);
-    let c = ex.spawn("batch (wt=1)", weight(1), spin);
+    Scenario::new("quickstart", cfg)
+        .task(TaskSpec::new("video", 3, BehaviorSpec::Inf))
+        .task(TaskSpec::new("web", 2, BehaviorSpec::Inf))
+        .task(TaskSpec::new("batch", 1, BehaviorSpec::Inf))
+}
 
-    std::thread::sleep(std::time::Duration::from_millis(800));
-    ex.stop();
-    ex.wait();
-
-    let total: f64 = [&a, &b, &c].iter().map(|h| h.service().as_secs_f64()).sum();
-    println!("CPU shares after 800 ms on {cpus} virtual CPUs under SFS:");
-    for h in [&a, &b, &c] {
-        let svc = h.service();
+fn print_shares(rep: &RunReport) {
+    let total: f64 = rep.total_service().as_secs_f64();
+    println!(
+        "[{}] {} under {}:",
+        rep.substrate, rep.scenario, rep.sched_name
+    );
+    for t in &rep.tasks {
         println!(
-            "  {:<14} service {:>9}  share {:>5.1}%",
-            h.name(),
-            format!("{svc}"),
-            100.0 * svc.as_secs_f64() / total
+            "  {:<6} (wt={})  service {:>8.1} ms  share {:>5.1}%",
+            t.name,
+            t.weight,
+            t.service.as_millis_f64(),
+            100.0 * t.service.as_secs_f64() / total.max(1e-12),
         );
     }
-    println!("(want ≈ 50.0% / 33.3% / 16.7%)");
-    a.join();
-    b.join();
-    c.join();
+    println!("  (want ≈ 50.0% / 33.3% / 16.7%)\n");
+}
+
+fn main() {
+    let policy: PolicySpec = "sfs:quantum=5ms".parse().expect("valid policy");
+
+    // 1. The deterministic simulator (default substrate).
+    let sim_rep = Experiment::new(scenario())
+        .run(&policy)
+        .expect("simulated run");
+    print_shares(&sim_rep);
+
+    // 2. The same scenario on real OS threads.
+    let rt_rep = Experiment::on(scenario(), RtSubstrate::default())
+        .run(&policy)
+        .expect("real-thread run");
+    print_shares(&rt_rep);
+
+    // 3. Comparative runs are one call: SFS vs the weight-oblivious
+    //    time-sharing baseline, with fairness deltas.
+    let cmp = Experiment::new(scenario())
+        .compare(&[policy, "ts".parse().expect("valid policy")])
+        .expect("comparison");
+    println!("{}", cmp.to_table());
 }

@@ -5,10 +5,9 @@
 //!
 //! Run with: `cargo run --example video_server`
 
-use sfs::core::timeshare::TimeSharing;
 use sfs::prelude::*;
 
-fn run(sched: Box<dyn Scheduler>, jobs: usize) -> (f64, String) {
+fn run(policy: &str, jobs: usize) -> (f64, String) {
     let cfg = SimConfig {
         cpus: 2,
         duration: Duration::from_secs(15),
@@ -17,7 +16,6 @@ fn run(sched: Box<dyn Scheduler>, jobs: usize) -> (f64, String) {
         track_gms: false,
         seed: 11,
     };
-    let name = sched.name().to_string();
     let mut s = Scenario::new("video_server", cfg).task(TaskSpec::new(
         "decoder",
         10,
@@ -39,12 +37,15 @@ fn run(sched: Box<dyn Scheduler>, jobs: usize) -> (f64, String) {
             .replicated(jobs),
         );
     }
-    let rep = s.run(sched);
+    let rep = Experiment::new(s)
+        .run_str(policy)
+        .expect("well-formed scenario and policy");
     let fps = rep
+        .sim_report()
         .task("decoder")
         .unwrap()
         .completion_rate(Time::from_secs(15));
-    (fps, name)
+    (fps, rep.sched_name.clone())
 }
 
 fn main() {
@@ -55,17 +56,8 @@ fn main() {
     );
     println!("{}", "-".repeat(44));
     for jobs in [0usize, 2, 4, 6, 8, 10] {
-        let (sfs_fps, _) = run(
-            Box::new(Sfs::with_config(
-                2,
-                SfsConfig {
-                    quantum: Duration::from_millis(20),
-                    ..SfsConfig::default()
-                },
-            )),
-            jobs,
-        );
-        let (ts_fps, _) = run(Box::new(TimeSharing::new(2)), jobs);
+        let (sfs_fps, _) = run("sfs:quantum=20ms", jobs);
+        let (ts_fps, _) = run("ts", jobs);
         println!("{jobs:>14} | {sfs_fps:>10.1} | {ts_fps:>12.1}");
     }
     println!(

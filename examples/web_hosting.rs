@@ -56,7 +56,7 @@ fn domain(scenario: Scenario, name: &str, weight: u64, seed_jitter: u64) -> Scen
         ))
 }
 
-fn run(with_abuse: bool, timeshare: bool) -> SimReport {
+fn run(with_abuse: bool, policy: &str) -> SimReport {
     let cfg = SimConfig {
         cpus: 2,
         duration: Duration::from_secs(20),
@@ -73,17 +73,11 @@ fn run(with_abuse: bool, timeshare: bool) -> SimReport {
         // Bronze goes rogue: 12 runaway batch jobs.
         s = s.task(TaskSpec::new("bronze-runaway", 1, BehaviorSpec::Inf).replicated(12));
     }
-    if timeshare {
-        s.run(Box::new(sfs::core::timeshare::TimeSharing::new(2)))
-    } else {
-        s.run(Box::new(Sfs::with_config(
-            2,
-            SfsConfig {
-                quantum: Duration::from_millis(20),
-                ..SfsConfig::default()
-            },
-        )))
-    }
+    Experiment::new(s)
+        .run_str(policy)
+        .expect("well-formed scenario and policy")
+        .sim_report()
+        .clone()
 }
 
 fn domain_service(rep: &SimReport, name: &str) -> f64 {
@@ -105,7 +99,7 @@ fn gold_quality(rep: &SimReport) -> (f64, f64) {
 
 fn main() {
     println!("== normal operation (SFS, weights 4:2:1) ==");
-    let rep = run(false, false);
+    let rep = run(false, "sfs:quantum=20ms");
     for d in ["gold", "silver", "bronze"] {
         println!("  {d:<7} total service {:>6.2}s", domain_service(&rep, d));
     }
@@ -113,8 +107,8 @@ fn main() {
     println!("  gold stream {fps:.1} fps, gold http response {ms:.1} ms");
 
     println!("\n== bronze spawns 12 runaway jobs ==");
-    let sfs_rep = run(true, false);
-    let ts_rep = run(true, true);
+    let sfs_rep = run(true, "sfs:quantum=20ms");
+    let ts_rep = run(true, "ts");
     let (sfs_fps, sfs_ms) = gold_quality(&sfs_rep);
     let (ts_fps, ts_ms) = gold_quality(&ts_rep);
     println!("  under SFS:          gold stream {sfs_fps:.1} fps, http response {sfs_ms:.1} ms");

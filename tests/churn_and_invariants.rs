@@ -3,11 +3,6 @@
 //! exact and heuristic SFS beyond tie-breaking noise.
 
 use proptest::prelude::*;
-use sfs::core::sched::{Scheduler, SwitchReason};
-use sfs::core::sfq::Sfq;
-use sfs::core::sfs::Sfs;
-use sfs::core::stride::Stride;
-use sfs::core::timeshare::TimeSharing;
 use sfs::prelude::*;
 
 /// One random scheduler operation.
@@ -112,6 +107,8 @@ fn churn(mut sched: Box<dyn Scheduler>, ops: &[Op]) {
             ready.len() + blocked.len() + running.iter().flatten().count(),
             "task count mismatch after {op:?}"
         );
+        // Structural invariants (a no-op for policies without a checker).
+        sched.check_invariants();
         // Work conservation: with ready tasks, pick_next must succeed.
         fill(&mut sched, &mut running, &mut ready, now);
         if !ready.is_empty() {
@@ -128,91 +125,35 @@ proptest! {
 
     #[test]
     fn sfs_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        churn(Box::new(Sfs::new(2)), &ops);
+        churn(PolicySpec::sfs().build(2), &ops);
     }
 
     #[test]
     fn sfs_heuristic_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        churn(Box::new(Sfs::heuristic(2, 8)), &ops);
+        churn(PolicySpec::sfs().with_heuristic(8).build(2), &ops);
     }
 
     #[test]
     fn sfq_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        churn(Box::new(Sfq::with_readjustment(2)), &ops);
+        churn(PolicySpec::sfq().with_readjustment().build(2), &ops);
     }
 
     #[test]
     fn timeshare_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        churn(Box::new(TimeSharing::new(2)), &ops);
+        churn(PolicySpec::time_sharing().build(2), &ops);
     }
 
     #[test]
     fn stride_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..120)) {
-        churn(Box::new(Stride::with_readjustment(2)), &ops);
+        churn(PolicySpec::stride().with_readjustment().build(2), &ops);
     }
 
     #[test]
-    fn sfs_invariants_hold_under_churn(ops in proptest::collection::vec(op_strategy(), 1..80)) {
-        // Re-run the churn against a concrete Sfs so we can call its
-        // invariant checker at the end.
-        let quantum = Duration::from_millis(1);
-        let mut sched = Sfs::new(2);
-        let mut now = Time::ZERO;
-        let mut next_id = 0u64;
-        let mut ready: Vec<TaskId> = Vec::new();
-        let mut blocked: Vec<TaskId> = Vec::new();
-        let mut running: Vec<Option<TaskId>> = vec![None; 2];
-        for op in &ops {
-            match op {
-                Op::Spawn(w) => {
-                    next_id += 1;
-                    sched.attach(TaskId(next_id), weight(*w), now);
-                    ready.push(TaskId(next_id));
-                }
-                Op::KillReady(i) if !ready.is_empty() => {
-                    let id = ready.remove(i % ready.len());
-                    sched.detach(id, now);
-                }
-                Op::BlockRunning(i) => {
-                    let occ: Vec<usize> = (0..2).filter(|&c| running[c].is_some()).collect();
-                    if !occ.is_empty() {
-                        let c = occ[i % occ.len()];
-                        let id = running[c].take().unwrap();
-                        sched.put_prev(id, quantum / 2, SwitchReason::Blocked, now);
-                        blocked.push(id);
-                    }
-                }
-                Op::WakeOne(i) if !blocked.is_empty() => {
-                    let id = blocked.remove(i % blocked.len());
-                    sched.wake(id, now);
-                    ready.push(id);
-                }
-                Op::RunQuanta(n) => {
-                    for _ in 0..*n {
-                        for (c, slot) in running.iter_mut().enumerate() {
-                            if slot.is_none() {
-                                if let Some(id) = sched.pick_next(CpuId(c as u32), now) {
-                                    ready.retain(|&r| r != id);
-                                    *slot = Some(id);
-                                }
-                            }
-                        }
-                        now += quantum;
-                        for slot in &mut running {
-                            if let Some(id) = slot.take() {
-                                sched.put_prev(id, quantum, SwitchReason::Preempted, now);
-                                ready.push(id);
-                            }
-                        }
-                    }
-                }
-                Op::Reweigh(i, w) if !ready.is_empty() => {
-                    let id = ready[i % ready.len()];
-                    sched.set_weight(id, weight(*w), now);
-                }
-                _ => {}
-            }
-            sched.check_invariants();
+    fn every_registered_policy_survives_churn(ops in proptest::collection::vec(op_strategy(), 1..60)) {
+        // The registry makes "all policies" a closed, testable set: any
+        // policy added to PolicySpec automatically joins this property.
+        for spec in PolicySpec::registered() {
+            churn(spec.build(2), &ops);
         }
     }
 }
@@ -250,7 +191,7 @@ fn deterministic_across_runs() {
                 )
                 .replicated(3),
             )
-            .run(Box::new(Sfs::new(2)))
+            .run(PolicySpec::sfs().build(2))
     };
     let (r1, r2) = (build(), build());
     for (a, b) in r1.tasks.iter().zip(r2.tasks.iter()) {

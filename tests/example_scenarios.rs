@@ -1,10 +1,13 @@
 //! End-to-end reproductions of the paper's two motivating examples
-//! (§1.2), run through the full simulator stack.
+//! (§1.2), run through the full simulator stack via the `PolicySpec`
+//! registry and the `Experiment` front-end.
 
-use sfs::core::sfq::{Sfq, SfqConfig};
-use sfs::core::sfs::{Sfs, SfsConfig};
 use sfs::metrics::fairness::starvation;
 use sfs::prelude::*;
+
+fn spec(policy: &str) -> PolicySpec {
+    policy.parse().expect("valid policy spec")
+}
 
 fn cfg(secs: u64) -> SimConfig {
     SimConfig {
@@ -28,41 +31,13 @@ fn example1_scenario(secs: u64) -> Scenario {
         )
 }
 
-fn quantum_1ms_sfq() -> Box<dyn Scheduler> {
-    Box::new(Sfq::with_config(
-        2,
-        SfqConfig {
-            quantum: Duration::from_millis(1),
-            readjust: false,
-            ..SfqConfig::default()
-        },
-    ))
-}
-
-fn quantum_1ms_sfq_readjust() -> Box<dyn Scheduler> {
-    Box::new(Sfq::with_config(
-        2,
-        SfqConfig {
-            quantum: Duration::from_millis(1),
-            readjust: true,
-            ..SfqConfig::default()
-        },
-    ))
-}
-
-fn quantum_1ms_sfs() -> Box<dyn Scheduler> {
-    Box::new(Sfs::with_config(
-        2,
-        SfsConfig {
-            quantum: Duration::from_millis(1),
-            ..SfsConfig::default()
-        },
-    ))
-}
-
 #[test]
 fn example1_sfq_starves_the_light_thread() {
-    let rep = example1_scenario(3).run(quantum_1ms_sfq());
+    let rep = Experiment::new(example1_scenario(3))
+        .run(&spec("sfq:quantum=1ms"))
+        .unwrap()
+        .sim_report()
+        .clone();
     let t1 = rep.task("T1").unwrap();
     let gap = starvation(t1.series.points());
     // T1 must starve for a long stretch after T3 arrives at t=1s:
@@ -76,9 +51,13 @@ fn example1_sfq_starves_the_light_thread() {
 
 #[test]
 fn example1_fixed_by_readjustment_and_by_sfs() {
-    for sched in [quantum_1ms_sfq_readjust(), quantum_1ms_sfs()] {
-        let name = sched.name();
-        let rep = example1_scenario(3).run(sched);
+    let exp = Experiment::new(example1_scenario(3));
+    let cmp = exp
+        .compare(&[spec("sfq:quantum=1ms,readjust"), spec("sfs:quantum=1ms")])
+        .unwrap();
+    for run in &cmp.runs {
+        let name = run.sched_name.clone();
+        let rep = run.sim_report();
         let t1 = rep.task("T1").unwrap();
         let gap = starvation(t1.series.points());
         assert!(gap < 0.15, "{name}: T1 starved for {gap:.2}s");
@@ -113,14 +92,10 @@ fn example2_scenario() -> Scenario {
     Scenario::new("example2", cfg)
         .task(TaskSpec::new("heavy", 100, BehaviorSpec::Inf))
         .task(TaskSpec::new("light", 1, BehaviorSpec::Inf).replicated(100))
-        .stream(StreamSpec {
-            name: "short".into(),
-            weight: 10,
-            first: Time::ZERO,
-            job: BehaviorSpec::Finite(Duration::from_millis(50)),
-            gap: Duration::ZERO,
-            until: Time::from_secs(30),
-        })
+        .stream(
+            StreamSpec::new("short", 10, BehaviorSpec::Finite(Duration::from_millis(50)))
+                .until(Time::from_secs(30)),
+        )
 }
 
 /// Steady-state (10 s..30 s) CPU shares of the heavy thread and the
@@ -140,13 +115,7 @@ fn example2_shares(rep: &SimReport) -> (f64, f64) {
 
 #[test]
 fn example2_sfs_keeps_the_stream_near_its_entitlement() {
-    let rep = example2_scenario().run(Box::new(Sfs::with_config(
-        2,
-        SfsConfig {
-            quantum: Duration::from_millis(10),
-            ..SfsConfig::default()
-        },
-    )));
+    let rep = example2_scenario().run(spec("sfs:quantum=10ms").build(2));
     let (heavy, shorts) = example2_shares(&rep);
     // Entitlements of 2 CPUs: heavy 200/210 ≈ 0.95 CPU; stream
     // 20/210 ≈ 0.10 CPU (plus one-quantum-per-job arrival subsidy).
@@ -156,14 +125,7 @@ fn example2_sfs_keeps_the_stream_near_its_entitlement() {
 
 #[test]
 fn example2_sfq_lets_the_stream_monopolize() {
-    let rep = example2_scenario().run(Box::new(Sfq::with_config(
-        2,
-        SfqConfig {
-            quantum: Duration::from_millis(10),
-            readjust: true,
-            ..SfqConfig::default()
-        },
-    )));
+    let rep = example2_scenario().run(spec("sfq:quantum=10ms,readjust").build(2));
     let (_heavy, sfq_shorts) = example2_shares(&rep);
     // SFQ (even with readjustment): each fresh job holds the minimum
     // start tag and spurts through its whole 5-quantum life — the
@@ -173,13 +135,7 @@ fn example2_sfq_lets_the_stream_monopolize() {
         "expected SFQ to over-serve the stream, got {sfq_shorts:.2} CPUs"
     );
     // ... and markedly more than SFS grants it on the same workload.
-    let sfs_rep = example2_scenario().run(Box::new(Sfs::with_config(
-        2,
-        SfsConfig {
-            quantum: Duration::from_millis(10),
-            ..SfsConfig::default()
-        },
-    )));
+    let sfs_rep = example2_scenario().run(spec("sfs:quantum=10ms").build(2));
     let (_, sfs_shorts) = example2_shares(&sfs_rep);
     assert!(
         sfq_shorts > 1.5 * sfs_shorts,

@@ -1,18 +1,13 @@
 //! Cross-crate fairness properties: SFS allocations vs the GMS fluid
 //! ideal across machine sizes, weight patterns, and workload mixes.
 
-use sfs::core::sfs::{Sfs, SfsConfig};
 use sfs::metrics::fairness::{ideal_shares, jain_index, proportional_error};
 use sfs::prelude::*;
 
 fn sfs(cpus: u32, quantum_ms: u64) -> Box<dyn Scheduler> {
-    Box::new(Sfs::with_config(
-        cpus,
-        SfsConfig {
-            quantum: Duration::from_millis(quantum_ms),
-            ..SfsConfig::default()
-        },
-    ))
+    PolicySpec::sfs()
+        .with_quantum(Duration::from_millis(quantum_ms))
+        .build(cpus)
 }
 
 fn run_cpu_bound(cpus: u32, weights: &[u64], secs: u64) -> SimReport {
@@ -192,24 +187,12 @@ fn sfs_reduces_to_sfq_under_churn_on_one_cpu() {
     // larger ids, matching how ids are allocated in practice, so the
     // two schedulers' tie-breaks (SFS by id, SFQ by queue order) agree
     // when an arrival or wakeup lands exactly on the virtual time.
-    use sfs::core::sfq::{Sfq, SfqConfig};
-
     let q = Duration::from_millis(1);
-    let mut sfs = Sfs::with_config(
-        1,
-        SfsConfig {
-            quantum: q,
-            ..SfsConfig::default()
-        },
-    );
-    let mut sfq = Sfq::with_config(
-        1,
-        SfqConfig {
-            quantum: q,
-            readjust: true,
-            ..SfqConfig::default()
-        },
-    );
+    let mut sfs = PolicySpec::sfs().with_quantum(q).build(1);
+    let mut sfq = PolicySpec::sfq()
+        .with_quantum(q)
+        .with_readjustment()
+        .build(1);
     let mut now = Time::ZERO;
     for (id, w) in [(1u64, 3u64), (2, 1), (3, 7), (4, 2)] {
         sfs.attach(TaskId(id), weight(w), now);

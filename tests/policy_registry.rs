@@ -1,0 +1,131 @@
+//! Properties of the `PolicySpec` registry that must hold for *every*
+//! registered policy, present and future:
+//!
+//! * `parse ∘ to_string` is the identity on any constructible spec
+//!   (randomised over kinds and options);
+//! * the simulator never manufactures CPU time: total delivered service
+//!   is bounded by `cpus × duration` under every policy on randomised
+//!   scenarios, driven end to end through the registry and the
+//!   `Experiment` front-end.
+
+use proptest::prelude::*;
+use sfs::core::policy::PolicyKind;
+use sfs::prelude::*;
+
+/// Builds a random-but-valid spec from raw fuzz inputs: a kind index
+/// plus an option bitmask, applying only the options that exist for
+/// the kind (mirroring the builder's own validity rules).
+fn build_spec(kind_idx: usize, quantum_us: u64, knob: u64, bits: u64) -> PolicySpec {
+    let kind = PolicyKind::ALL[kind_idx % PolicyKind::ALL.len()];
+    let mut spec = PolicySpec::new(kind);
+    let quantum = Duration::from_micros(quantum_us);
+    match kind {
+        PolicyKind::Sfs => {
+            if bits & 1 != 0 {
+                spec = spec.with_quantum(quantum);
+            }
+            if bits & 2 != 0 {
+                spec = spec.with_heuristic(1 + (knob as usize % 100));
+            }
+            if bits & 4 != 0 {
+                spec = spec.with_refresh_every(1 + knob % 1000);
+            }
+            if bits & 8 != 0 {
+                spec = spec.with_affinity_margin(quantum * 2);
+            }
+            if bits & 16 != 0 {
+                spec = spec.with_audit();
+            }
+        }
+        PolicyKind::Sfq | PolicyKind::Stride | PolicyKind::Bvt | PolicyKind::Wfq => {
+            if bits & 1 != 0 {
+                spec = spec.with_quantum(quantum);
+            }
+            if bits & 2 != 0 {
+                spec = spec.with_readjustment();
+            }
+        }
+        PolicyKind::TimeSharing => {
+            if bits & 1 != 0 {
+                spec = spec.with_ticks(1 + (knob as i64 % 50));
+            }
+        }
+        PolicyKind::RoundRobin => {
+            if bits & 1 != 0 {
+                spec = spec.with_quantum(quantum);
+            }
+        }
+    }
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn policy_spec_round_trips_for_every_kind(
+        kind_idx in 0usize..7,
+        quantum_us in 1u64..5_000_000,
+        knob in 0u64..10_000,
+        bits in 0u64..32,
+    ) {
+        let spec = build_spec(kind_idx, quantum_us, knob, bits);
+        let s = spec.to_string();
+        let reparsed: PolicySpec = s.parse().expect("canonical form must parse");
+        prop_assert_eq!(reparsed, spec, "string form: {}", s);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn no_policy_manufactures_cpu_time(
+        weights in proptest::collection::vec((1u64..50, 0u8..2), 1..6),
+        cpus in 1u32..4,
+        stream_weight in 1u64..20,
+    ) {
+        let cfg = SimConfig {
+            cpus,
+            duration: Duration::from_secs(1),
+            sample_every: Duration::from_millis(250),
+            ..SimConfig::default()
+        };
+        let mut scenario = Scenario::new("conservation", cfg);
+        for (i, &(w, kind)) in weights.iter().enumerate() {
+            let behavior = if kind == 0 {
+                BehaviorSpec::Inf
+            } else {
+                BehaviorSpec::Compile {
+                    burst: Duration::from_millis(40),
+                    io: Duration::from_millis(2),
+                }
+            };
+            scenario = scenario.task(TaskSpec::new(&format!("t{i}"), w, behavior));
+        }
+        scenario = scenario.stream(
+            StreamSpec::new(
+                "jobs",
+                stream_weight,
+                BehaviorSpec::Finite(Duration::from_millis(30)),
+            )
+            .until(Time::from_secs(1)),
+        );
+
+        let budget = Duration::from_secs(1) * u64::from(cpus);
+        let exp = Experiment::new(scenario);
+        // Every policy in the registry, end to end through the one
+        // front-end: a policy added to the registry automatically joins
+        // this property.
+        let cmp = exp.compare(&PolicySpec::registered())
+            .expect("well-formed scenario");
+        for run in &cmp.runs {
+            let total = run.total_service();
+            prop_assert!(
+                total <= budget,
+                "{} delivered {total} > budget {budget} on {cpus} cpus",
+                run.sched_name
+            );
+        }
+    }
+}

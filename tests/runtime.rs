@@ -4,8 +4,6 @@
 
 use std::time::Instant;
 
-use sfs::core::sfs::{Sfs, SfsConfig};
-use sfs::core::timeshare::{TimeSharing, TimeSharingConfig};
 use sfs::prelude::*;
 use sfs::rt::drive;
 
@@ -15,13 +13,9 @@ fn rt_sfs(cpus: u32) -> Executor {
             cpus,
             timer_interval: Duration::from_micros(250),
         },
-        Box::new(Sfs::with_config(
-            cpus,
-            SfsConfig {
-                quantum: Duration::from_millis(2),
-                ..SfsConfig::default()
-            },
-        )),
+        PolicySpec::sfs()
+            .with_quantum(Duration::from_millis(2))
+            .build(cpus),
     )
 }
 
@@ -115,20 +109,10 @@ fn timeshare_vs_sfs_weight_sensitivity_end_to_end() {
         ex.wait();
         b.service().as_secs_f64() / a.service().as_secs_f64().max(1e-9)
     };
-    let sfs_ratio = run(Box::new(Sfs::with_config(
-        1,
-        SfsConfig {
-            quantum: Duration::from_millis(2),
-            ..SfsConfig::default()
-        },
-    )));
-    let ts_ratio = run(Box::new(TimeSharing::with_config(
-        1,
-        TimeSharingConfig {
-            priority_ticks: 1,
-            ..Default::default()
-        },
-    )));
+    let sfs_ratio = run(PolicySpec::sfs()
+        .with_quantum(Duration::from_millis(2))
+        .build(1));
+    let ts_ratio = run(PolicySpec::time_sharing().with_ticks(1).build(1));
     assert!(sfs_ratio > 2.5, "SFS ratio {sfs_ratio:.2}");
     assert!(ts_ratio < 2.0, "time sharing ratio {ts_ratio:.2}");
     assert!(sfs_ratio > ts_ratio, "{sfs_ratio:.2} vs {ts_ratio:.2}");
@@ -136,37 +120,39 @@ fn timeshare_vs_sfs_weight_sensitivity_end_to_end() {
 
 #[test]
 fn substrate_parity_sim_vs_rt() {
-    // The same 3:1 workload on the simulator and on real threads must
-    // produce the same share split (loose tolerance for the real one).
-    let sim_cfg = SimConfig {
+    // The *same* scenario, expressed once, runs through the Experiment
+    // front-end on both substrates and must produce the same 3:1 share
+    // split (loose tolerance for the real-thread run).
+    let policy: PolicySpec = "sfs:quantum=2ms".parse().unwrap();
+    let cfg = SimConfig {
         cpus: 1,
-        duration: Duration::from_secs(2),
+        duration: Duration::from_millis(600),
         ctx_switch: Duration::from_micros(5),
         sample_every: Duration::from_millis(100),
         track_gms: false,
         seed: 21,
     };
-    let rep = Scenario::new("parity", sim_cfg)
+    let scenario = Scenario::new("parity", cfg)
         .task(TaskSpec::new("a", 3, BehaviorSpec::Inf))
-        .task(TaskSpec::new("b", 1, BehaviorSpec::Inf))
-        .run(Box::new(Sfs::with_config(
-            1,
-            SfsConfig {
-                quantum: Duration::from_millis(2),
-                ..SfsConfig::default()
-            },
-        )));
-    let sim_ratio =
-        rep.task("a").unwrap().service.as_secs_f64() / rep.task("b").unwrap().service.as_secs_f64();
+        .task(TaskSpec::new("b", 1, BehaviorSpec::Inf));
 
-    let ex = rt_sfs(1);
-    let a = ex.spawn("a", weight(3), spin);
-    let b = ex.spawn("b", weight(1), spin);
-    std::thread::sleep(std::time::Duration::from_millis(600));
-    ex.stop();
-    ex.wait();
-    let rt_ratio = a.service().as_secs_f64() / b.service().as_secs_f64().max(1e-9);
+    let sim_rep = Experiment::new(scenario.clone()).run(&policy).unwrap();
+    let rt_rep = Experiment::on(
+        scenario,
+        RtSubstrate {
+            timer_interval: Duration::from_micros(250),
+        },
+    )
+    .run(&policy)
+    .unwrap();
 
+    let ratio = |rep: &RunReport| {
+        rep.task("a").unwrap().service.as_secs_f64()
+            / rep.task("b").unwrap().service.as_secs_f64().max(1e-9)
+    };
+    let (sim_ratio, rt_ratio) = (ratio(&sim_rep), ratio(&rt_rep));
+    assert_eq!(sim_rep.substrate, "sim");
+    assert_eq!(rt_rep.substrate, "rt");
     assert!((sim_ratio - 3.0).abs() < 0.05, "sim ratio {sim_ratio:.2}");
     assert!(
         (rt_ratio / sim_ratio - 1.0).abs() < 0.45,
