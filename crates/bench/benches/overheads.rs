@@ -1,5 +1,6 @@
 //! `cargo bench --bench overheads` — regenerates the real-thread
-//! overhead measurements (Fig. 7 and Table 1) in quick mode.
+//! overhead measurements (Fig. 7 and Table 1) and the per-decision
+//! pick-path sweep in quick mode.
 
 use std::path::Path;
 
@@ -8,7 +9,7 @@ use sfs_bench::run_experiment;
 
 fn main() {
     let out = Path::new("results").join("bench");
-    for id in ["fig7", "table1"] {
+    for id in ["fig7", "table1", "overhead"] {
         eprintln!(">> {id} (quick)");
         let res = run_experiment(id, Effort::Quick);
         println!("== {} — {} ==\n", res.id, res.title);

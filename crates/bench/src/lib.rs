@@ -11,6 +11,7 @@
 //! | [`fig5`] | Figure 5(a,b) (short-jobs problem, SFQ vs SFS) |
 //! | [`fig6`] | Figure 6(a,b,c) (allocation, isolation, interactivity) |
 //! | [`overheads`] | Figure 7 and Table 1 (scheduling overheads) |
+//! | [`overhead`] | Per-decision cost sweep, 10²–10⁵ threads (beyond the paper: bucket-queue pick path) |
 //!
 //! The `repro` binary drives them all and writes reports to
 //! `results/`; the `figures`/`overheads` bench targets run them in
@@ -23,6 +24,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod helpers;
+pub mod overhead;
 pub mod overheads;
 
 use common::{Effort, ExpResult};
@@ -30,7 +32,7 @@ use common::{Effort, ExpResult};
 /// All experiment ids, in paper order.
 pub fn all_ids() -> Vec<&'static str> {
     vec![
-        "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1",
+        "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
     ]
 }
 
@@ -50,6 +52,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "fig6c" => fig6::run_6c(effort),
         "fig7" => overheads::run_fig7(effort),
         "table1" => overheads::run_table1(effort),
+        "overhead" => overhead::run(effort),
         other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
     }
 }

@@ -1,0 +1,581 @@
+//! Per-weight-class bucket queue for exact surplus fair scheduling.
+//!
+//! The kernel design (§3.1/§3.2) keeps one global surplus-sorted queue
+//! and re-sorts it whenever the virtual time advances. Because the
+//! minimum-start-tag thread is usually the one that just ran, the
+//! virtual time advances on essentially every quantum, so the "periodic"
+//! re-sort degenerates into an O(n) insertion-sort pass per scheduling
+//! decision.
+//!
+//! The fix exploits the algebraic structure of the surplus
+//!
+//! ```text
+//! α_i = φ_i · (S_i − v)
+//! ```
+//!
+//! For two threads sharing the same adjusted weight `φ`,
+//!
+//! ```text
+//! α_i < α_j  ⇔  φ·(S_i − v) < φ·(S_j − v)  ⇔  S_i < S_j
+//! ```
+//!
+//! so *within one weight class surplus order is exactly start-tag order,
+//! for every value of `v`*. A change of virtual time can never reorder
+//! threads of equal `φ`; it can only reshuffle the interleaving *across*
+//! weight classes. [`BucketQueue`] therefore keeps one start-tag-ordered
+//! bucket per distinct `φ` and finds the minimum-surplus thread by
+//! comparing the O(#distinct-φ) bucket heads — no re-sort ever happens,
+//! and a virtual-time advance costs nothing.
+//!
+//! Within a bucket, entries are totally ordered by `(S_i, id)` — the
+//! exact tie-break the scheduler preserves — in a balanced ordered set
+//! rather than the intrusive linked list used by the start-tag and
+//! weight queues. The list was tried first: under phase-locked equal
+//! quanta (the paper's own lockstep experiments) every thread of one
+//! weight class advances its tag by the same `q/φ` on every round, so
+//! whole classes stay tied at one start tag indefinitely, and a linked
+//! list pays O(tie-run) per operation to honour the id tie-break —
+//! measured at thousands of entries examined per pick at 4×10³ threads.
+//! The ordered set makes both the requeue and the head lookup
+//! O(log n_bucket) with the tie-break built into the key.
+//!
+//! Cost model (p processors, n runnable threads, w distinct weights):
+//!
+//! * pick: O(w·log n + p) — each bucket contributes its head (skipping
+//!   the ≤ p currently-running entries),
+//! * requeue after a quantum: O(log n) in one bucket,
+//! * weight readjustment: migrates only the at-most-`p − 1` clamped (or
+//!   unclamped) threads between buckets,
+//! * virtual-time advance: free.
+//!
+//! The old path was O(n) per pick in `resort_with` alone.
+
+use std::collections::btree_set;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use crate::fixed::Fixed;
+use crate::task::TaskId;
+
+/// One weight class: runnable threads ordered by `(start tag, id)`.
+type Bucket = BTreeSet<(Fixed, TaskId)>;
+
+/// A runnable-thread queue ordered by surplus, maintained as one
+/// start-tag-ordered bucket per distinct adjusted weight `φ`.
+///
+/// The queue tracks each task's location itself; callers address tasks
+/// by [`TaskId`] only.
+#[derive(Debug, Default)]
+pub struct BucketQueue {
+    /// One `(S, id)`-ordered set per distinct `φ`, keyed by `φ`. Empty
+    /// buckets are removed eagerly so pick cost tracks the number of
+    /// weight classes actually present.
+    buckets: BTreeMap<Fixed, Bucket>,
+    /// Per-task location: the bucket key `φ` and the start-tag key.
+    index: HashMap<TaskId, (Fixed, Fixed)>,
+}
+
+impl BucketQueue {
+    /// Creates an empty bucket queue.
+    pub fn new() -> BucketQueue {
+        BucketQueue::default()
+    }
+
+    /// Number of queued tasks.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no task is queued.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Number of distinct weight classes currently present.
+    pub fn num_buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True if `id` is queued.
+    pub fn contains(&self, id: TaskId) -> bool {
+        self.index.contains_key(&id)
+    }
+
+    /// The `φ` bucket a task currently sits in, if queued.
+    pub fn phi_of(&self, id: TaskId) -> Option<Fixed> {
+        self.index.get(&id).map(|&(phi, _)| phi)
+    }
+
+    /// The start tag currently keyed for a task, if queued.
+    pub fn start_of(&self, id: TaskId) -> Option<Fixed> {
+        self.index.get(&id).map(|&(_, s)| s)
+    }
+
+    /// The minimum start tag over all queued tasks — the virtual time
+    /// `v` of §2.3 — in O(#buckets). This subsumes the start-tag-sorted
+    /// queue #2 of §3.1: its head was the only thing the scheduler ever
+    /// read from it, while its per-requeue sorted reinsertion cost
+    /// O(displacement) ≈ O(n) on the global list.
+    pub fn min_start(&self) -> Option<Fixed> {
+        self.buckets
+            .values()
+            .filter_map(|b| b.first().map(|&(s, _)| s))
+            .min()
+    }
+
+    /// Iterates all queued task ids in unspecified order, O(1) each.
+    pub fn ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.index.keys().copied()
+    }
+
+    /// Iterates all queued tasks in ascending `(S, id)` order (a lazy
+    /// merge over the bucket heads), yielding `(S, id)` — the start-tag
+    /// queue view the §3.2 heuristic scans.
+    pub fn iter_by_start(&self) -> StartIter<'_> {
+        StartIter {
+            cursors: self.cursors(),
+        }
+    }
+
+    fn cursors(&self) -> Vec<Cursor<'_>> {
+        self.buckets
+            .iter()
+            .map(|(&phi, bucket)| {
+                let mut it = bucket.iter();
+                let head = it.next().copied();
+                Cursor {
+                    phi,
+                    head,
+                    rest: it,
+                }
+            })
+            .collect()
+    }
+
+    /// Queues a task in the `phi` weight class with the given start tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the task is already queued.
+    pub fn insert(&mut self, id: TaskId, phi: Fixed, start_tag: Fixed) {
+        let fresh = self.buckets.entry(phi).or_default().insert((start_tag, id));
+        debug_assert!(fresh, "task {id} queued twice");
+        let prev = self.index.insert(id, (phi, start_tag));
+        debug_assert!(prev.is_none(), "task {id} indexed twice");
+    }
+
+    /// Removes a task from its bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not queued.
+    pub fn remove(&mut self, id: TaskId) {
+        let (phi, start_tag) = self
+            .index
+            .remove(&id)
+            .expect("removing task not in bucket queue");
+        let bucket = self.buckets.get_mut(&phi).expect("bucket missing");
+        let removed = bucket.remove(&(start_tag, id));
+        debug_assert!(removed, "bucket entry missing for {id}");
+        if bucket.is_empty() {
+            self.buckets.remove(&phi);
+        }
+    }
+
+    /// Repositions a task inside its bucket after its start tag changed
+    /// (the per-quantum requeue). O(log) in the bucket size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not queued.
+    pub fn update_start(&mut self, id: TaskId, start_tag: Fixed) {
+        let entry = self.index.get_mut(&id).expect("updating unqueued task");
+        let (phi, old_start) = *entry;
+        entry.1 = start_tag;
+        let bucket = self.buckets.get_mut(&phi).expect("bucket missing");
+        bucket.remove(&(old_start, id));
+        bucket.insert((start_tag, id));
+    }
+
+    /// Moves a task to a different weight class, preserving its start
+    /// tag. Returns `true` if the task actually migrated (its `φ`
+    /// changed). This is the only work a readjustment-driven `φ` change
+    /// requires — at most `p − 1` threads are ever clamped, so at most
+    /// that many migrate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not queued.
+    pub fn set_phi(&mut self, id: TaskId, phi: Fixed) -> bool {
+        let &(old_phi, start_tag) = self.index.get(&id).expect("re-weighting unqueued task");
+        if old_phi == phi {
+            return false;
+        }
+        self.remove(id);
+        self.insert(id, phi, start_tag);
+        true
+    }
+
+    /// The minimum-surplus candidate `(α, S, id)` over queued tasks for
+    /// which `ready` holds, under virtual time `v`, with the exact
+    /// (surplus, start-tag, id) tie-break of the original algorithm.
+    /// Also returns the number of queue entries examined.
+    ///
+    /// Per bucket only the head and any non-ready (currently running)
+    /// entries in front of it are visited — the bucket's `(S, id)` order
+    /// *is* the tie-break order, so the first ready entry is the
+    /// bucket's exact minimum. Buckets whose head already exceeds the
+    /// best surplus are skipped without scanning.
+    pub fn min_surplus(
+        &self,
+        v: Fixed,
+        ready: impl Fn(TaskId) -> bool,
+    ) -> (Option<(Fixed, Fixed, TaskId)>, u64) {
+        let mut best: Option<(Fixed, Fixed, TaskId)> = None;
+        let mut scanned = 0u64;
+        for (&phi, bucket) in &self.buckets {
+            if let (Some(&(head_s, _)), Some((ba, _, _))) = (bucket.first(), best) {
+                // φ·(head_S − v) lower-bounds every surplus in this
+                // bucket; a strictly larger bound can never win (ties
+                // could still win on the (S, id) tie-break).
+                if phi.mul_fixed(head_s - v) > ba {
+                    scanned += 1;
+                    continue;
+                }
+            }
+            for &(s, id) in bucket {
+                scanned += 1;
+                if !ready(id) {
+                    continue;
+                }
+                // First ready entry: the bucket's minimum (α, S, id) —
+                // later entries are ≥ in (S, id) and surplus is
+                // non-decreasing in S.
+                let cand = (phi.mul_fixed(s - v), s, id);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+                break;
+            }
+        }
+        (best, scanned)
+    }
+
+    /// The best `(α, S, id)` candidate among ready tasks whose surplus
+    /// under `v` is within `cutoff` and for which `prefer` holds — the
+    /// processor-affinity scan. Returns the winner (`None` if no such
+    /// task exists) and the number of queue entries examined, so
+    /// per-decision scan accounting stays honest when affinity walks
+    /// long tie runs under the cutoff.
+    pub fn affinity_best(
+        &self,
+        v: Fixed,
+        cutoff: Fixed,
+        prefer: impl Fn(TaskId) -> bool,
+    ) -> (Option<TaskId>, u64) {
+        let mut best: Option<(Fixed, Fixed, TaskId)> = None;
+        let mut scanned = 0u64;
+        for (&phi, bucket) in &self.buckets {
+            for &(s, id) in bucket {
+                scanned += 1;
+                let alpha = phi.mul_fixed(s - v);
+                if alpha > cutoff {
+                    break;
+                }
+                if !prefer(id) {
+                    continue;
+                }
+                let cand = (alpha, s, id);
+                if best.is_none_or(|b| cand < b) {
+                    best = Some(cand);
+                }
+            }
+        }
+        (best.map(|(_, _, id)| id), scanned)
+    }
+
+    /// Iterates all queued tasks in ascending `(α, S, id)` order under
+    /// `v` (a lazy merge over the bucket heads), yielding `(α, id)`.
+    /// Each step costs O(#buckets); `take(k)` gives the §3.2 heuristic
+    /// its "first k entries of the surplus queue" without any stored
+    /// surplus keys existing.
+    pub fn iter_by_surplus(&self, v: Fixed) -> SurplusIter<'_> {
+        SurplusIter {
+            v,
+            cursors: self.cursors(),
+        }
+    }
+
+    /// Shifts every start-tag key by `delta` (tag renormalisation,
+    /// §3.2). A uniform shift preserves order inside every bucket, so
+    /// the sorted rebuild is linear; the bucket keys (`φ` values) are
+    /// untouched.
+    pub fn shift_keys(&mut self, delta: Fixed) {
+        for bucket in self.buckets.values_mut() {
+            let shifted: Vec<(Fixed, TaskId)> =
+                bucket.iter().map(|&(s, id)| (s + delta, id)).collect();
+            bucket.clear();
+            bucket.extend(shifted);
+        }
+        for (_, s) in self.index.values_mut() {
+            *s += delta;
+        }
+    }
+
+    /// Debug invariant check: every bucket is non-empty, the index
+    /// matches the buckets, and every entry's key equals the start tag
+    /// `start_of` reports for its task.
+    #[doc(hidden)]
+    pub fn check_invariants(&self, start_of: impl Fn(TaskId) -> Fixed) {
+        let mut seen = 0usize;
+        for (&phi, bucket) in &self.buckets {
+            assert!(!bucket.is_empty(), "empty bucket for phi {phi}");
+            for &(key, id) in bucket {
+                seen += 1;
+                let &(iphi, istart) = self.index.get(&id).expect("task missing from index");
+                assert_eq!(iphi, phi, "index phi mismatch for {id}");
+                assert_eq!(istart, key, "index start mismatch for {id}");
+                assert_eq!(key, start_of(id), "stale start-tag key for {id}");
+            }
+        }
+        assert_eq!(seen, self.index.len(), "index/bucket length mismatch");
+    }
+}
+
+struct Cursor<'a> {
+    phi: Fixed,
+    head: Option<(Fixed, TaskId)>,
+    rest: btree_set::Iter<'a, (Fixed, TaskId)>,
+}
+
+/// Lazy ascending-surplus merge over the buckets; see
+/// [`BucketQueue::iter_by_surplus`].
+pub struct SurplusIter<'a> {
+    v: Fixed,
+    cursors: Vec<Cursor<'a>>,
+}
+
+impl Iterator for SurplusIter<'_> {
+    type Item = (Fixed, TaskId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let v = self.v;
+        let (pos, _) = self
+            .cursors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.head.map(|(s, id)| (i, (c.phi.mul_fixed(s - v), s, id))))
+            .min_by_key(|&(_, key)| key)?;
+        let cursor = &mut self.cursors[pos];
+        let (s, id) = cursor.head.take().expect("cursor head vanished");
+        cursor.head = cursor.rest.next().copied();
+        Some((cursor.phi.mul_fixed(s - v), id))
+    }
+}
+
+/// Lazy ascending-start-tag merge over the buckets; see
+/// [`BucketQueue::iter_by_start`].
+pub struct StartIter<'a> {
+    cursors: Vec<Cursor<'a>>,
+}
+
+impl Iterator for StartIter<'_> {
+    type Item = (Fixed, TaskId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let (pos, _) = self
+            .cursors
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.head.map(|key| (i, key)))
+            .min_by_key(|&(_, key)| key)?;
+        let cursor = &mut self.cursors[pos];
+        let head = cursor.head.take().expect("cursor head vanished");
+        cursor.head = cursor.rest.next().copied();
+        Some(head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fx(v: i64) -> Fixed {
+        Fixed::from_int(v)
+    }
+
+    #[test]
+    fn insert_groups_by_phi() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(1), fx(10));
+        q.insert(TaskId(2), fx(2), fx(5));
+        q.insert(TaskId(3), fx(1), fx(7));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.num_buckets(), 2);
+        assert_eq!(q.phi_of(TaskId(3)), Some(fx(1)));
+        assert_eq!(q.start_of(TaskId(3)), Some(fx(7)));
+        q.check_invariants(|id| match id.0 {
+            1 => fx(10),
+            2 => fx(5),
+            _ => fx(7),
+        });
+    }
+
+    #[test]
+    fn min_surplus_compares_bucket_heads() {
+        let mut q = BucketQueue::new();
+        // phi=1: S=10 → α=10; phi=3: S=4 → α=12. Light class wins.
+        q.insert(TaskId(1), fx(1), fx(10));
+        q.insert(TaskId(2), fx(3), fx(4));
+        let (best, _) = q.min_surplus(Fixed::ZERO, |_| true);
+        assert_eq!(best, Some((fx(10), fx(10), TaskId(1))));
+        // Raise v: α₁ = 1·(10−4) = 6, α₂ = 3·(4−4) = 0. Heavy class wins
+        // — the cross-class order flipped without any key update.
+        let (best, _) = q.min_surplus(fx(4), |_| true);
+        assert_eq!(best, Some((fx(0), fx(4), TaskId(2))));
+    }
+
+    #[test]
+    fn min_surplus_ties_break_by_start_then_id() {
+        let mut q = BucketQueue::new();
+        // Same surplus 6 via different classes: (6, S=6, T9) vs
+        // (6, S=3, T5): smaller start tag wins.
+        q.insert(TaskId(9), fx(1), fx(6));
+        q.insert(TaskId(5), fx(2), fx(3));
+        let (best, _) = q.min_surplus(Fixed::ZERO, |_| true);
+        assert_eq!(best, Some((fx(6), fx(3), TaskId(5))));
+        // Identical (α, S) within one class: min id wins regardless of
+        // insertion order.
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(7), fx(1), fx(2));
+        q.insert(TaskId(3), fx(1), fx(2));
+        let (best, _) = q.min_surplus(Fixed::ZERO, |_| true);
+        assert_eq!(best, Some((fx(2), fx(2), TaskId(3))));
+    }
+
+    #[test]
+    fn min_surplus_tie_runs_cost_one_probe_per_bucket() {
+        // A whole class tied at one start tag (the phase-locked lockstep
+        // regime): the pick must examine O(1) entries per bucket, not
+        // the tie run.
+        let mut q = BucketQueue::new();
+        for i in 0..1000u64 {
+            q.insert(TaskId(i), fx(1), fx(0));
+        }
+        for i in 1000..2000u64 {
+            q.insert(TaskId(i), fx(7), fx(0));
+        }
+        let (best, scanned) = q.min_surplus(Fixed::ZERO, |_| true);
+        assert_eq!(best, Some((fx(0), fx(0), TaskId(0))));
+        assert!(scanned <= 4, "tie run was scanned: {scanned} entries");
+    }
+
+    #[test]
+    fn min_surplus_skips_non_ready_heads() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(1), fx(0));
+        q.insert(TaskId(2), fx(1), fx(5));
+        let (best, _) = q.min_surplus(Fixed::ZERO, |id| id != TaskId(1));
+        assert_eq!(best, Some((fx(5), fx(5), TaskId(2))));
+        let (none, _) = q.min_surplus(Fixed::ZERO, |_| false);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    fn set_phi_migrates_between_buckets() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(5), fx(100));
+        q.insert(TaskId(2), fx(5), fx(50));
+        assert!(q.set_phi(TaskId(1), fx(2)));
+        assert!(!q.set_phi(TaskId(1), fx(2)), "no-op migration");
+        assert_eq!(q.num_buckets(), 2);
+        assert_eq!(q.phi_of(TaskId(1)), Some(fx(2)));
+        assert_eq!(q.start_of(TaskId(1)), Some(fx(100)), "start tag kept");
+        q.remove(TaskId(2));
+        assert_eq!(q.num_buckets(), 1, "empty bucket pruned");
+        q.check_invariants(|id| if id.0 == 1 { fx(100) } else { fx(50) });
+    }
+
+    #[test]
+    fn update_start_repositions_within_bucket() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(1), fx(1));
+        q.insert(TaskId(2), fx(1), fx(2));
+        q.update_start(TaskId(1), fx(9));
+        let (best, _) = q.min_surplus(Fixed::ZERO, |_| true);
+        assert_eq!(best, Some((fx(2), fx(2), TaskId(2))));
+        assert_eq!(q.start_of(TaskId(1)), Some(fx(9)));
+    }
+
+    #[test]
+    fn surplus_iter_merges_in_alpha_order() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(1), fx(10)); // α = 10
+        q.insert(TaskId(2), fx(2), fx(3)); // α = 6
+        q.insert(TaskId(3), fx(1), fx(8)); // α = 8
+        q.insert(TaskId(4), fx(4), fx(3)); // α = 12
+        let order: Vec<u64> = q.iter_by_surplus(Fixed::ZERO).map(|(_, id)| id.0).collect();
+        assert_eq!(order, vec![2, 3, 1, 4]);
+        let alphas: Vec<i64> = q
+            .iter_by_surplus(Fixed::ZERO)
+            .map(|(a, _)| a.trunc())
+            .collect();
+        assert_eq!(alphas, vec![6, 8, 10, 12]);
+    }
+
+    #[test]
+    fn min_start_and_start_iter_span_buckets() {
+        let mut q = BucketQueue::new();
+        assert_eq!(q.min_start(), None);
+        q.insert(TaskId(1), fx(1), fx(10));
+        q.insert(TaskId(2), fx(7), fx(3));
+        q.insert(TaskId(3), fx(1), fx(5));
+        assert_eq!(q.min_start(), Some(fx(3)));
+        let order: Vec<u64> = q.iter_by_start().map(|(_, id)| id.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+        let mut ids: Vec<u64> = q.ids().map(|id| id.0).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn affinity_best_respects_cutoff_and_filter() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(1), fx(2)); // α = 2
+        q.insert(TaskId(2), fx(1), fx(4)); // α = 4
+        q.insert(TaskId(3), fx(2), fx(1)); // α = 2
+        let (pick, _) = q.affinity_best(Fixed::ZERO, fx(3), |id| id == TaskId(2));
+        assert_eq!(pick, None, "T2's surplus exceeds the cutoff");
+        let (pick, scanned) = q.affinity_best(Fixed::ZERO, fx(4), |id| id == TaskId(2));
+        assert_eq!(pick, Some(TaskId(2)));
+        assert!(scanned >= 3, "affinity scan work must be reported");
+        let (pick, _) = q.affinity_best(Fixed::ZERO, fx(4), |_| true);
+        assert_eq!(pick, Some(TaskId(3)), "min (α, S, id) among eligible");
+    }
+
+    #[test]
+    fn shift_keys_preserves_order() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(10), fx(100));
+        q.insert(TaskId(2), fx(10), fx(200));
+        q.insert(TaskId(3), fx(1), fx(150));
+        q.shift_keys(-fx(100));
+        assert_eq!(q.start_of(TaskId(1)), Some(fx(0)));
+        assert_eq!(q.start_of(TaskId(3)), Some(fx(50)));
+        q.check_invariants(|id| match id.0 {
+            1 => fx(0),
+            2 => fx(100),
+            _ => fx(50),
+        });
+    }
+
+    #[test]
+    fn bucket_churn_prunes_empty_classes() {
+        let mut q = BucketQueue::new();
+        for round in 0..5 {
+            q.insert(TaskId(1), fx(1 + round % 2), fx(round));
+            q.remove(TaskId(1));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.num_buckets(), 0);
+    }
+}

@@ -29,6 +29,10 @@ pub struct FeasibleWeights {
     total: u128,
     clamped: Vec<TaskId>,
     cap: Option<Fixed>,
+    /// Tasks whose `φ` changed in the most recent readjustment pass
+    /// (clamped, unclamped, or still clamped under a moved cap); drained
+    /// by [`FeasibleWeights::take_changed`].
+    changed: Vec<TaskId>,
     /// Number of readjustment passes run (for [`SchedStats`]).
     ///
     /// [`SchedStats`]: crate::sched::SchedStats
@@ -50,6 +54,7 @@ impl FeasibleWeights {
             total: 0,
             clamped: Vec::new(),
             cap: None,
+            changed: Vec::new(),
             calls: 0,
             clamps: 0,
         }
@@ -128,9 +133,24 @@ impl FeasibleWeights {
         self.weight_q.iter_rev()
     }
 
+    /// Drains the set of tasks whose instantaneous weight `φ` changed in
+    /// the most recent mutation (`insert`/`remove`/`set_weight`): tasks
+    /// newly clamped, newly unclamped, or still clamped while the cap
+    /// moved. At most `p − 1` tasks are ever clamped, so the set is tiny.
+    ///
+    /// Callers that keep per-task `φ` state (the SFS bucket queue) use
+    /// this to migrate exactly the affected tasks instead of rescanning
+    /// the whole runnable set. The directly mutated task itself is *not*
+    /// reported unless its clamp state changed — its `φ` obviously moved
+    /// with its raw weight and the caller already knows.
+    pub fn take_changed(&mut self) -> Vec<TaskId> {
+        std::mem::take(&mut self.changed)
+    }
+
     /// Re-runs readjustment over the current runnable set.
     /// Returns `true` if the clamp set or cap changed.
     fn run(&mut self) -> bool {
+        self.changed.clear();
         if !self.enabled {
             return false;
         }
@@ -158,6 +178,18 @@ impl FeasibleWeights {
             .map(|(_, id)| id)
             .collect();
         let changed = new_clamped != self.clamped || adj.cap != self.cap;
+        for &id in &self.clamped {
+            if !new_clamped.contains(&id) {
+                self.changed.push(id); // unclamped: φ back to raw weight
+            }
+        }
+        for &id in &new_clamped {
+            if !self.clamped.contains(&id) {
+                self.changed.push(id); // newly clamped to the cap
+            } else if adj.cap != self.cap {
+                self.changed.push(id); // still clamped, but the cap moved
+            }
+        }
         self.clamps += adj.clamped as u64;
         self.clamped = new_clamped;
         self.cap = adj.cap;
@@ -295,6 +327,38 @@ mod tests {
         let mut asc: Vec<_> = f.iter_asc().map(|(_, id)| id).collect();
         asc.reverse();
         assert_eq!(desc, asc);
+    }
+
+    #[test]
+    fn take_changed_reports_exact_phi_delta() {
+        let mut f = FeasibleWeights::new(2, true);
+        f.insert(TaskId(1), weight(1));
+        f.insert(TaskId(2), weight(1));
+        // Setup churn: with n ≤ p the heaviest task is transiently
+        // clamped at cap 1; drain that before asserting.
+        let _ = f.take_changed();
+        // A feasibility-neutral arrival reports nothing.
+        f.insert(TaskId(3), weight(1));
+        assert!(f.take_changed().is_empty());
+        // A weight-30 arrival on 2 CPUs is clamped immediately (cap
+        // (1+1+1)/1 = 3): only the new task itself is affected.
+        f.insert(TaskId(4), weight(30));
+        assert_eq!(f.take_changed(), vec![TaskId(4)]);
+        // Draining twice yields nothing new.
+        assert!(f.take_changed().is_empty());
+        assert_eq!(f.phi(TaskId(4), weight(30)), Fixed::from_int(3));
+        // Another light arrival moves the cap to 4: T4 stays clamped
+        // but its φ changed, so it is reported again.
+        f.insert(TaskId(5), weight(1));
+        assert_eq!(f.take_changed(), vec![TaskId(4)]);
+        assert_eq!(f.phi(TaskId(4), weight(30)), Fixed::from_int(4));
+        // Dropping T4's weight to 1 unclamps it.
+        f.set_weight(TaskId(4), weight(30), weight(1));
+        assert_eq!(f.take_changed(), vec![TaskId(4)]);
+        assert!(!f.is_clamped(TaskId(4)));
+        // A feasibility-neutral departure reports nothing.
+        f.remove(TaskId(5), weight(1));
+        assert!(f.take_changed().is_empty());
     }
 
     #[test]

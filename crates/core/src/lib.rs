@@ -11,8 +11,10 @@
 //!   runnable-set change as the kernel implementation does (§3.1).
 //! * [`gms`] — generalized multiprocessor sharing, the idealized
 //!   fluid-flow reference (§2.2).
-//! * [`sfs`] — surplus fair scheduling itself (§2.3), with the
-//!   three-queue kernel structure, the bounded-lookahead heuristic and
+//! * [`sfs`] — surplus fair scheduling itself (§2.3), with the §3.1
+//!   kernel queue structure upgraded to a per-weight-class bucket queue
+//!   ([`mod@buckets`]) that makes the exact pick O(#weight-classes)
+//!   instead of O(n), plus the bounded-lookahead heuristic and
 //!   fixed-point tags with renormalisation (§3).
 //! * Baselines the paper compares against or cites: [`sfq`] (start-time
 //!   fair queueing, with optional readjustment — Figs. 4/5),
@@ -44,6 +46,7 @@
 //! sched.put_prev(first, Duration::from_millis(10), SwitchReason::Preempted, later);
 //! ```
 
+pub mod buckets;
 pub mod bvt;
 pub mod feasible;
 pub mod fixed;

@@ -78,6 +78,15 @@ pub struct SchedStats {
     pub renormalizations: u64,
     /// Picks that moved a task to a different processor than its last.
     pub migrations: u64,
+    /// Tasks migrated between per-φ buckets after readjustment-driven
+    /// weight changes (SFS bucket queue).
+    pub bucket_migrations: u64,
+    /// Queue entries examined across all exact bucket-queue picks (SFS);
+    /// `bucket_scans / picks` is the measured per-decision scan cost.
+    pub bucket_scans: u64,
+    /// Distinct weight-class buckets at the instant the stats were read
+    /// (a gauge, not a counter; SFS bucket queue).
+    pub weight_classes: u64,
 }
 
 /// A proportional-share (or baseline) CPU scheduling policy.

@@ -28,17 +28,34 @@
 //!   thread is exactly the minimum-start-tag thread, so SFS reduces to
 //!   SFQ (§2.3); a unit test asserts decision-for-decision equality.
 //!
-//! The implementation mirrors the kernel port (§3.1): three sorted run
-//! queues (weight-descending, start-tag-ascending, surplus-ascending),
-//! re-sorted with insertion sort when the virtual time advances, plus the
-//! optional bounded-lookahead heuristic of §3.2 and fixed-point tags with
-//! renormalisation for wrap-around.
+//! # Run-queue structure
+//!
+//! The paper's kernel port (§3.1) keeps a surplus-sorted queue and
+//! re-sorts it whenever the virtual time advances. Since `v` is the
+//! minimum start tag, and the minimum-start-tag thread is usually the
+//! one that just finished its quantum, `v` advances on essentially every
+//! decision — so that design degenerates to an O(n) re-sort per pick.
+//! This implementation instead uses the per-weight-class
+//! [`BucketQueue`](crate::buckets): within one adjusted weight `φ`,
+//! surplus order equals start-tag order *for every* `v`, so a
+//! virtual-time advance reorders nothing and the exact minimum-surplus
+//! pick is a comparison across the O(#distinct-φ) bucket heads. The
+//! bucket queue also subsumes the start-tag queue #2 of §3.1: the only
+//! thing the scheduler ever read from it was its head (the virtual
+//! time), which is the minimum over bucket heads — while maintaining it
+//! cost an O(displacement) sorted reinsertion on every requeue. Only
+//! the weight-descending readjustment queue #1 remains as in §3.1. The
+//! decision sequence is identical to the resort-based implementation —
+//! a differential test drives both in lockstep — only the per-decision
+//! cost changes (O(#weight-classes·log n) instead of O(n)). The
+//! bounded-lookahead heuristic of §3.2 and the fixed-point tags with
+//! renormalisation are retained.
 
 use std::collections::HashMap;
 
+use crate::buckets::BucketQueue;
 use crate::feasible::FeasibleWeights;
 use crate::fixed::{Fixed, SCALE};
-use crate::queues::{NodeRef, Order, SortedList};
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
 use crate::task::{CpuId, TagTask, TaskId, TaskState, Weight};
 use crate::time::{Duration, Time};
@@ -48,13 +65,16 @@ use crate::time::{Duration, Time};
 pub struct SfsConfig {
     /// Maximum quantum granted per dispatch (paper test-bed: 200 ms).
     pub quantum: Duration,
-    /// `Some(k)`: use the §3.2 heuristic, examining the first `k` entries
-    /// of each of the three queues instead of re-sorting on every
-    /// virtual-time change. `None`: exact algorithm.
+    /// `Some(k)`: use the §3.2 heuristic, examining the first `k`
+    /// entries of the start-tag order, the surplus order and the
+    /// backwards weight queue instead of scanning every bucket head.
+    /// `None`: exact algorithm.
     pub heuristic: Option<usize>,
-    /// In heuristic mode, force a full surplus refresh every this many
-    /// picks ("infrequent updates and sorting are still required to
-    /// maintain a high accuracy", §3.2).
+    /// Historical §3.2 knob: how often the resort-based implementation
+    /// forced a full surplus re-sort in heuristic mode. The bucket queue
+    /// keeps surplus order exact at all times, so no periodic re-sort
+    /// exists any more; the knob is retained so existing policy specs
+    /// round-trip unchanged.
     pub refresh_every: u64,
     /// When the virtual time exceeds this value, subtract the minimum
     /// start tag from every tag and reset the virtual time (§3.2
@@ -94,10 +114,6 @@ impl Default for SfsConfig {
 #[derive(Debug)]
 struct Entry {
     task: TagTask,
-    /// Node in the start-tag queue; `None` while blocked.
-    s_node: Option<NodeRef>,
-    /// Node in the surplus queue; `None` while blocked.
-    a_node: Option<NodeRef>,
     /// The processor this task last ran on (affinity extension).
     last_cpu: Option<CpuId>,
 }
@@ -109,15 +125,13 @@ pub struct Sfs {
     tasks: HashMap<TaskId, Entry>,
     /// Weight-descending queue + readjustment state (queue #1 of §3.1).
     feas: FeasibleWeights,
-    /// Start-tag-ascending queue (queue #2).
-    start_q: SortedList,
-    /// Surplus-ascending queue (queue #3).
-    surplus_q: SortedList,
-    /// Virtual time base used by the stored surplus keys.
+    /// Surplus order, held as one start-tag-ordered bucket per weight
+    /// class. Replaces *both* the start-tag queue #2 of §3.1 (its head —
+    /// the virtual time — is the minimum over bucket heads) and the
+    /// resort-based surplus queue #3.
+    buckets: BucketQueue,
+    /// Virtual time base used when computing surpluses.
     v: Fixed,
-    /// Surplus keys are stale (virtual time advanced or weights changed).
-    dirty: bool,
-    picks_since_refresh: u64,
     nr_running: usize,
     stats: SchedStats,
 }
@@ -151,11 +165,8 @@ impl Sfs {
             cpus,
             tasks: HashMap::new(),
             feas: FeasibleWeights::new(cpus, true),
-            start_q: SortedList::new(Order::Ascending),
-            surplus_q: SortedList::new(Order::Ascending),
+            buckets: BucketQueue::new(),
             v: Fixed::ZERO,
-            dirty: false,
-            picks_since_refresh: 0,
             nr_running: 0,
             stats: SchedStats::default(),
         }
@@ -164,105 +175,93 @@ impl Sfs {
     /// The virtual time right now: minimum start tag over runnable
     /// threads, or the stored value (last finish tag) when idle (§2.3).
     fn current_v(&self) -> Fixed {
-        self.start_q.head().map(|(k, _)| k).unwrap_or(self.v)
+        self.buckets.min_start().unwrap_or(self.v)
     }
 
     fn surplus(&self, phi: Fixed, start_tag: Fixed) -> Fixed {
         phi.mul_fixed(start_tag - self.v)
     }
 
-    /// Recomputes every runnable thread's surplus against the current
-    /// `v` and re-sorts the surplus queue with insertion sort (§3.2).
-    fn refresh(&mut self) {
-        let Sfs {
-            surplus_q,
-            tasks,
-            feas,
-            v,
-            stats,
-            ..
-        } = self;
-        let moved = surplus_q.resort_with(|id| {
-            let e = tasks.get_mut(&id).expect("queued task missing");
-            let phi = feas.phi(id, e.task.weight);
-            e.task.phi = phi;
-            let alpha = phi.mul_fixed(e.task.start_tag - *v);
-            e.task.surplus = alpha;
-            alpha
-        });
-        stats.full_resorts += 1;
-        stats.nodes_moved += moved;
-        self.dirty = false;
-        self.picks_since_refresh = 0;
-    }
-
-    /// Advances the stored virtual time to the current queue minimum,
-    /// marking surpluses dirty when it moves.
+    /// Advances the stored virtual time to the current queue minimum.
+    /// Within a weight class, surplus order is invariant under `v`, so —
+    /// unlike the resort-based implementation — advancing `v` requires
+    /// *no* queue maintenance at all.
     fn sync_v(&mut self) {
         let vk = self.current_v();
         if vk != self.v {
             debug_assert!(vk > self.v, "virtual time went backwards");
             self.v = vk;
             self.stats.vt_changes += 1;
-            self.dirty = true;
         }
     }
 
-    /// The exact pick: least stored surplus among ready threads, with
+    /// Migrates the tasks whose `φ` the last readjustment changed to
+    /// their new weight-class buckets. Readjustment clamps at most
+    /// `p − 1` threads, so this touches O(p) tasks — never the whole
+    /// runnable set.
+    fn apply_phi_changes(&mut self) {
+        for id in self.feas.take_changed() {
+            let Some(e) = self.tasks.get_mut(&id) else {
+                continue;
+            };
+            if !e.task.state.is_runnable() {
+                continue;
+            }
+            let phi = self.feas.phi(id, e.task.weight);
+            if e.task.phi != phi {
+                e.task.phi = phi;
+                if self.buckets.set_phi(id, phi) {
+                    self.stats.bucket_migrations += 1;
+                }
+            }
+        }
+    }
+
+    /// The exact pick: least surplus among ready threads, with
     /// deterministic tie-breaking by (surplus, start tag, id) so the
     /// exact and heuristic modes agree whenever the heuristic sees the
-    /// whole queue. Assumes the surplus queue is fresh.
+    /// whole queue. Returns the pick and the number of queue entries
+    /// examined (O(#buckets + #running + tie-run), not O(n)).
     ///
     /// With the affinity extension enabled, a ready thread that last
     /// ran on `cpu` is preferred if its surplus is within the margin of
     /// the minimum — the §5 "combine processor affinities with
     /// proportional-share scheduling" direction, bounded so fairness
     /// loss cannot exceed the margin per decision.
-    fn pick_exact(&self, cpu: CpuId) -> Option<TaskId> {
-        let mut best: Option<(Fixed, Fixed, TaskId)> = None;
-        for (key, id) in self.surplus_q.iter() {
-            if let Some((ba, _, _)) = best {
-                // Sorted queue: once past the tie run we are done.
-                if key > ba {
-                    break;
-                }
-            }
-            let e = &self.tasks[&id];
-            if !matches!(e.task.state, TaskState::Ready) {
-                continue;
-            }
-            let cand = (key, e.task.start_tag, id);
-            if best.is_none_or(|b| cand < b) {
-                best = Some(cand);
-            }
-        }
-        let (best_alpha, _, best_id) = best?;
+    fn pick_exact(&self, cpu: CpuId) -> (Option<TaskId>, u64) {
+        let (best, scanned) = self.buckets.min_surplus(self.v, |id| {
+            matches!(self.tasks[&id].task.state, TaskState::Ready)
+        });
+        let Some((best_alpha, _, best_id)) = best else {
+            return (None, scanned);
+        };
         if let Some(margin) = self.cfg.affinity_margin {
             let cutoff = best_alpha + Fixed::from_raw(margin.as_nanos() as i128 * SCALE);
-            for (key, id) in self.surplus_q.iter() {
-                if key > cutoff {
-                    break;
-                }
+            let (preferred, affinity_scanned) = self.buckets.affinity_best(self.v, cutoff, |id| {
                 let e = &self.tasks[&id];
-                if matches!(e.task.state, TaskState::Ready) && e.last_cpu == Some(cpu) {
-                    return Some(id);
-                }
+                matches!(e.task.state, TaskState::Ready) && e.last_cpu == Some(cpu)
+            });
+            if let Some(id) = preferred {
+                return (Some(id), scanned + affinity_scanned);
             }
+            return (Some(best_id), scanned + affinity_scanned);
         }
-        Some(best_id)
+        (Some(best_id), scanned)
     }
 
-    /// The fresh surplus of `id` (computed from live tags, ignoring the
-    /// possibly stale queue key).
+    /// The fresh surplus of `id` (computed from live tags).
     fn fresh_surplus(&self, id: TaskId) -> Fixed {
         let e = &self.tasks[&id];
         self.surplus(self.feas.phi(id, e.task.weight), e.task.start_tag)
     }
 
     /// The §3.2 heuristic pick: examine the first `k` entries of the
-    /// start-tag queue, the surplus queue, and the weight queue scanned
-    /// backwards (smallest weights first, footnote 8), compute fresh
-    /// surpluses for those candidates only, and take the minimum.
+    /// start-tag queue, the surplus order (a lazy merge over the bucket
+    /// heads), and the weight queue scanned backwards (smallest weights
+    /// first, footnote 8), and take the minimum surplus among those
+    /// candidates. With the bucket queue the surplus order is always
+    /// exact, so the heuristic's accuracy is limited only by running
+    /// threads hiding behind the first `k` entries.
     fn pick_heuristic(&mut self, k: usize) -> Option<TaskId> {
         let mut best: Option<(Fixed, Fixed, TaskId)> = None;
         let mut scanned = 0u64;
@@ -278,11 +277,11 @@ impl Sfs {
             }
         };
 
-        for (_, id) in self.start_q.iter().take(k) {
+        for (_, id) in self.buckets.iter_by_start().take(k) {
             scanned += 1;
             consider(self, id, &mut best);
         }
-        for (_, id) in self.surplus_q.iter().take(k) {
+        for (_, id) in self.buckets.iter_by_surplus(self.v).take(k) {
             scanned += 1;
             consider(self, id, &mut best);
         }
@@ -297,10 +296,10 @@ impl Sfs {
         let picked = match best {
             Some((_, _, id)) => Some(id),
             // The lookahead may see only running threads; fall back to a
-            // full (unsorted-tolerant) scan so work conservation holds.
+            // full scan so work conservation holds.
             None => {
                 let mut fallback: Option<(Fixed, Fixed, TaskId)> = None;
-                let ids: Vec<TaskId> = self.surplus_q.iter().map(|(_, id)| id).collect();
+                let ids: Vec<TaskId> = self.buckets.ids().collect();
                 for id in ids {
                     consider(self, id, &mut fallback);
                 }
@@ -312,9 +311,8 @@ impl Sfs {
             if let Some(chosen) = picked {
                 self.stats.heuristic_audits += 1;
                 let exact_min = self
-                    .surplus_q
-                    .iter()
-                    .map(|(_, id)| id)
+                    .buckets
+                    .ids()
                     .filter(|id| matches!(self.tasks[id].task.state, TaskState::Ready))
                     .map(|id| self.fresh_surplus(id))
                     .min();
@@ -327,33 +325,26 @@ impl Sfs {
     }
 
     fn unlink_runnable(&mut self, id: TaskId) {
-        let e = self.tasks.get_mut(&id).expect("unlinking unknown task");
-        if let Some(n) = e.s_node.take() {
-            self.start_q.remove(n);
-        }
-        if let Some(n) = e.a_node.take() {
-            self.surplus_q.remove(n);
+        assert!(self.tasks.contains_key(&id), "unlinking unknown task");
+        if self.buckets.contains(id) {
+            self.buckets.remove(id);
         }
     }
 
-    /// Inserts a (now runnable) task into the start-tag and surplus
-    /// queues using the current virtual-time base.
+    /// Inserts a (now runnable) task into its weight-class bucket,
+    /// recording its instantaneous weight.
     fn link_runnable(&mut self, id: TaskId) {
-        let (start_tag, alpha) = {
+        let (phi, start_tag) = {
             let e = &self.tasks[&id];
-            let phi = self.feas.phi(id, e.task.weight);
-            (e.task.start_tag, self.surplus(phi, e.task.start_tag))
+            (self.feas.phi(id, e.task.weight), e.task.start_tag)
         };
-        let s = self.start_q.insert(start_tag, id);
-        let a = self.surplus_q.insert(alpha, id);
-        let e = self.tasks.get_mut(&id).unwrap();
-        e.s_node = Some(s);
-        e.a_node = Some(a);
-        e.task.surplus = alpha;
+        self.buckets.insert(id, phi, start_tag);
+        self.tasks.get_mut(&id).unwrap().task.phi = phi;
     }
 
     /// §3.2 wrap-around handling: shift every tag down by the minimum
-    /// start tag and reset the virtual time.
+    /// start tag and reset the virtual time. The shift is uniform, so
+    /// neither the start-tag queue nor any bucket reorders.
     fn maybe_renormalize(&mut self) {
         if self.v <= self.cfg.renorm_threshold {
             return;
@@ -364,11 +355,7 @@ impl Sfs {
             e.task.finish_tag -= delta;
         }
         self.v -= delta;
-        // Rewrite start-tag keys; the uniform shift preserves order so
-        // nothing moves. Surplus keys are relative (S − v) and unchanged.
-        let Sfs { start_q, tasks, .. } = self;
-        let moved = start_q.resort_with(|id| tasks[&id].task.start_tag);
-        debug_assert_eq!(moved, 0, "uniform shift must preserve order");
+        self.buckets.shift_keys(-delta);
         self.stats.renormalizations += 1;
     }
 
@@ -385,26 +372,33 @@ impl Sfs {
     /// Asserts the §2.3 structural invariants; test helper.
     #[doc(hidden)]
     pub fn check_invariants(&self) {
-        self.start_q.check_invariants();
-        self.surplus_q.check_invariants();
+        let Sfs { buckets, tasks, .. } = self;
+        buckets.check_invariants(|id| tasks[&id].task.start_tag);
         let runnable = self
             .tasks
             .values()
             .filter(|e| e.task.state.is_runnable())
             .count();
-        assert_eq!(runnable, self.start_q.len(), "start_q tracks runnable");
-        assert_eq!(runnable, self.surplus_q.len(), "surplus_q tracks runnable");
+        assert_eq!(runnable, self.buckets.len(), "buckets track runnable");
         assert_eq!(runnable, self.feas.len(), "weight_q tracks runnable");
         // Every runnable thread's start tag is at least the virtual time,
-        // hence all fresh surpluses are non-negative (§2.3).
+        // hence all fresh surpluses are non-negative (§2.3); and its
+        // bucket and recorded φ always match the readjusted weight.
         let v = self.current_v();
-        for e in self.tasks.values() {
+        for (id, e) in &self.tasks {
             if e.task.state.is_runnable() {
                 assert!(
                     e.task.start_tag >= v,
                     "start tag below virtual time: {:?} < {:?}",
                     e.task.start_tag,
                     v
+                );
+                let phi = self.feas.phi(*id, e.task.weight);
+                assert_eq!(e.task.phi, phi, "stale φ recorded for {id}");
+                assert_eq!(
+                    self.buckets.phi_of(*id),
+                    Some(phi),
+                    "task {id} in wrong weight-class bucket"
                 );
             }
         }
@@ -428,22 +422,18 @@ impl Scheduler for Sfs {
         assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
         // "When a new thread arrives, its start tag is initialized as
         // S_i = v" (§2.3).
-        let task = TagTask::new(id, w, self.current_v());
-        let mut task = task;
+        let mut task = TagTask::new(id, w, self.current_v());
         task.dispatched_at = now;
         self.tasks.insert(
             id,
             Entry {
                 task,
-                s_node: None,
-                a_node: None,
                 last_cpu: None,
             },
         );
-        if self.feas.insert(id, w) {
-            self.dirty = true;
-        }
+        self.feas.insert(id, w);
         self.link_runnable(id);
+        self.apply_phi_changes();
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
@@ -455,9 +445,8 @@ impl Scheduler for Sfs {
         if state.is_runnable() {
             let w = self.tasks[&id].task.weight;
             self.unlink_runnable(id);
-            if self.feas.remove(id, w) {
-                self.dirty = true;
-            }
+            self.feas.remove(id, w);
+            self.apply_phi_changes();
         }
         self.tasks.remove(&id);
     }
@@ -469,12 +458,20 @@ impl Scheduler for Sfs {
         }
         self.tasks.get_mut(&id).unwrap().task.weight = w;
         if self.tasks[&id].task.state.is_runnable() {
-            if self.feas.set_weight(id, old, w) {
-                self.dirty = true;
-            } else {
-                // Even without clamp changes this task's own phi moved.
-                self.dirty = true;
+            self.feas.set_weight(id, old, w);
+            let phi = self.feas.phi(id, w);
+            self.tasks.get_mut(&id).unwrap().task.phi = phi;
+            if self.buckets.set_phi(id, phi) {
+                self.stats.bucket_migrations += 1;
             }
+            self.apply_phi_changes();
+        } else {
+            // A blocked task is outside the runnable set, so no clamp
+            // applies: its instantaneous weight is its raw weight. The
+            // resort-based implementation left the pre-reweight φ here
+            // until the task next ran, so `adjusted_weight_of` lied
+            // about blocked tasks after a `set_weight`.
+            self.tasks.get_mut(&id).unwrap().task.phi = w.as_fixed();
         }
     }
 
@@ -482,6 +479,9 @@ impl Scheduler for Sfs {
         self.tasks.get(&id).map(|e| e.task.weight)
     }
 
+    /// For runnable tasks this is the live readjusted weight; for
+    /// blocked tasks it is the raw weight (no clamp applies outside the
+    /// runnable set), kept fresh across `set_weight` while blocked.
     fn adjusted_weight_of(&self, id: TaskId) -> Option<Fixed> {
         let e = self.tasks.get(&id)?;
         if e.task.state.is_runnable() {
@@ -505,32 +505,24 @@ impl Scheduler for Sfs {
             e.task.state = TaskState::Ready;
         }
         let w = self.tasks[&id].task.weight;
-        if self.feas.insert(id, w) {
-            self.dirty = true;
-        }
+        self.feas.insert(id, w);
         self.link_runnable(id);
+        self.apply_phi_changes();
     }
 
     fn pick_next(&mut self, cpu: CpuId, now: Time) -> Option<TaskId> {
-        if self.start_q.is_empty() {
+        if self.buckets.is_empty() {
             return None;
         }
         self.sync_v();
 
         let picked = match self.cfg.heuristic {
             None => {
-                if self.dirty {
-                    self.refresh();
-                }
-                self.pick_exact(cpu)
+                let (picked, scanned) = self.pick_exact(cpu);
+                self.stats.bucket_scans += scanned;
+                picked
             }
-            Some(k) => {
-                self.picks_since_refresh += 1;
-                if self.picks_since_refresh >= self.cfg.refresh_every {
-                    self.refresh();
-                }
-                self.pick_heuristic(k)
-            }
+            Some(k) => self.pick_heuristic(k),
         }?;
 
         let e = self.tasks.get_mut(&picked).unwrap();
@@ -560,16 +552,20 @@ impl Scheduler for Sfs {
         // "φ_i is its instantaneous weight at the end of the quantum"
         // (§2.3): read it before the runnable set changes.
         let phi = self.feas.phi(id, w);
-        let (finish_tag, alpha_key) = {
+        debug_assert_eq!(
+            self.buckets.phi_of(id),
+            Some(phi),
+            "running task's bucket φ out of sync"
+        );
+        let finish_tag = {
             let e = self.tasks.get_mut(&id).unwrap();
             e.task.phi = phi;
             // F_i = S_i + q / φ_i (Eq. 5), with the *actual* usage q.
             let f = e.task.start_tag + phi.div_into_int(ran.as_nanos());
             e.task.finish_tag = f;
             e.task.service += ran;
-            (f, Fixed::ZERO)
+            f
         };
-        let _ = alpha_key;
 
         match reason {
             SwitchReason::Preempted | SwitchReason::Yielded => {
@@ -577,21 +573,17 @@ impl Scheduler for Sfs {
                 // "S_i = F_i if the thread is continuously runnable".
                 e.task.start_tag = finish_tag;
                 e.task.state = TaskState::Ready;
-                let s_node = e.s_node.expect("runnable task missing start node");
-                let a_node = e.a_node.expect("runnable task missing surplus node");
-                self.start_q.update_key(s_node, finish_tag);
-                let alpha = self.surplus(phi, finish_tag);
-                self.surplus_q.update_key(a_node, alpha);
-                self.tasks.get_mut(&id).unwrap().task.surplus = alpha;
+                // The only queue work a quantum end needs: repositioning
+                // this one task inside its own bucket.
+                self.buckets.update_start(id, finish_tag);
             }
             SwitchReason::Blocked => {
                 self.unlink_runnable(id);
                 let e = self.tasks.get_mut(&id).unwrap();
                 e.task.state = TaskState::Blocked;
-                if self.feas.remove(id, w) {
-                    self.dirty = true;
-                }
-                if self.start_q.is_empty() {
+                self.feas.remove(id, w);
+                self.apply_phi_changes();
+                if self.buckets.is_empty() {
                     // All processors idle: v freezes at the finish tag of
                     // the thread that ran last (§2.3).
                     self.v = finish_tag;
@@ -599,11 +591,10 @@ impl Scheduler for Sfs {
             }
             SwitchReason::Exited => {
                 self.unlink_runnable(id);
-                if self.feas.remove(id, w) {
-                    self.dirty = true;
-                }
+                self.feas.remove(id, w);
+                self.apply_phi_changes();
                 self.tasks.remove(&id);
-                if self.start_q.is_empty() {
+                if self.buckets.is_empty() {
                     self.v = finish_tag;
                 }
             }
@@ -642,7 +633,7 @@ impl Scheduler for Sfs {
     }
 
     fn nr_runnable(&self) -> usize {
-        self.start_q.len()
+        self.buckets.len()
     }
 
     fn nr_tasks(&self) -> usize {
@@ -653,6 +644,7 @@ impl Scheduler for Sfs {
         let mut s = self.stats;
         s.readjust_calls = self.feas.calls;
         s.weights_clamped = self.feas.clamps;
+        s.weight_classes = self.buckets.num_buckets() as u64;
         s
     }
 
@@ -1016,6 +1008,101 @@ mod tests {
         assert!(st.readjust_calls > 0);
         assert!(st.weights_clamped > 0, "1:10 on 2 cpus must clamp");
         assert!(st.vt_changes > 0);
+        assert!(st.weight_classes >= 1);
+    }
+
+    #[test]
+    fn exact_mode_never_resorts() {
+        // The old implementation re-sorted the whole surplus queue on
+        // nearly every pick (the virtual time advances almost every
+        // quantum). The bucket queue must do zero bulk re-sorts while
+        // still advancing the virtual time constantly.
+        let mut sim = MiniSim::new(Sfs::new(2));
+        for i in 0..30 {
+            sim.spawn(i, 1 + i % 7);
+        }
+        sim.run_quanta(300);
+        sim.block(3, Duration::ZERO);
+        sim.run_quanta(50);
+        sim.wake(3);
+        sim.sched
+            .set_weight(TaskId(5), Weight::new(40).unwrap(), sim.now);
+        sim.run_quanta(200);
+        let st = sim.sched.stats();
+        assert_eq!(st.full_resorts, 0, "bucket queue must never bulk-resort");
+        assert_eq!(st.nodes_moved, 0);
+        assert!(st.vt_changes > 100, "virtual time should advance freely");
+        assert!(st.bucket_scans > 0);
+        assert!(
+            (1..=8).contains(&st.weight_classes),
+            "7 raw weights (+ clamp cap) ⇒ few buckets, got {}",
+            st.weight_classes
+        );
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn clamp_changes_migrate_between_buckets() {
+        // 1:10 on 2 CPUs clamps T2 at φ=1 (same bucket as T1). A third
+        // light thread moves the cap to 2: T2 must migrate buckets, and
+        // only T2 (the one clamped thread).
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 1);
+        sim.spawn(2, 10);
+        sim.run_quanta(10);
+        assert_eq!(sim.sched.stats().weight_classes, 1, "both at φ=1");
+        let migrations_before = sim.sched.stats().bucket_migrations;
+        sim.spawn(3, 1);
+        sim.run_quanta(10);
+        let st = sim.sched.stats();
+        assert!(
+            st.bucket_migrations > migrations_before,
+            "cap move must migrate the clamped thread"
+        );
+        assert_eq!(st.weight_classes, 2, "φ=1 bucket and φ=2 bucket");
+        assert_eq!(
+            sim.sched.adjusted_weight_of(TaskId(2)),
+            Some(Fixed::from_int(2))
+        );
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn reweighting_blocked_task_updates_phi() {
+        // Regression: the old code updated `task.weight` but not the
+        // stored `task.phi` on `set_weight`, so `adjusted_weight_of` on
+        // a blocked task reported the pre-reweight φ until it next ran.
+        let mut sim = MiniSim::new(Sfs::new(2));
+        sim.spawn(1, 4);
+        sim.spawn(2, 4);
+        sim.run_quanta(4);
+        sim.block(1, Duration::ZERO);
+        sim.sched
+            .set_weight(TaskId(1), Weight::new(9).unwrap(), sim.now);
+        assert_eq!(
+            sim.sched.adjusted_weight_of(TaskId(1)),
+            Some(Fixed::from_int(9)),
+            "blocked task must report its reweighted φ immediately"
+        );
+        sim.wake(1);
+        sim.run_quanta(10);
+        sim.sched.check_invariants();
+    }
+
+    #[test]
+    fn reweighting_ready_task_moves_its_bucket() {
+        let mut sim = MiniSim::new(Sfs::new(1));
+        sim.spawn(1, 1);
+        sim.spawn(2, 1);
+        sim.run_quanta(4);
+        assert_eq!(sim.sched.stats().weight_classes, 1);
+        let before = sim.sched.stats().bucket_migrations;
+        sim.sched
+            .set_weight(TaskId(2), Weight::new(5).unwrap(), sim.now);
+        let st = sim.sched.stats();
+        assert_eq!(st.bucket_migrations, before + 1);
+        assert_eq!(st.weight_classes, 2);
+        sim.sched.check_invariants();
     }
 }
 

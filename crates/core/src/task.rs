@@ -110,8 +110,9 @@ impl TaskState {
 /// WFQ, BVT).
 ///
 /// Field names follow §2.3: `start_tag`/`finish_tag` are the virtual-time
-/// tags `S_i`/`F_i`, `phi` is the instantaneous (readjusted) weight `φ_i`,
-/// and `surplus` is `α_i = φ_i · (S_i − v)`.
+/// tags `S_i`/`F_i` and `phi` is the instantaneous (readjusted) weight
+/// `φ_i`. The surplus `α_i = φ_i · (S_i − v)` is never stored — it
+/// depends on the live virtual time, so SFS derives it on demand.
 #[derive(Debug, Clone)]
 pub struct TagTask {
     /// The task this state belongs to.
@@ -124,8 +125,6 @@ pub struct TagTask {
     pub start_tag: Fixed,
     /// Finish tag `F_i`.
     pub finish_tag: Fixed,
-    /// Surplus `α_i` (meaningful for SFS only).
-    pub surplus: Fixed,
     /// Current run state.
     pub state: TaskState,
     /// Total CPU service received so far.
@@ -143,7 +142,6 @@ impl TagTask {
             phi: w.as_fixed(),
             start_tag,
             finish_tag: start_tag,
-            surplus: Fixed::ZERO,
             state: TaskState::Ready,
             service: Duration::ZERO,
             dispatched_at: Time::ZERO,

@@ -315,6 +315,27 @@ mod tests {
     }
 
     #[test]
+    fn fully_starved_run_keeps_deltas_finite() {
+        // Zero service everywhere (e.g. a zero-length window): the jain
+        // ratios are all 0.0, which the metric defines as 1.0 — the
+        // deltas must never go NaN.
+        let starved = report(vec![outcome("a", 2, 0), outcome("b", 1, 0)]);
+        let f = starved.fairness();
+        assert_eq!(f.jain, 1.0, "{f:?}");
+        assert!(f.max_share_error.is_finite());
+        let fair = report(vec![outcome("a", 2, 600), outcome("b", 1, 300)]);
+        let cmp = ComparisonReport {
+            scenario: "t".into(),
+            runs: vec![starved, fair],
+        };
+        for d in cmp.deltas() {
+            assert!(d.fairness.jain.is_finite(), "{d:?}");
+            assert!(d.jain_delta.is_finite(), "{d:?}");
+            assert!(d.share_error_delta.is_finite(), "{d:?}");
+        }
+    }
+
+    #[test]
     fn comparison_deltas_use_the_first_run_as_baseline() {
         let fair = report(vec![outcome("a", 2, 600), outcome("b", 1, 300)]);
         let unfair = report(vec![outcome("a", 2, 300), outcome("b", 1, 600)]);

@@ -9,6 +9,16 @@
 /// Jain's fairness index of the per-task `ratios` (service divided by
 /// entitlement): `(Σx)² / (n · Σx²)`. 1.0 is perfectly fair; `1/n` is a
 /// single task hogging everything.
+///
+/// # Degenerate inputs
+///
+/// The raw formula is `0/0` — NaN — when every ratio is `0.0` (a fully
+/// starved run, e.g. a zero-length measurement window). By definition we
+/// return **1.0** for that case: an all-equal vector is perfectly fair
+/// even when the common value is zero, and `ComparisonReport` deltas
+/// must stay finite. The empty vector returns 1.0 for the same reason
+/// (vacuously fair). The result is always a number in `(0.0, 1.0]` for
+/// non-negative inputs.
 pub fn jain_index(ratios: &[f64]) -> f64 {
     if ratios.is_empty() {
         return 1.0;
@@ -16,6 +26,8 @@ pub fn jain_index(ratios: &[f64]) -> f64 {
     let sum: f64 = ratios.iter().sum();
     let sum_sq: f64 = ratios.iter().map(|x| x * x).sum();
     if sum_sq == 0.0 {
+        // All ratios are exactly zero: all-equal-at-zero is fair, and
+        // dividing would produce NaN.
         return 1.0;
     }
     sum * sum / (ratios.len() as f64 * sum_sq)
@@ -123,6 +135,19 @@ mod tests {
         let worst = jain_index(&[1.0, 0.0, 0.0, 0.0]);
         assert!((worst - 0.25).abs() < 1e-12);
         assert_eq!(jain_index(&[]), 1.0);
+    }
+
+    #[test]
+    fn jain_all_zero_ratios_is_one_not_nan() {
+        // A fully starved run produces all-zero ratios; the raw formula
+        // is 0/0. The defined result is 1.0 (all-equal-at-zero), and it
+        // must be finite so report deltas cannot go NaN.
+        let j = jain_index(&[0.0, 0.0, 0.0]);
+        assert!(j.is_finite(), "all-zero ratios produced {j}");
+        assert_eq!(j, 1.0);
+        assert_eq!(jain_index(&[0.0]), 1.0);
+        // Negative zero behaves like zero.
+        assert_eq!(jain_index(&[-0.0, 0.0]), 1.0);
     }
 
     #[test]

@@ -201,3 +201,87 @@ fn deterministic_across_runs() {
     }
     assert_eq!(r1.ctx_switches, r2.ctx_switches);
 }
+
+/// Renormalization (§3.2 wrap-around handling) shifts *every* tag —
+/// including those of blocked tasks — down by the minimum start tag.
+/// Wake flooring `S_i = max(F_i, v)` (§2.3) must keep holding when a
+/// task blocks on one side of a renormalization boundary and wakes on
+/// the other: both its stored finish tag and the virtual time were
+/// shifted by the same delta, so the comparison is preserved.
+fn renorm_wake_flooring(weights: &[u64], rounds: &[(u8, u8)]) {
+    // ~5 ms of virtual time: even the smallest generated run (≥500
+    // quanta of 1 ms across a total weight ≤40, so v ≥ 1.25e7) crosses
+    // the boundary, and most runs cross it many times.
+    let cfg = SfsConfig {
+        quantum: Duration::from_millis(1),
+        renorm_threshold: Fixed::from_int(5_000_000),
+        ..SfsConfig::default()
+    };
+    let mut sched = Sfs::with_config(1, cfg);
+    let quantum = Duration::from_millis(1);
+    let mut now = Time::ZERO;
+    let mut blocked: Vec<TaskId> = Vec::new();
+    for (i, w) in weights.iter().enumerate() {
+        sched.attach(TaskId(i as u64), weight(*w), now);
+    }
+    let mut on_cpu: Option<TaskId> = None;
+    for &(quanta, action) in rounds {
+        for _ in 0..u64::from(quanta) * 25 {
+            if on_cpu.is_none() {
+                on_cpu = sched.pick_next(CpuId(0), now);
+            }
+            let Some(id) = on_cpu.take() else { break };
+            now += quantum;
+            sched.put_prev(id, quantum, SwitchReason::Preempted, now);
+        }
+        if action % 2 == 0 {
+            // Block whatever runs next (only a running task can block).
+            if on_cpu.is_none() {
+                on_cpu = sched.pick_next(CpuId(0), now);
+            }
+            if let Some(id) = on_cpu.take() {
+                if sched.nr_runnable() > 1 {
+                    now += quantum / 2;
+                    sched.put_prev(id, quantum / 2, SwitchReason::Blocked, now);
+                    blocked.push(id);
+                } else {
+                    now += quantum;
+                    sched.put_prev(id, quantum, SwitchReason::Preempted, now);
+                }
+            }
+        } else if !blocked.is_empty() {
+            let id = blocked.remove(usize::from(action) % blocked.len());
+            // The §2.3 wake floor, asserted against the *pre-wake*
+            // finish tag and virtual time (both post-shift if any
+            // renormalization fired while the task slept).
+            let f_pre = sched.tags_of(id).unwrap().finish_tag;
+            let v_pre = sched.virtual_time().unwrap();
+            sched.wake(id, now);
+            let tags = sched.tags_of(id).unwrap();
+            assert_eq!(
+                tags.start_tag,
+                f_pre.max(v_pre),
+                "wake flooring violated across renormalization for {id}"
+            );
+            assert!(tags.start_tag >= v_pre, "woken task owes credit");
+        }
+        sched.check_invariants();
+    }
+    assert!(
+        sched.stats().renormalizations > 0,
+        "run never crossed a renormalization boundary (v = {:?})",
+        sched.virtual_time()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn wake_flooring_survives_renormalization(
+        weights in proptest::collection::vec(1u64..9, 2..6),
+        rounds in proptest::collection::vec((1u8..9, 0u8..8), 20..60),
+    ) {
+        renorm_wake_flooring(&weights, &rounds);
+    }
+}
