@@ -5,7 +5,7 @@
 //! Table 1 / Fig. 7 measure end-to-end.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use sfs_core::queues::{Order, SortedList};
+use sfs_core::queues::{IndexedList, Order};
 use sfs_core::readjust::readjust;
 use sfs_core::sched::{Scheduler, SwitchReason};
 use sfs_core::task::{weight, CpuId, TaskId};
@@ -77,7 +77,7 @@ fn bench_queue_ops(c: &mut Criterion) {
     g.sample_size(30);
     for &n in &[100usize, 1000] {
         g.bench_with_input(BenchmarkId::new("update_key", n), &n, |b, &n| {
-            let mut list = SortedList::new(Order::Ascending);
+            let mut list = IndexedList::new(Order::Ascending);
             let refs: Vec<_> = (0..n)
                 .map(|i| list.insert(sfs_core::fixed::Fixed::from_int(i as i64), TaskId(i as u64)))
                 .collect();
@@ -89,7 +89,7 @@ fn bench_queue_ops(c: &mut Criterion) {
             });
         });
         g.bench_with_input(BenchmarkId::new("resort_sorted", n), &n, |b, &n| {
-            let mut list = SortedList::new(Order::Ascending);
+            let mut list = IndexedList::new(Order::Ascending);
             for i in 0..n {
                 list.insert(sfs_core::fixed::Fixed::from_int(i as i64), TaskId(i as u64));
             }

@@ -12,11 +12,13 @@
 //! | [`fig6`] | Figure 6(a,b,c) (allocation, isolation, interactivity) |
 //! | [`overheads`] | Figure 7 and Table 1 (scheduling overheads) |
 //! | [`overhead`] | Per-decision cost sweep, 10²–10⁵ threads (beyond the paper: bucket-queue pick path) |
+//! | [`churn`] | Per-event cost sweep, 10²–10⁵ threads (beyond the paper: indexed-queue event path) |
 //!
 //! The `repro` binary drives them all and writes reports to
 //! `results/`; the `figures`/`overheads` bench targets run them in
 //! quick mode under `cargo bench`.
 
+pub mod churn;
 pub mod common;
 pub mod fig1;
 pub mod fig3;
@@ -33,6 +35,7 @@ use common::{Effort, ExpResult};
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
+        "churn",
     ]
 }
 
@@ -53,6 +56,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "fig7" => overheads::run_fig7(effort),
         "table1" => overheads::run_table1(effort),
         "overhead" => overhead::run(effort),
+        "churn" => churn::run(effort),
         other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
     }
 }

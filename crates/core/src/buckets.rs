@@ -54,6 +54,7 @@ use std::collections::btree_set;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::fixed::Fixed;
+use crate::queues::tree_steps;
 use crate::task::TaskId;
 
 /// One weight class: runnable threads ordered by `(start tag, id)`.
@@ -72,6 +73,8 @@ pub struct BucketQueue {
     buckets: BTreeMap<Fixed, Bucket>,
     /// Per-task location: the bucket key `φ` and the start-tag key.
     index: HashMap<TaskId, (Fixed, Fixed)>,
+    /// Cumulative event-path steps; see [`BucketQueue::steps`].
+    steps: u64,
 }
 
 impl BucketQueue {
@@ -93,6 +96,13 @@ impl BucketQueue {
     /// Number of distinct weight classes currently present.
     pub fn num_buckets(&self) -> usize {
         self.buckets.len()
+    }
+
+    /// Cumulative structure steps across all mutations (insert, remove,
+    /// requeue, migration): the comparison depth of each ordered-set
+    /// operation. The event-path cost counter read by the scheduler.
+    pub fn steps(&self) -> u64 {
+        self.steps
     }
 
     /// True if `id` is queued.
@@ -157,7 +167,9 @@ impl BucketQueue {
     ///
     /// Panics (in debug builds) if the task is already queued.
     pub fn insert(&mut self, id: TaskId, phi: Fixed, start_tag: Fixed) {
-        let fresh = self.buckets.entry(phi).or_default().insert((start_tag, id));
+        let bucket = self.buckets.entry(phi).or_default();
+        self.steps += tree_steps(bucket.len());
+        let fresh = bucket.insert((start_tag, id));
         debug_assert!(fresh, "task {id} queued twice");
         let prev = self.index.insert(id, (phi, start_tag));
         debug_assert!(prev.is_none(), "task {id} indexed twice");
@@ -174,6 +186,7 @@ impl BucketQueue {
             .remove(&id)
             .expect("removing task not in bucket queue");
         let bucket = self.buckets.get_mut(&phi).expect("bucket missing");
+        self.steps += tree_steps(bucket.len());
         let removed = bucket.remove(&(start_tag, id));
         debug_assert!(removed, "bucket entry missing for {id}");
         if bucket.is_empty() {
@@ -192,6 +205,7 @@ impl BucketQueue {
         let (phi, old_start) = *entry;
         entry.1 = start_tag;
         let bucket = self.buckets.get_mut(&phi).expect("bucket missing");
+        self.steps += 2 * tree_steps(bucket.len());
         bucket.remove(&(old_start, id));
         bucket.insert((start_tag, id));
     }

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use crate::feasible::FeasibleWeights;
 use crate::fixed::Fixed;
-use crate::queues::{NodeRef, Order, SortedList};
+use crate::queues::{IndexedList, KeyCounter, NodeRef, Order};
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
 use crate::task::{CpuId, TaskId, TaskState, Weight};
 use crate::time::{Duration, Time};
@@ -69,7 +69,12 @@ pub struct Bvt {
     tasks: HashMap<TaskId, BvtTask>,
     feas: FeasibleWeights,
     /// Ready+running tasks ordered by effective virtual time.
-    evt_q: SortedList,
+    evt_q: IndexedList,
+    /// Runnable *actual* virtual times, tracked incrementally: the
+    /// queue above is EVT-ordered (warped entries jump ahead), so the
+    /// wakeup floor (minimum AVT) would otherwise need an O(n) scan
+    /// per arrival or wakeup.
+    avts: KeyCounter,
     /// Scheduler virtual time: minimum AVT seen, for wakeup flooring.
     svt: Fixed,
     stats: SchedStats,
@@ -94,7 +99,8 @@ impl Bvt {
             cpus,
             tasks: HashMap::new(),
             feas: FeasibleWeights::new(cpus, readjust),
-            evt_q: SortedList::new(Order::Ascending),
+            evt_q: IndexedList::new(Order::Ascending),
+            avts: KeyCounter::new(),
             svt: Fixed::ZERO,
             stats: SchedStats::default(),
         }
@@ -106,12 +112,8 @@ impl Bvt {
     }
 
     fn min_avt(&self) -> Fixed {
-        self.tasks
-            .values()
-            .filter(|t| t.state.is_runnable())
-            .map(|t| t.avt)
-            .min()
-            .unwrap_or(self.svt)
+        // Minimum AVT over runnable threads, in O(log n).
+        self.avts.min().unwrap_or(self.svt)
     }
 
     fn link(&mut self, id: TaskId) {
@@ -142,7 +144,9 @@ impl Scheduler for Bvt {
 
     fn attach(&mut self, id: TaskId, w: Weight, _now: Time) {
         assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+        self.stats.events += 1;
         let avt = self.min_avt();
+        self.avts.insert(avt);
         self.tasks.insert(
             id,
             BvtTask {
@@ -159,10 +163,12 @@ impl Scheduler for Bvt {
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let state = self.tasks[&id].state;
         assert!(!state.is_running(), "detach of running task {id}");
         if state.is_runnable() {
             let w = self.tasks[&id].weight;
+            self.avts.remove(self.tasks[&id].avt);
             self.unlink(id);
             self.feas.remove(id, w);
         }
@@ -174,6 +180,7 @@ impl Scheduler for Bvt {
         if old == w {
             return;
         }
+        self.stats.events += 1;
         self.tasks.get_mut(&id).unwrap().weight = w;
         if self.tasks[&id].state.is_runnable() {
             self.feas.set_weight(id, old, w);
@@ -190,6 +197,7 @@ impl Scheduler for Bvt {
     }
 
     fn wake(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         self.svt = self.min_avt();
         {
             let svt = self.svt;
@@ -201,6 +209,7 @@ impl Scheduler for Bvt {
             t.warped = !t.warp.is_zero();
             t.state = TaskState::Ready;
         }
+        self.avts.insert(self.tasks[&id].avt);
         let w = self.tasks[&id].weight;
         self.feas.insert(id, w);
         self.link(id);
@@ -218,32 +227,38 @@ impl Scheduler for Bvt {
     }
 
     fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, _now: Time) {
+        self.stats.events += 1;
         let w = {
             let t = &self.tasks[&id];
             assert!(t.state.is_running(), "put_prev of non-running {id}");
             t.weight
         };
         let phi = self.feas.phi(id, w);
-        {
+        let old_avt = {
             let t = self.tasks.get_mut(&id).unwrap();
+            let old_avt = t.avt;
             t.avt += phi.div_into_int(ran.as_nanos());
             // The warp applies only to the dispatch straight after a
             // wakeup; once the thread has run it competes normally.
             t.warped = false;
-        }
+            old_avt
+        };
         match reason {
             SwitchReason::Preempted | SwitchReason::Yielded => {
+                self.avts.update(old_avt, self.tasks[&id].avt);
                 let evt = self.tasks[&id].evt();
                 let node = self.tasks[&id].node.expect("runnable without node");
                 self.evt_q.update_key(node, evt);
                 self.tasks.get_mut(&id).unwrap().state = TaskState::Ready;
             }
             SwitchReason::Blocked => {
+                self.avts.remove(old_avt);
                 self.unlink(id);
                 self.tasks.get_mut(&id).unwrap().state = TaskState::Blocked;
                 self.feas.remove(id, w);
             }
             SwitchReason::Exited => {
+                self.avts.remove(old_avt);
                 self.unlink(id);
                 self.feas.remove(id, w);
                 self.tasks.remove(&id);
@@ -267,6 +282,7 @@ impl Scheduler for Bvt {
         let mut s = self.stats;
         s.readjust_calls = self.feas.calls;
         s.weights_clamped = self.feas.clamps;
+        s.event_steps = self.evt_q.steps() + self.avts.steps() + self.feas.event_steps();
         s
     }
 }

@@ -4,18 +4,32 @@
 //! time the set of runnable threads changes (i.e., after each arrival,
 //! departure, blocking event or wakeup event), or if the user changes the
 //! weight of a thread" (§3.1). [`FeasibleWeights`] packages that
-//! behaviour: it owns the weight-descending run queue (the first of the
-//! three kernel queues), the running total of raw weights, and the
-//! current clamp set, and re-runs [`readjust`](crate::readjust::readjust)
-//! on every mutation.
+//! behaviour — but not with the kernel's weight-descending linked list,
+//! whose sorted insert paid O(position) per arrival and made every
+//! wakeup of a mid-weight thread linear in the runnable-set size.
 //!
-//! Because at most `p − 1` threads can ever be clamped (§2.1), the clamp
-//! set is a tiny vector and `phi` lookups are O(p).
+//! Readjustment never needs a totally ordered list of *threads*: the
+//! §2.1 walk only reads the at-most-`p − 1` largest weights plus the
+//! running total, and threads of equal weight are interchangeable. So
+//! the runnable set is held as a **per-weight-class count map**
+//! (`BTreeMap<weight, BTreeSet<TaskId>>`): `insert`, `remove` and
+//! `set_weight` are O(p + log C) for `C` distinct weights, and the
+//! top-(p−1) prefix is read off the heaviest classes directly.
+//!
+//! The clamp boundary can never split a weight class: clamping a thread
+//! of weight `w` forces the final cap below `w` (its clamp condition is
+//! `w · rem_p > rem_sum`), while *stopping* at a thread of the same
+//! weight forces the cap to at least `w` — a contradiction. Hence the
+//! clamp set is always a union of whole classes, whichever order ties
+//! are walked in, and membership is order-independent. At most `p − 1`
+//! threads are ever clamped (§2.1), so the clamp set is a tiny sorted
+//! vector and `phi` lookups are O(log p) binary searches.
 
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::fixed::Fixed;
-use crate::queues::{NodeRef, Order, SortedList};
+use crate::queues::tree_steps;
 use crate::readjust::Readjustment;
 use crate::task::{TaskId, Weight};
 
@@ -24,9 +38,14 @@ use crate::task::{TaskId, Weight};
 pub struct FeasibleWeights {
     cpus: u32,
     enabled: bool,
-    weight_q: SortedList,
-    nodes: HashMap<TaskId, NodeRef>,
+    /// One id set per distinct raw weight; the count map replacing the
+    /// kernel's weight-descending thread list (queue #1 of §3.1).
+    classes: BTreeMap<u64, BTreeSet<TaskId>>,
+    /// Runnable tasks tracked (sum of class sizes).
+    len: usize,
     total: u128,
+    /// Currently clamped task ids, sorted for binary search; at most
+    /// `p − 1` entries.
     clamped: Vec<TaskId>,
     cap: Option<Fixed>,
     /// Tasks whose `φ` changed in the most recent readjustment pass
@@ -39,35 +58,50 @@ pub struct FeasibleWeights {
     pub calls: u64,
     /// Total clamped-thread count across all passes.
     pub clamps: u64,
+    /// Readjustment bookkeeping steps (class-map updates, prefix walks
+    /// and clamp-set diffs); the event-path cost counter.
+    walk_steps: u64,
+    /// Individual weights collected for the most recent §2.1 prefix
+    /// walk; readjustment can clamp at most `p − 1` threads, so this
+    /// never exceeds `cpus − 1`.
+    last_prefix_len: usize,
+    /// Clamp-set membership probes served (`phi` / `is_clamped`).
+    lookups: Cell<u64>,
+    /// Entries examined across all membership probes.
+    lookup_steps: Cell<u64>,
 }
 
 impl FeasibleWeights {
     /// Creates the tracker. When `enabled` is false the tracker still
-    /// maintains the weight queue but never clamps (plain GPS behaviour,
-    /// used to reproduce the *un*readjusted baselines).
+    /// maintains the weight classes but never clamps (plain GPS
+    /// behaviour, used to reproduce the *un*readjusted baselines).
     pub fn new(cpus: u32, enabled: bool) -> FeasibleWeights {
         FeasibleWeights {
             cpus,
             enabled,
-            weight_q: SortedList::new(Order::Descending),
-            nodes: HashMap::new(),
+            classes: BTreeMap::new(),
+            len: 0,
             total: 0,
             clamped: Vec::new(),
             cap: None,
             changed: Vec::new(),
             calls: 0,
             clamps: 0,
+            walk_steps: 0,
+            last_prefix_len: 0,
+            lookups: Cell::new(0),
+            lookup_steps: Cell::new(0),
         }
     }
 
     /// Number of runnable tasks tracked.
     pub fn len(&self) -> usize {
-        self.weight_q.len()
+        self.len
     }
 
     /// True if no runnable task is tracked.
     pub fn is_empty(&self) -> bool {
-        self.weight_q.is_empty()
+        self.len == 0
     }
 
     /// Sum of raw weights over the runnable set.
@@ -75,30 +109,84 @@ impl FeasibleWeights {
         self.total
     }
 
+    /// Number of distinct raw weights in the runnable set.
+    pub fn distinct_weights(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Cumulative event-path steps: class-map updates plus readjustment
+    /// bookkeeping.
+    pub fn event_steps(&self) -> u64 {
+        self.walk_steps
+    }
+
+    /// Clamp-set probe accounting as `(probes, entries examined)`; the
+    /// churn bench asserts the per-probe cost stays independent of the
+    /// runnable-set size.
+    pub fn clamp_lookup_stats(&self) -> (u64, u64) {
+        (self.lookups.get(), self.lookup_steps.get())
+    }
+
+    /// The O(log C) cost estimate for one class-map operation with `C`
+    /// distinct weights, charged to [`FeasibleWeights::event_steps`].
+    fn map_steps(&self) -> u64 {
+        tree_steps(self.classes.len())
+    }
+
     /// Adds a task to the runnable set and readjusts.
     /// Returns `true` if any task's instantaneous weight changed.
     pub fn insert(&mut self, id: TaskId, w: Weight) -> bool {
-        let node = self.weight_q.insert(w.as_fixed(), id);
-        let prev = self.nodes.insert(id, node);
-        debug_assert!(prev.is_none(), "task {id} already tracked");
+        self.walk_steps += self.map_steps();
+        let fresh = self.classes.entry(w.get()).or_default().insert(id);
+        debug_assert!(fresh, "task {id} already tracked");
+        self.len += 1;
         self.total += w.get() as u128;
         self.run()
     }
 
     /// Removes a task from the runnable set (block/exit) and readjusts.
     /// Returns `true` if any remaining task's instantaneous weight changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not tracked under weight `w`.
     pub fn remove(&mut self, id: TaskId, w: Weight) -> bool {
-        let node = self.nodes.remove(&id).expect("removing untracked task");
-        self.weight_q.remove(node);
+        self.walk_steps += self.map_steps();
+        let class = self
+            .classes
+            .get_mut(&w.get())
+            .expect("removing untracked task");
+        let removed = class.remove(&id);
+        assert!(removed, "removing untracked task {id}");
+        if class.is_empty() {
+            self.classes.remove(&w.get());
+        }
+        self.len -= 1;
         self.total -= w.get() as u128;
-        self.clamped.retain(|&c| c != id);
+        if let Ok(i) = self.clamped.binary_search(&id) {
+            self.clamped.remove(i);
+        }
         self.run()
     }
 
     /// Updates a task's weight in place and readjusts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the task is not tracked under weight `old`.
     pub fn set_weight(&mut self, id: TaskId, old: Weight, new: Weight) -> bool {
-        let node = self.nodes[&id];
-        self.weight_q.update_key(node, new.as_fixed());
+        self.walk_steps += 2 * self.map_steps();
+        let class = self
+            .classes
+            .get_mut(&old.get())
+            .expect("re-weighting untracked task");
+        let removed = class.remove(&id);
+        assert!(removed, "re-weighting untracked task {id}");
+        if class.is_empty() {
+            self.classes.remove(&old.get());
+        }
+        let fresh = self.classes.entry(new.get()).or_default().insert(id);
+        debug_assert!(fresh, "task {id} tracked twice");
         self.total = self.total - old.get() as u128 + new.get() as u128;
         self.run()
     }
@@ -107,30 +195,43 @@ impl FeasibleWeights {
     /// `w`: the clamp cap if the task is clamped, its own weight otherwise.
     pub fn phi(&self, id: TaskId, w: Weight) -> Fixed {
         match self.cap {
-            Some(cap) if self.clamped.contains(&id) => cap,
+            Some(cap) if self.is_clamped(id) => cap,
             _ => w.as_fixed(),
         }
     }
 
-    /// True if the task is currently clamped.
+    /// True if the task is currently clamped. O(log p): a binary search
+    /// over the at-most-`p − 1` clamped ids.
     pub fn is_clamped(&self, id: TaskId) -> bool {
-        self.clamped.contains(&id)
+        self.lookups.set(self.lookups.get() + 1);
+        self.lookup_steps
+            .set(self.lookup_steps.get() + tree_steps(self.clamped.len()));
+        self.clamped.binary_search(&id).is_ok()
     }
 
-    /// The current clamp set (at most `p − 1` ids).
+    /// The current clamp set (at most `p − 1` ids, sorted by id).
     pub fn clamped(&self) -> &[TaskId] {
         &self.clamped
     }
 
-    /// Iterates runnable tasks in descending weight order.
+    /// Iterates runnable tasks in descending weight order (ids ascending
+    /// within one weight class).
     pub fn iter_desc(&self) -> impl Iterator<Item = (Fixed, TaskId)> + '_ {
-        self.weight_q.iter()
+        self.classes
+            .iter()
+            .rev()
+            .flat_map(|(&w, ids)| ids.iter().map(move |&id| (Fixed::from_int(w as i64), id)))
     }
 
     /// Iterates runnable tasks in ascending weight order (the backwards
-    /// scan used by the scheduling heuristic, §3.2 footnote 8).
+    /// scan used by the scheduling heuristic, §3.2 footnote 8); the
+    /// exact reverse of [`FeasibleWeights::iter_desc`].
     pub fn iter_asc(&self) -> impl Iterator<Item = (Fixed, TaskId)> + '_ {
-        self.weight_q.iter_rev()
+        self.classes.iter().flat_map(|(&w, ids)| {
+            ids.iter()
+                .rev()
+                .map(move |&id| (Fixed::from_int(w as i64), id))
+        })
     }
 
     /// Drains the set of tasks whose instantaneous weight `φ` changed in
@@ -155,41 +256,66 @@ impl FeasibleWeights {
             return false;
         }
         self.calls += 1;
-        // Walk at most the first p−1 entries of the weight queue.
+        // Collect the at most p−1 largest weights off the heaviest
+        // classes; readjust() only needs that prefix plus the total.
+        // (Clamping thread p−1 leaves one processor for the rest, so a
+        // p-th entry could never be examined.)
         let p = self.cpus as u128;
-        let adj: Readjustment = if p <= 1 || self.weight_q.is_empty() {
+        let adj: Readjustment = if p <= 1 || self.classes.is_empty() {
+            self.last_prefix_len = 0;
             Readjustment::UNCHANGED
         } else {
-            // Collect the (at most p−1) largest weights; readjust() only
-            // needs the prefix plus the total.
-            let prefix: Vec<u64> = self
-                .weight_q
-                .iter()
-                .take(self.cpus as usize)
-                .map(|(k, _)| k.trunc() as u64)
-                .collect();
+            let limit = (self.cpus - 1) as usize;
+            let mut prefix: Vec<u64> = Vec::with_capacity(limit);
+            'outer: for (&w, ids) in self.classes.iter().rev() {
+                self.walk_steps += 1;
+                for _ in 0..ids.len() {
+                    if prefix.len() == limit {
+                        break 'outer;
+                    }
+                    prefix.push(w);
+                }
+            }
+            self.last_prefix_len = prefix.len();
+            self.walk_steps += prefix.len() as u64;
             readjust_prefix(&prefix, self.total, self.cpus)
         };
 
-        let new_clamped: Vec<TaskId> = self
-            .weight_q
-            .iter()
-            .take(adj.clamped)
-            .map(|(_, id)| id)
-            .collect();
+        // The clamp set is the adj.clamped heaviest threads — always a
+        // union of whole weight classes (see the module docs), so the
+        // walk below never has to order threads within a class.
+        let mut new_clamped: Vec<TaskId> = Vec::with_capacity(adj.clamped);
+        let mut need = adj.clamped;
+        for (_, ids) in self.classes.iter().rev() {
+            if need == 0 {
+                break;
+            }
+            self.walk_steps += 1;
+            debug_assert!(
+                ids.len() <= need,
+                "readjustment split a weight class at the clamp boundary"
+            );
+            for &id in ids.iter().take(need) {
+                new_clamped.push(id);
+            }
+            need = need.saturating_sub(ids.len());
+        }
+        new_clamped.sort_unstable();
+
         let changed = new_clamped != self.clamped || adj.cap != self.cap;
         for &id in &self.clamped {
-            if !new_clamped.contains(&id) {
+            if new_clamped.binary_search(&id).is_err() {
                 self.changed.push(id); // unclamped: φ back to raw weight
             }
         }
         for &id in &new_clamped {
-            if !self.clamped.contains(&id) {
+            if self.clamped.binary_search(&id).is_err() {
                 self.changed.push(id); // newly clamped to the cap
             } else if adj.cap != self.cap {
                 self.changed.push(id); // still clamped, but the cap moved
             }
         }
+        self.walk_steps += (self.clamped.len() + new_clamped.len()) as u64;
         self.clamps += adj.clamped as u64;
         self.clamped = new_clamped;
         self.cap = adj.cap;
@@ -198,8 +324,9 @@ impl FeasibleWeights {
 }
 
 /// Runs the feasibility walk over the descending `prefix` of the weight
-/// queue given the precomputed `total`; equivalent to
-/// [`readjust`] on the full sorted weight vector but O(p).
+/// classes given the precomputed `total`; equivalent to
+/// [`readjust`](crate::readjust::readjust) on the full sorted weight
+/// vector but O(p).
 fn readjust_prefix(prefix: &[u64], total: u128, cpus: u32) -> Readjustment {
     let mut rem_sum = total;
     let mut rem_p = cpus as u128;
@@ -315,18 +442,24 @@ mod tests {
         f.remove(TaskId(1), weight(3));
         assert_eq!(f.total_weight(), 10);
         assert_eq!(f.len(), 1);
+        assert_eq!(f.distinct_weights(), 1);
     }
 
     #[test]
     fn iter_asc_is_reverse_of_desc() {
         let mut f = FeasibleWeights::new(2, true);
-        for (i, w) in [5u64, 3, 9, 1].iter().enumerate() {
+        for (i, w) in [5u64, 3, 9, 1, 5].iter().enumerate() {
             f.insert(TaskId(i as u64), weight(*w));
         }
         let desc: Vec<_> = f.iter_desc().map(|(_, id)| id).collect();
         let mut asc: Vec<_> = f.iter_asc().map(|(_, id)| id).collect();
         asc.reverse();
         assert_eq!(desc, asc);
+        // Descending weights, ascending ids within the tied class.
+        assert_eq!(
+            desc,
+            vec![TaskId(2), TaskId(0), TaskId(4), TaskId(1), TaskId(3)]
+        );
     }
 
     #[test]
@@ -359,6 +492,74 @@ mod tests {
         // A feasibility-neutral departure reports nothing.
         f.remove(TaskId(5), weight(1));
         assert!(f.take_changed().is_empty());
+    }
+
+    #[test]
+    fn prefix_walk_is_bounded_by_p_minus_one() {
+        // Readjustment can clamp at most p−1 threads, so the §2.1 walk
+        // must collect at most p−1 weights however large the runnable
+        // set is. (The previous implementation collected p — one whole
+        // extra scan entry per pass.)
+        let mut f = FeasibleWeights::new(4, true);
+        for i in 0..3u64 {
+            f.insert(TaskId(i), weight(10 + i));
+            assert_eq!(f.last_prefix_len, (i as usize + 1).min(3));
+        }
+        for i in 3..40u64 {
+            f.insert(TaskId(i), weight(1 + i % 7));
+            assert_eq!(f.last_prefix_len, 3, "prefix must stay at p−1");
+        }
+        // On a uniprocessor nothing can ever clamp, so no prefix is
+        // collected at all.
+        let mut up = FeasibleWeights::new(1, true);
+        up.insert(TaskId(1), weight(50));
+        assert_eq!(up.last_prefix_len, 0);
+    }
+
+    #[test]
+    fn clamp_set_is_a_union_of_whole_weight_classes() {
+        // Five weight-9 threads plus many light ones on 8 CPUs: either
+        // the whole weight-9 class is clamped or none of it, never a
+        // split (the invariant the count-map readjustment relies on).
+        let mut f = FeasibleWeights::new(8, true);
+        for i in 0..5u64 {
+            f.insert(TaskId(i), weight(9));
+        }
+        for i in 5..30u64 {
+            f.insert(TaskId(i), weight(1));
+        }
+        let clamped_heavy = (0..5u64).filter(|&i| f.is_clamped(TaskId(i))).count();
+        assert!(
+            clamped_heavy == 0 || clamped_heavy == 5,
+            "clamp boundary split the weight-9 class: {clamped_heavy}/5"
+        );
+        let phi = phis(
+            &f,
+            &(0..30u64)
+                .map(|i| (TaskId(i), weight(if i < 5 { 9 } else { 1 })))
+                .collect::<Vec<_>>(),
+        );
+        assert!(is_feasible_fixed(&phi, 8), "{phi:?}");
+    }
+
+    #[test]
+    fn clamp_lookup_cost_is_independent_of_runnable_set_size() {
+        let mut f = FeasibleWeights::new(4, true);
+        for i in 0..10_000u64 {
+            f.insert(TaskId(i), weight(1 + i % 40));
+        }
+        // Two infeasibly heavy threads so the clamp set is non-empty
+        // and `phi` actually probes it.
+        f.insert(TaskId(90_000), weight(1_000_000));
+        f.insert(TaskId(90_001), weight(1_000_000));
+        assert!(f.is_clamped(TaskId(90_000)), "setup must clamp");
+        let (l0, s0) = f.clamp_lookup_stats();
+        for i in 0..1_000u64 {
+            let _ = f.phi(TaskId(i), weight(1 + i % 40));
+        }
+        let (l1, s1) = f.clamp_lookup_stats();
+        let per = (s1 - s0) as f64 / (l1 - l0) as f64;
+        assert!(per <= 4.0, "clamp probe cost {per:.2} — not O(log p)");
     }
 
     #[test]

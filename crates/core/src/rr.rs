@@ -61,16 +61,22 @@ impl Scheduler for RoundRobin {
             },
         );
         assert!(prev.is_none(), "task {id} attached twice");
+        self.stats.events += 1;
+        self.stats.event_steps += 1;
         self.ready.push_back(id);
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
         let t = self.tasks.remove(&id).expect("detaching unknown task");
         assert!(!t.state.is_running(), "detach of running task {id}");
+        self.stats.events += 1;
+        self.stats.event_steps += self.ready.len() as u64;
         self.ready.retain(|&r| r != id);
     }
 
     fn set_weight(&mut self, id: TaskId, w: Weight, _now: Time) {
+        self.stats.events += 1;
+        self.stats.event_steps += 1;
         self.tasks.get_mut(&id).expect("unknown task").weight = w;
     }
 
@@ -79,6 +85,8 @@ impl Scheduler for RoundRobin {
     }
 
     fn wake(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
+        self.stats.event_steps += 1;
         let t = self.tasks.get_mut(&id).expect("waking unknown task");
         assert!(matches!(t.state, TaskState::Blocked));
         t.state = TaskState::Ready;
@@ -93,6 +101,8 @@ impl Scheduler for RoundRobin {
     }
 
     fn put_prev(&mut self, id: TaskId, _ran: Duration, reason: SwitchReason, _now: Time) {
+        self.stats.events += 1;
+        self.stats.event_steps += 1;
         assert!(self.tasks[&id].state.is_running());
         match reason {
             SwitchReason::Preempted | SwitchReason::Yielded => {

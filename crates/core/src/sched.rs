@@ -87,6 +87,16 @@ pub struct SchedStats {
     /// Distinct weight-class buckets at the instant the stats were read
     /// (a gauge, not a counter; SFS bucket queue).
     pub weight_classes: u64,
+    /// Runnable-set mutations processed: arrivals (`attach`), departures
+    /// (`detach`), wakeups, weight changes and quantum-end requeues
+    /// (`put_prev`). This is the *event* path, complementary to the
+    /// pick path counted by `picks`.
+    pub events: u64,
+    /// Data-structure steps consumed across all events: queue search
+    /// hops plus readjustment bookkeeping. `event_steps / events` is the
+    /// measured per-event cost; the `repro churn` sweep tracks it
+    /// against the runnable-set size.
+    pub event_steps: u64,
 }
 
 /// A proportional-share (or baseline) CPU scheduling policy.

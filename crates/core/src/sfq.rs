@@ -22,7 +22,7 @@ use std::collections::HashMap;
 
 use crate::feasible::FeasibleWeights;
 use crate::fixed::Fixed;
-use crate::queues::{NodeRef, Order, SortedList};
+use crate::queues::{IndexedList, NodeRef, Order};
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
 use crate::task::{CpuId, TagTask, TaskId, TaskState, Weight};
 use crate::time::{Duration, Time};
@@ -64,7 +64,7 @@ pub struct Sfq {
     cpus: u32,
     tasks: HashMap<TaskId, Entry>,
     feas: FeasibleWeights,
-    start_q: SortedList,
+    start_q: IndexedList,
     v: Fixed,
     nr_running: usize,
     stats: SchedStats,
@@ -100,7 +100,7 @@ impl Sfq {
             cpus,
             tasks: HashMap::new(),
             feas: FeasibleWeights::new(cpus, readjust),
-            start_q: SortedList::new(Order::Ascending),
+            start_q: IndexedList::new(Order::Ascending),
             v: Fixed::ZERO,
             nr_running: 0,
             stats: SchedStats::default(),
@@ -164,6 +164,7 @@ impl Scheduler for Sfq {
 
     fn attach(&mut self, id: TaskId, w: Weight, _now: Time) {
         assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+        self.stats.events += 1;
         // "Newly arriving threads are assigned the minimum value of S_i
         // over all runnable threads" (Example 1).
         let task = TagTask::new(id, w, self.current_v());
@@ -173,6 +174,7 @@ impl Scheduler for Sfq {
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let state = self.tasks[&id].task.state;
         assert!(!state.is_running(), "detach of running task {id}");
         if state.is_runnable() {
@@ -188,6 +190,7 @@ impl Scheduler for Sfq {
         if old == w {
             return;
         }
+        self.stats.events += 1;
         self.tasks.get_mut(&id).unwrap().task.weight = w;
         if self.tasks[&id].task.state.is_runnable() {
             self.feas.set_weight(id, old, w);
@@ -208,6 +211,7 @@ impl Scheduler for Sfq {
     }
 
     fn wake(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let v_now = self.current_v();
         {
             let e = self.tasks.get_mut(&id).expect("waking unknown task");
@@ -235,6 +239,7 @@ impl Scheduler for Sfq {
     }
 
     fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, _now: Time) {
+        self.stats.events += 1;
         let w = {
             let e = &self.tasks[&id];
             assert!(e.task.state.is_running(), "put_prev of non-running {id}");
@@ -317,6 +322,7 @@ impl Scheduler for Sfq {
         let mut s = self.stats;
         s.readjust_calls = self.feas.calls;
         s.weights_clamped = self.feas.clamps;
+        s.event_steps = self.start_q.steps() + self.feas.event_steps();
         s
     }
 

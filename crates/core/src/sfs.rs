@@ -43,13 +43,16 @@
 //! bucket queue also subsumes the start-tag queue #2 of §3.1: the only
 //! thing the scheduler ever read from it was its head (the virtual
 //! time), which is the minimum over bucket heads — while maintaining it
-//! cost an O(displacement) sorted reinsertion on every requeue. Only
-//! the weight-descending readjustment queue #1 remains as in §3.1. The
-//! decision sequence is identical to the resort-based implementation —
-//! a differential test drives both in lockstep — only the per-decision
-//! cost changes (O(#weight-classes·log n) instead of O(n)). The
-//! bounded-lookahead heuristic of §3.2 and the fixed-point tags with
-//! renormalisation are retained.
+//! cost an O(displacement) sorted reinsertion on every requeue. The
+//! weight-descending readjustment queue #1 of §3.1 is gone too: the
+//! [`FeasibleWeights`] count map keeps one id set per distinct weight,
+//! so arrivals, wakeups and reweights cost O(p + log C) instead of an
+//! O(position) sorted scan. The decision sequence is identical to the
+//! resort-based implementation — a differential test drives both in
+//! lockstep — only the per-decision cost changes
+//! (O(#weight-classes·log n) instead of O(n)). The bounded-lookahead
+//! heuristic of §3.2 and the fixed-point tags with renormalisation are
+//! retained.
 
 use std::collections::HashMap;
 
@@ -123,7 +126,8 @@ pub struct Sfs {
     cfg: SfsConfig,
     cpus: u32,
     tasks: HashMap<TaskId, Entry>,
-    /// Weight-descending queue + readjustment state (queue #1 of §3.1).
+    /// Per-weight-class count map + readjustment state (replacing the
+    /// weight-descending queue #1 of §3.1).
     feas: FeasibleWeights,
     /// Surplus order, held as one start-tag-ordered bucket per weight
     /// class. Replaces *both* the start-tag queue #2 of §3.1 (its head —
@@ -420,6 +424,7 @@ impl Scheduler for Sfs {
 
     fn attach(&mut self, id: TaskId, w: Weight, now: Time) {
         assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+        self.stats.events += 1;
         // "When a new thread arrives, its start tag is initialized as
         // S_i = v" (§2.3).
         let mut task = TagTask::new(id, w, self.current_v());
@@ -437,6 +442,7 @@ impl Scheduler for Sfs {
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let state = self.tasks[&id].task.state;
         assert!(
             !state.is_running(),
@@ -456,6 +462,7 @@ impl Scheduler for Sfs {
         if old == w {
             return;
         }
+        self.stats.events += 1;
         self.tasks.get_mut(&id).unwrap().task.weight = w;
         if self.tasks[&id].task.state.is_runnable() {
             self.feas.set_weight(id, old, w);
@@ -492,6 +499,7 @@ impl Scheduler for Sfs {
     }
 
     fn wake(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let v_now = self.current_v();
         {
             let e = self.tasks.get_mut(&id).expect("waking unknown task");
@@ -537,6 +545,7 @@ impl Scheduler for Sfs {
     }
 
     fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, _now: Time) {
+        self.stats.events += 1;
         let w = {
             let e = self.tasks.get_mut(&id).expect("put_prev of unknown task");
             assert!(
@@ -645,6 +654,7 @@ impl Scheduler for Sfs {
         s.readjust_calls = self.feas.calls;
         s.weights_clamped = self.feas.clamps;
         s.weight_classes = self.buckets.num_buckets() as u64;
+        s.event_steps = self.buckets.steps() + self.feas.event_steps();
         s
     }
 

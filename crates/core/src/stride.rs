@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use crate::feasible::FeasibleWeights;
 use crate::fixed::Fixed;
-use crate::queues::{NodeRef, Order, SortedList};
+use crate::queues::{IndexedList, NodeRef, Order};
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
 use crate::task::{CpuId, TaskId, TaskState, Weight};
 use crate::time::{Duration, Time};
@@ -58,7 +58,7 @@ pub struct Stride {
     tasks: HashMap<TaskId, StrideTask>,
     feas: FeasibleWeights,
     /// Ready+running tasks ordered by pass (ascending).
-    pass_q: SortedList,
+    pass_q: IndexedList,
     global_pass: Fixed,
     stats: SchedStats,
 }
@@ -93,7 +93,7 @@ impl Stride {
             cpus,
             tasks: HashMap::new(),
             feas: FeasibleWeights::new(cpus, readjust),
-            pass_q: SortedList::new(Order::Ascending),
+            pass_q: IndexedList::new(Order::Ascending),
             global_pass: Fixed::ZERO,
             stats: SchedStats::default(),
         }
@@ -139,6 +139,7 @@ impl Scheduler for Stride {
 
     fn attach(&mut self, id: TaskId, w: Weight, _now: Time) {
         assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+        self.stats.events += 1;
         let pass = self.min_pass();
         self.tasks.insert(
             id,
@@ -155,6 +156,7 @@ impl Scheduler for Stride {
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let state = self.tasks[&id].state;
         assert!(!state.is_running(), "detach of running task {id}");
         if state.is_runnable() {
@@ -170,6 +172,7 @@ impl Scheduler for Stride {
         if old == w {
             return;
         }
+        self.stats.events += 1;
         self.tasks.get_mut(&id).unwrap().weight = w;
         if self.tasks[&id].state.is_runnable() {
             self.feas.set_weight(id, old, w);
@@ -186,6 +189,7 @@ impl Scheduler for Stride {
     }
 
     fn wake(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let floor = self.min_pass();
         {
             let t = self.tasks.get_mut(&id).expect("waking unknown task");
@@ -214,6 +218,7 @@ impl Scheduler for Stride {
     }
 
     fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, _now: Time) {
+        self.stats.events += 1;
         let w = {
             let t = &self.tasks[&id];
             assert!(t.state.is_running(), "put_prev of non-running {id}");
@@ -264,6 +269,7 @@ impl Scheduler for Stride {
         let mut s = self.stats;
         s.readjust_calls = self.feas.calls;
         s.weights_clamped = self.feas.clamps;
+        s.event_steps = self.pass_q.steps() + self.feas.event_steps();
         s
     }
 }

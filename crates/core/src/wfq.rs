@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use crate::feasible::FeasibleWeights;
 use crate::fixed::Fixed;
-use crate::queues::{NodeRef, Order, SortedList};
+use crate::queues::{IndexedList, KeyCounter, NodeRef, Order};
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
 use crate::task::{CpuId, TagTask, TaskId, TaskState, Weight};
 use crate::time::{Duration, Time};
@@ -53,7 +53,11 @@ pub struct Wfq {
     tasks: HashMap<TaskId, Entry>,
     feas: FeasibleWeights,
     /// Ready+running tasks ordered by precomputed finish tag.
-    finish_q: SortedList,
+    finish_q: IndexedList,
+    /// Runnable start tags, tracked incrementally: the queue above is
+    /// finish-tag-ordered, so the virtual time (minimum *start* tag)
+    /// would otherwise need an O(n) scan per arrival or wakeup.
+    start_tags: KeyCounter,
     v: Fixed,
     stats: SchedStats,
 }
@@ -77,20 +81,16 @@ impl Wfq {
             cpus,
             tasks: HashMap::new(),
             feas: FeasibleWeights::new(cpus, readjust),
-            finish_q: SortedList::new(Order::Ascending),
+            finish_q: IndexedList::new(Order::Ascending),
+            start_tags: KeyCounter::new(),
             v: Fixed::ZERO,
             stats: SchedStats::default(),
         }
     }
 
     fn current_v(&self) -> Fixed {
-        // Minimum start tag over runnable threads.
-        self.tasks
-            .values()
-            .filter(|e| e.task.state.is_runnable())
-            .map(|e| e.task.start_tag)
-            .min()
-            .unwrap_or(self.v)
+        // Minimum start tag over runnable threads, in O(log n).
+        self.start_tags.min().unwrap_or(self.v)
     }
 
     /// Precomputes the finish tag for the task's *next* quantum.
@@ -128,17 +128,21 @@ impl Scheduler for Wfq {
 
     fn attach(&mut self, id: TaskId, w: Weight, _now: Time) {
         assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+        self.stats.events += 1;
         let task = TagTask::new(id, w, self.current_v());
+        self.start_tags.insert(task.start_tag);
         self.tasks.insert(id, Entry { task, node: None });
         self.feas.insert(id, w);
         self.link(id);
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let state = self.tasks[&id].task.state;
         assert!(!state.is_running(), "detach of running task {id}");
         if state.is_runnable() {
             let w = self.tasks[&id].task.weight;
+            self.start_tags.remove(self.tasks[&id].task.start_tag);
             self.unlink(id);
             self.feas.remove(id, w);
         }
@@ -150,6 +154,7 @@ impl Scheduler for Wfq {
         if old == w {
             return;
         }
+        self.stats.events += 1;
         self.tasks.get_mut(&id).unwrap().task.weight = w;
         if self.tasks[&id].task.state.is_runnable() {
             self.feas.set_weight(id, old, w);
@@ -166,6 +171,7 @@ impl Scheduler for Wfq {
     }
 
     fn wake(&mut self, id: TaskId, _now: Time) {
+        self.stats.events += 1;
         let v_now = self.current_v();
         {
             let e = self.tasks.get_mut(&id).expect("waking unknown task");
@@ -173,6 +179,7 @@ impl Scheduler for Wfq {
             e.task.start_tag = e.task.start_tag.max(v_now);
             e.task.state = TaskState::Ready;
         }
+        self.start_tags.insert(self.tasks[&id].task.start_tag);
         let w = self.tasks[&id].task.weight;
         self.feas.insert(id, w);
         self.link(id);
@@ -190,22 +197,25 @@ impl Scheduler for Wfq {
     }
 
     fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, _now: Time) {
+        self.stats.events += 1;
         let w = {
             let e = &self.tasks[&id];
             assert!(e.task.state.is_running(), "put_prev of non-running {id}");
             e.task.weight
         };
         let phi = self.feas.phi(id, w);
-        let actual_finish = {
+        let (old_start, actual_finish) = {
             let e = self.tasks.get_mut(&id).unwrap();
             // Correct the precomputed estimate with actual usage.
-            let f = e.task.start_tag + phi.div_into_int(ran.as_nanos());
+            let old_start = e.task.start_tag;
+            let f = old_start + phi.div_into_int(ran.as_nanos());
             e.task.service += ran;
             e.task.start_tag = f;
-            f
+            (old_start, f)
         };
         match reason {
             SwitchReason::Preempted | SwitchReason::Yielded => {
+                self.start_tags.update(old_start, actual_finish);
                 self.tasks.get_mut(&id).unwrap().task.state = TaskState::Ready;
                 // Re-key with the next quantum's expected finish tag.
                 let f = self.expected_finish(id, &self.tasks[&id].task);
@@ -214,6 +224,7 @@ impl Scheduler for Wfq {
                 self.finish_q.update_key(node, f);
             }
             SwitchReason::Blocked => {
+                self.start_tags.remove(old_start);
                 self.unlink(id);
                 self.tasks.get_mut(&id).unwrap().task.state = TaskState::Blocked;
                 self.feas.remove(id, w);
@@ -222,6 +233,7 @@ impl Scheduler for Wfq {
                 }
             }
             SwitchReason::Exited => {
+                self.start_tags.remove(old_start);
                 self.unlink(id);
                 self.feas.remove(id, w);
                 self.tasks.remove(&id);
@@ -248,6 +260,7 @@ impl Scheduler for Wfq {
         let mut s = self.stats;
         s.readjust_calls = self.feas.calls;
         s.weights_clamped = self.feas.clamps;
+        s.event_steps = self.finish_q.steps() + self.start_tags.steps() + self.feas.event_steps();
         s
     }
 }

@@ -159,6 +159,17 @@ impl RunReport {
         }
     }
 
+    /// Queue/readjustment structure steps per runnable-set mutation —
+    /// the measured event-path cost of the policy's run-queue
+    /// structures (0.0 when the policy reported no events).
+    pub fn steps_per_event(&self) -> f64 {
+        if self.sched_stats.events == 0 {
+            0.0
+        } else {
+            self.sched_stats.event_steps as f64 / self.sched_stats.events as f64
+        }
+    }
+
     /// The underlying simulator report.
     ///
     /// # Panics
@@ -244,6 +255,7 @@ impl ComparisonReport {
                 "share err",
                 "Δerr",
                 "switches",
+                "steps/ev",
             ],
         );
         // deltas() is in runs order, so zip instead of looking runs up
@@ -258,6 +270,7 @@ impl ComparisonReport {
                 format!("{:.4}", d.fairness.max_share_error),
                 format!("{:+.4}", d.share_error_delta),
                 format!("{}", run.ctx_switches),
+                format!("{:.1}", run.steps_per_event()),
             ]);
         }
         table.to_text()
