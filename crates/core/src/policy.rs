@@ -23,12 +23,14 @@
 
 use core::fmt;
 use core::str::FromStr;
+use std::sync::Arc;
 
 use crate::bvt::{Bvt, BvtConfig};
 use crate::rr::RoundRobin;
 use crate::sched::Scheduler;
 use crate::sfq::{Sfq, SfqConfig};
 use crate::sfs::{Sfs, SfsConfig};
+use crate::shard::{ShardedScheduler, SnapshotCell};
 use crate::stride::{Stride, StrideConfig};
 use crate::time::Duration;
 use crate::timeshare::{TimeSharing, TimeSharingConfig};
@@ -139,6 +141,8 @@ pub struct PolicySpec {
     affinity_margin: Option<Duration>,
     audit: bool,
     ticks: Option<i64>,
+    shards: Option<u32>,
+    rebalance: Option<Duration>,
 }
 
 impl PolicySpec {
@@ -153,6 +157,8 @@ impl PolicySpec {
             affinity_margin: None,
             audit: false,
             ticks: None,
+            shards: None,
+            rebalance: None,
         }
     }
 
@@ -336,8 +342,90 @@ impl PolicySpec {
         self
     }
 
-    /// Builds a live scheduler for a `cpus`-processor machine.
+    /// Splits the machine into per-CPU run-queue shards, each running
+    /// its own instance of this policy behind surplus-balanced
+    /// placement and stealing (any kind; see [`crate::shard`]). The
+    /// shard count is clamped to the CPU count at build time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    #[must_use]
+    pub fn with_shards(mut self, n: u32) -> PolicySpec {
+        assert!(n > 0, "need at least one shard");
+        self.shards = Some(n);
+        self
+    }
+
+    /// Sets the sharded scheduler's rebalance interval (requires
+    /// [`PolicySpec::with_shards`] first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is not sharded.
+    #[must_use]
+    pub fn with_rebalance_every(mut self, every: Duration) -> PolicySpec {
+        assert!(
+            self.shards.is_some(),
+            "`rebalance` requires `shards` on {self}"
+        );
+        self.rebalance = Some(every);
+        self
+    }
+
+    /// The configured shard count (1 when unsharded).
+    pub fn shard_count(&self) -> u32 {
+        self.shards.unwrap_or(1)
+    }
+
+    /// The configured rebalance interval, if sharded with an override.
+    pub fn rebalance_every(&self) -> Option<Duration> {
+        self.rebalance
+    }
+
+    /// This spec with sharding removed — the per-shard inner policy.
+    #[must_use]
+    pub fn without_sharding(&self) -> PolicySpec {
+        PolicySpec {
+            shards: None,
+            rebalance: None,
+            ..self.clone()
+        }
+    }
+
+    /// Builds a live scheduler for a `cpus`-processor machine. Sharded
+    /// specs produce a [`ShardedScheduler`] wrapping one inner policy
+    /// instance per shard.
     pub fn build(&self, cpus: u32) -> Box<dyn Scheduler> {
+        match self.shards {
+            Some(n) => Box::new(ShardedScheduler::build(
+                &self.without_sharding(),
+                n,
+                cpus,
+                self.rebalance,
+            )),
+            None => self.build_base(cpus, None),
+        }
+    }
+
+    /// Builds the (unsharded) policy with an externally owned global
+    /// feasibility snapshot attached, for use as one shard of a sharded
+    /// scheduler. Policies without snapshot support (everything but
+    /// SFS) ignore the cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this spec is itself sharded.
+    pub fn build_with_phi_snapshot(
+        &self,
+        cpus: u32,
+        cell: &Arc<SnapshotCell>,
+    ) -> Box<dyn Scheduler> {
+        assert!(self.shards.is_none(), "cannot nest sharding: {self}");
+        self.build_base(cpus, Some(cell))
+    }
+
+    fn build_base(&self, cpus: u32, snapshot: Option<&Arc<SnapshotCell>>) -> Box<dyn Scheduler> {
         match self.kind {
             PolicyKind::Sfs => {
                 let mut cfg = SfsConfig::default();
@@ -350,6 +438,7 @@ impl PolicySpec {
                 }
                 cfg.affinity_margin = self.affinity_margin;
                 cfg.audit_heuristic = self.audit;
+                cfg.phi_snapshot = snapshot.map(Arc::clone);
                 Box::new(Sfs::with_config(cpus, cfg))
             }
             PolicyKind::Sfq => {
@@ -422,6 +511,12 @@ impl fmt::Display for PolicySpec {
         }
         if let Some(m) = self.affinity_margin {
             emit(f, format_args!("affinity={}", FmtDuration(m)))?;
+        }
+        if let Some(n) = self.shards {
+            emit(f, format_args!("shards={n}"))?;
+        }
+        if let Some(r) = self.rebalance {
+            emit(f, format_args!("rebalance={}", FmtDuration(r)))?;
         }
         if self.readjust {
             emit(f, format_args!("readjust"))?;
@@ -532,10 +627,23 @@ impl FromStr for PolicySpec {
                     check(kind == PolicyKind::TimeSharing)?;
                     spec.ticks = Some(parse_num(want_value()?, "ticks")?);
                 }
+                "shards" => {
+                    let n: u32 = parse_num(want_value()?, "shards")?;
+                    if n == 0 {
+                        return Err(ParsePolicyError::new("`shards` must be at least 1"));
+                    }
+                    spec.shards = Some(n);
+                }
+                "rebalance" => {
+                    spec.rebalance = Some(parse_duration(want_value()?)?);
+                }
                 other => {
                     return Err(ParsePolicyError::new(format!("unknown option {other:?}")));
                 }
             }
+        }
+        if spec.rebalance.is_some() && spec.shards.is_none() {
+            return Err(ParsePolicyError::new("`rebalance` requires `shards`"));
         }
         Ok(spec)
     }
@@ -617,10 +725,36 @@ mod tests {
             PolicySpec::bvt().with_quantum(Duration::from_secs(1)),
             PolicySpec::wfq().with_readjustment(),
             PolicySpec::round_robin().with_quantum(Duration::from_nanos(777)),
+            PolicySpec::sfs()
+                .with_quantum(Duration::from_millis(5))
+                .with_shards(4)
+                .with_rebalance_every(Duration::from_millis(25)),
+            PolicySpec::sfq().with_readjustment().with_shards(2),
         ];
         for spec in specs {
             let s = spec.to_string();
             assert_eq!(s.parse::<PolicySpec>().unwrap(), spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn sharded_specs_build_and_report() {
+        let spec: PolicySpec = "sfs:quantum=5ms,shards=2,rebalance=10ms".parse().unwrap();
+        assert_eq!(spec.shard_count(), 2);
+        assert_eq!(spec.rebalance_every(), Some(Duration::from_millis(10)));
+        assert_eq!(spec.without_sharding().shard_count(), 1);
+        let sched = spec.build(4);
+        assert_eq!(sched.cpus(), 4);
+        assert_eq!(sched.name(), "SFS(sharded)");
+        assert_eq!(spec.to_string(), "sfs:quantum=5ms,shards=2,rebalance=10ms");
+        // An unsharded spec reports one shard and builds the bare policy.
+        let flat: PolicySpec = "sfs".parse().unwrap();
+        assert_eq!(flat.shard_count(), 1);
+        assert_eq!(flat.build(2).name(), "SFS");
+        // Sharding applies to any registered kind.
+        for spec in PolicySpec::registered() {
+            let sharded = spec.with_shards(2).build(4);
+            assert_eq!(sharded.cpus(), 4, "{sharded:?}", sharded = sharded.name());
         }
     }
 
@@ -650,6 +784,9 @@ mod tests {
             "rr:heuristic=3",
             "sfs:audit=1",
             "sfq:bogus=2",
+            "sfs:shards=0",
+            "sfs:shards",
+            "sfs:rebalance=5ms",
         ] {
             assert!(bad.parse::<PolicySpec>().is_err(), "{bad:?} parsed");
         }

@@ -97,6 +97,46 @@ pub struct SchedStats {
     /// measured per-event cost; the `repro churn` sweep tracks it
     /// against the runnable-set size.
     pub event_steps: u64,
+    /// Ready tasks migrated between run-queue shards by an idle
+    /// processor's steal path (sharded scheduling only).
+    pub shard_steals: u64,
+    /// Ready tasks migrated by the periodic surplus-rebalance pass
+    /// (sharded scheduling only).
+    pub shard_rebalances: u64,
+    /// Wakeups placed on a different shard than the one the task last
+    /// ran on because its home shard was overloaded (sharded only).
+    pub shard_wake_migrations: u64,
+}
+
+impl SchedStats {
+    /// Field-wise sum of two stats blocks, used to aggregate per-shard
+    /// policy instances into one machine-wide view. `weight_classes` is
+    /// a gauge, not a counter, so it takes the maximum instead.
+    #[must_use]
+    pub fn merged(self, o: SchedStats) -> SchedStats {
+        SchedStats {
+            picks: self.picks + o.picks,
+            vt_changes: self.vt_changes + o.vt_changes,
+            full_resorts: self.full_resorts + o.full_resorts,
+            nodes_moved: self.nodes_moved + o.nodes_moved,
+            readjust_calls: self.readjust_calls + o.readjust_calls,
+            weights_clamped: self.weights_clamped + o.weights_clamped,
+            heuristic_picks: self.heuristic_picks + o.heuristic_picks,
+            heuristic_scans: self.heuristic_scans + o.heuristic_scans,
+            heuristic_audits: self.heuristic_audits + o.heuristic_audits,
+            heuristic_hits: self.heuristic_hits + o.heuristic_hits,
+            renormalizations: self.renormalizations + o.renormalizations,
+            migrations: self.migrations + o.migrations,
+            bucket_migrations: self.bucket_migrations + o.bucket_migrations,
+            bucket_scans: self.bucket_scans + o.bucket_scans,
+            weight_classes: self.weight_classes.max(o.weight_classes),
+            events: self.events + o.events,
+            event_steps: self.event_steps + o.event_steps,
+            shard_steals: self.shard_steals + o.shard_steals,
+            shard_rebalances: self.shard_rebalances + o.shard_rebalances,
+            shard_wake_migrations: self.shard_wake_migrations + o.shard_wake_migrations,
+        }
+    }
 }
 
 /// A proportional-share (or baseline) CPU scheduling policy.
@@ -165,6 +205,25 @@ pub trait Scheduler: Send {
         false
     }
 
+    /// The ready task this policy can best afford to hand to another
+    /// run queue — the *highest*-surplus (most-ahead) ready task — for
+    /// shard rebalancing. `None` when no ready task exists or the
+    /// policy has no ordering to nominate one (stealing is then
+    /// disabled for it; placement balancing still applies).
+    fn steal_candidate(&self) -> Option<TaskId> {
+        None
+    }
+
+    /// The task's surplus charged with `ran_so_far` of in-flight CPU
+    /// time, on the policy's own scale. Substrates use it to rank
+    /// wake-preemption victims: among the running tasks a wakeup may
+    /// preempt, the one with the largest charged surplus is the worst
+    /// (lowest-priority) victim. `None` if the policy has no surplus
+    /// notion; substrates then preempt the first eligible victim.
+    fn charged_surplus(&self, _id: TaskId, _ran_so_far: Duration, _now: Time) -> Option<Fixed> {
+        None
+    }
+
     /// Number of runnable (ready + running) tasks.
     fn nr_runnable(&self) -> usize;
 
@@ -183,6 +242,42 @@ pub trait Scheduler: Send {
     /// violation. The default does nothing; policies with a checker
     /// (SFS) override it so stress tests can audit any boxed policy.
     fn check_invariants(&self) {}
+}
+
+/// Picks which running task a wakeup should preempt: among every
+/// processor whose running task loses to the woken one (per
+/// [`Scheduler::wake_preempts`]), the *worst* victim — the one with
+/// the largest charged surplus (lowest priority). For policies that
+/// expose no surplus, the first eligible processor is kept (their
+/// `wake_preempts` is all-or-nothing anyway). Candidates are
+/// `(slot, running task, time on CPU)` triples; returns the winning
+/// `(slot, running task)`.
+///
+/// Shared by both substrates so the victim rule cannot drift between
+/// them: the simulator's `preempt_check` and the rt executor's wake
+/// paths both call this.
+pub fn select_preemption_victim(
+    sched: &dyn Scheduler,
+    woken: TaskId,
+    candidates: &[(usize, TaskId, Duration)],
+    now: Time,
+) -> Option<(usize, TaskId)> {
+    let mut worst: Option<(Fixed, usize, TaskId)> = None;
+    let mut first: Option<(usize, TaskId)> = None;
+    for &(slot, running, ran) in candidates {
+        if !sched.wake_preempts(woken, running, ran, now) {
+            continue;
+        }
+        if first.is_none() {
+            first = Some((slot, running));
+        }
+        if let Some(alpha) = sched.charged_surplus(running, ran, now) {
+            if worst.is_none_or(|(b, _, _)| alpha > b) {
+                worst = Some((alpha, slot, running));
+            }
+        }
+    }
+    worst.map(|(_, slot, id)| (slot, id)).or(first)
 }
 
 #[cfg(test)]

@@ -55,13 +55,20 @@
 //! retained.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::buckets::BucketQueue;
 use crate::feasible::FeasibleWeights;
 use crate::fixed::{Fixed, SCALE};
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
+use crate::shard::{PhiSnapshot, SnapshotCell};
 use crate::task::{CpuId, TagTask, TaskId, TaskState, Weight};
 use crate::time::{Duration, Time};
+
+/// A CPU-time duration on the fixed-point surplus scale.
+fn duration_fx(d: Duration) -> Fixed {
+    Fixed::from_raw(d.as_nanos() as i128 * SCALE)
+}
 
 /// Tuning knobs for [`Sfs`].
 #[derive(Debug, Clone)]
@@ -97,6 +104,11 @@ pub struct SfsConfig {
     /// is within this margin (in CPU time) of the minimum. `None`
     /// disables affinity (the paper's SFS).
     pub affinity_margin: Option<Duration>,
+    /// Globally published feasibility snapshot to honour in addition to
+    /// the local readjustment, when this instance runs as one shard of
+    /// a [`ShardedScheduler`](crate::shard::ShardedScheduler). The pick
+    /// path re-checks it with a single lock-free epoch load.
+    pub phi_snapshot: Option<Arc<SnapshotCell>>,
 }
 
 impl Default for SfsConfig {
@@ -110,6 +122,7 @@ impl Default for SfsConfig {
             preempt_margin: Duration::from_micros(100),
             audit_heuristic: false,
             affinity_margin: None,
+            phi_snapshot: None,
         }
     }
 }
@@ -136,6 +149,18 @@ pub struct Sfs {
     buckets: BucketQueue,
     /// Virtual time base used when computing surpluses.
     v: Fixed,
+    /// The affinity cutoff margin as a [`Fixed`], precomputed once at
+    /// construction (it used to be rebuilt from `margin.as_nanos()` on
+    /// every exact pick).
+    affinity_margin_fx: Option<Fixed>,
+    /// The wake-preemption margin, likewise precomputed.
+    preempt_margin_fx: Fixed,
+    /// Publisher of the global feasibility snapshot, when sharded.
+    gcell: Option<Arc<SnapshotCell>>,
+    /// The snapshot currently applied to the buckets. `eff_phi` and the
+    /// invariant checker read only this, so the queue state is always
+    /// internally consistent even while a newer epoch is pending.
+    gsnap: Option<Arc<PhiSnapshot>>,
     nr_running: usize,
     stats: SchedStats,
 }
@@ -164,6 +189,10 @@ impl Sfs {
     /// Panics if `cpus` is zero.
     pub fn with_config(cpus: u32, cfg: SfsConfig) -> Sfs {
         assert!(cpus > 0, "need at least one processor");
+        let affinity_margin_fx = cfg.affinity_margin.map(duration_fx);
+        let preempt_margin_fx = duration_fx(cfg.preempt_margin);
+        let gcell = cfg.phi_snapshot.clone();
+        let gsnap = gcell.as_ref().map(|c| c.load());
         Sfs {
             cfg,
             cpus,
@@ -171,6 +200,10 @@ impl Sfs {
             feas: FeasibleWeights::new(cpus, true),
             buckets: BucketQueue::new(),
             v: Fixed::ZERO,
+            affinity_margin_fx,
+            preempt_margin_fx,
+            gcell,
+            gsnap,
             nr_running: 0,
             stats: SchedStats::default(),
         }
@@ -184,6 +217,68 @@ impl Sfs {
 
     fn surplus(&self, phi: Fixed, start_tag: Fixed) -> Fixed {
         phi.mul_fixed(start_tag - self.v)
+    }
+
+    /// The instantaneous weight used for tags and buckets: the local
+    /// readjusted `φ`, further capped by the globally published
+    /// feasible cap when this instance runs as one shard of a sharded
+    /// scheduler (local and global caps are both upper bounds, so the
+    /// minimum applies).
+    fn eff_phi(&self, id: TaskId, w: Weight) -> Fixed {
+        let local = self.feas.phi(id, w);
+        match &self.gsnap {
+            Some(s) => match s.cap_of(id) {
+                Some(cap) => local.min(cap),
+                None => local,
+            },
+            None => local,
+        }
+    }
+
+    /// Pulls a newer globally published feasibility snapshot, if one
+    /// exists, and migrates the affected runnable tasks to their new
+    /// weight-class buckets. The fast path is a single atomic epoch
+    /// load (lock-free); only an actual republication pays the copy
+    /// plus O(p) bucket migrations. Called on every mutation entry
+    /// point so the applied snapshot never lags an event.
+    fn refresh_snapshot(&mut self) {
+        let Some(cell) = &self.gcell else { return };
+        let seen = self.gsnap.as_ref().map_or(0, |s| s.epoch);
+        let Some(new) = cell.load_if_newer(seen) else {
+            return;
+        };
+        let old = self.gsnap.replace(new);
+        // Tasks in either epoch's clamp set may have a changed
+        // effective φ; ids belonging to other shards are skipped.
+        let mut affected: Vec<TaskId> = Vec::new();
+        if let Some(old) = &old {
+            affected.extend(old.clamped.iter().copied());
+        }
+        affected.extend(
+            self.gsnap
+                .as_ref()
+                .expect("just stored")
+                .clamped
+                .iter()
+                .copied(),
+        );
+        affected.sort_unstable();
+        affected.dedup();
+        for id in affected {
+            let Some(e) = self.tasks.get(&id) else {
+                continue;
+            };
+            if !e.task.state.is_runnable() {
+                continue;
+            }
+            let phi = self.eff_phi(id, e.task.weight);
+            if e.task.phi != phi {
+                self.tasks.get_mut(&id).unwrap().task.phi = phi;
+                if self.buckets.set_phi(id, phi) {
+                    self.stats.bucket_migrations += 1;
+                }
+            }
+        }
     }
 
     /// Advances the stored virtual time to the current queue minimum.
@@ -205,15 +300,15 @@ impl Sfs {
     /// runnable set.
     fn apply_phi_changes(&mut self) {
         for id in self.feas.take_changed() {
-            let Some(e) = self.tasks.get_mut(&id) else {
+            let Some(e) = self.tasks.get(&id) else {
                 continue;
             };
             if !e.task.state.is_runnable() {
                 continue;
             }
-            let phi = self.feas.phi(id, e.task.weight);
+            let phi = self.eff_phi(id, e.task.weight);
             if e.task.phi != phi {
-                e.task.phi = phi;
+                self.tasks.get_mut(&id).unwrap().task.phi = phi;
                 if self.buckets.set_phi(id, phi) {
                     self.stats.bucket_migrations += 1;
                 }
@@ -239,8 +334,8 @@ impl Sfs {
         let Some((best_alpha, _, best_id)) = best else {
             return (None, scanned);
         };
-        if let Some(margin) = self.cfg.affinity_margin {
-            let cutoff = best_alpha + Fixed::from_raw(margin.as_nanos() as i128 * SCALE);
+        if let Some(margin) = self.affinity_margin_fx {
+            let cutoff = best_alpha + margin;
             let (preferred, affinity_scanned) = self.buckets.affinity_best(self.v, cutoff, |id| {
                 let e = &self.tasks[&id];
                 matches!(e.task.state, TaskState::Ready) && e.last_cpu == Some(cpu)
@@ -256,7 +351,7 @@ impl Sfs {
     /// The fresh surplus of `id` (computed from live tags).
     fn fresh_surplus(&self, id: TaskId) -> Fixed {
         let e = &self.tasks[&id];
-        self.surplus(self.feas.phi(id, e.task.weight), e.task.start_tag)
+        self.surplus(self.eff_phi(id, e.task.weight), e.task.start_tag)
     }
 
     /// The §3.2 heuristic pick: examine the first `k` entries of the
@@ -274,7 +369,7 @@ impl Sfs {
             if !matches!(e.task.state, TaskState::Ready) {
                 return;
             }
-            let alpha = sfs.surplus(sfs.feas.phi(id, e.task.weight), e.task.start_tag);
+            let alpha = sfs.surplus(sfs.eff_phi(id, e.task.weight), e.task.start_tag);
             let cand = (alpha, e.task.start_tag, id);
             if best.is_none_or(|b| cand < b) {
                 *best = Some(cand);
@@ -340,7 +435,7 @@ impl Sfs {
     fn link_runnable(&mut self, id: TaskId) {
         let (phi, start_tag) = {
             let e = &self.tasks[&id];
-            (self.feas.phi(id, e.task.weight), e.task.start_tag)
+            (self.eff_phi(id, e.task.weight), e.task.start_tag)
         };
         self.buckets.insert(id, phi, start_tag);
         self.tasks.get_mut(&id).unwrap().task.phi = phi;
@@ -397,7 +492,7 @@ impl Sfs {
                     e.task.start_tag,
                     v
                 );
-                let phi = self.feas.phi(*id, e.task.weight);
+                let phi = self.eff_phi(*id, e.task.weight);
                 assert_eq!(e.task.phi, phi, "stale φ recorded for {id}");
                 assert_eq!(
                     self.buckets.phi_of(*id),
@@ -424,6 +519,7 @@ impl Scheduler for Sfs {
 
     fn attach(&mut self, id: TaskId, w: Weight, now: Time) {
         assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+        self.refresh_snapshot();
         self.stats.events += 1;
         // "When a new thread arrives, its start tag is initialized as
         // S_i = v" (§2.3).
@@ -442,6 +538,7 @@ impl Scheduler for Sfs {
     }
 
     fn detach(&mut self, id: TaskId, _now: Time) {
+        self.refresh_snapshot();
         self.stats.events += 1;
         let state = self.tasks[&id].task.state;
         assert!(
@@ -462,11 +559,12 @@ impl Scheduler for Sfs {
         if old == w {
             return;
         }
+        self.refresh_snapshot();
         self.stats.events += 1;
         self.tasks.get_mut(&id).unwrap().task.weight = w;
         if self.tasks[&id].task.state.is_runnable() {
             self.feas.set_weight(id, old, w);
-            let phi = self.feas.phi(id, w);
+            let phi = self.eff_phi(id, w);
             self.tasks.get_mut(&id).unwrap().task.phi = phi;
             if self.buckets.set_phi(id, phi) {
                 self.stats.bucket_migrations += 1;
@@ -492,13 +590,14 @@ impl Scheduler for Sfs {
     fn adjusted_weight_of(&self, id: TaskId) -> Option<Fixed> {
         let e = self.tasks.get(&id)?;
         if e.task.state.is_runnable() {
-            Some(self.feas.phi(id, e.task.weight))
+            Some(self.eff_phi(id, e.task.weight))
         } else {
             Some(e.task.phi)
         }
     }
 
     fn wake(&mut self, id: TaskId, _now: Time) {
+        self.refresh_snapshot();
         self.stats.events += 1;
         let v_now = self.current_v();
         {
@@ -519,6 +618,7 @@ impl Scheduler for Sfs {
     }
 
     fn pick_next(&mut self, cpu: CpuId, now: Time) -> Option<TaskId> {
+        self.refresh_snapshot();
         if self.buckets.is_empty() {
             return None;
         }
@@ -545,6 +645,7 @@ impl Scheduler for Sfs {
     }
 
     fn put_prev(&mut self, id: TaskId, ran: Duration, reason: SwitchReason, _now: Time) {
+        self.refresh_snapshot();
         self.stats.events += 1;
         let w = {
             let e = self.tasks.get_mut(&id).expect("put_prev of unknown task");
@@ -560,7 +661,7 @@ impl Scheduler for Sfs {
         self.nr_running -= 1;
         // "φ_i is its instantaneous weight at the end of the quantum"
         // (§2.3): read it before the runnable set changes.
-        let phi = self.feas.phi(id, w);
+        let phi = self.eff_phi(id, w);
         debug_assert_eq!(
             self.buckets.phi_of(id),
             Some(phi),
@@ -631,14 +732,30 @@ impl Scheduler for Sfs {
         if !matches!(we.task.state, TaskState::Ready) || !re.task.state.is_running() {
             return false;
         }
-        let woken_alpha = self.surplus(self.feas.phi(woken, we.task.weight), we.task.start_tag);
+        let woken_alpha = self.surplus(self.eff_phi(woken, we.task.weight), we.task.start_tag);
         // Charge the running thread its in-flight CPU time:
         // φ · (S + q/φ − v) = φ·(S − v) + q.
-        let charged = Fixed::from_raw(ran_so_far.as_nanos() as i128 * SCALE);
-        let running_alpha =
-            self.surplus(self.feas.phi(running, re.task.weight), re.task.start_tag) + charged;
-        let margin = Fixed::from_raw(self.cfg.preempt_margin.as_nanos() as i128 * SCALE);
-        woken_alpha + margin < running_alpha
+        let running_alpha = self.surplus(self.eff_phi(running, re.task.weight), re.task.start_tag)
+            + duration_fx(ran_so_far);
+        woken_alpha + self.preempt_margin_fx < running_alpha
+    }
+
+    fn steal_candidate(&self) -> Option<TaskId> {
+        let v = self.current_v();
+        self.buckets
+            .max_surplus(v, |id| {
+                matches!(self.tasks[&id].task.state, TaskState::Ready)
+            })
+            .map(|(_, _, id)| id)
+    }
+
+    fn charged_surplus(&self, id: TaskId, ran_so_far: Duration, _now: Time) -> Option<Fixed> {
+        let e = self.tasks.get(&id)?;
+        if !e.task.state.is_runnable() {
+            return None;
+        }
+        let alpha = self.surplus(self.eff_phi(id, e.task.weight), e.task.start_tag);
+        Some(alpha + duration_fx(ran_so_far))
     }
 
     fn nr_runnable(&self) -> usize {
@@ -963,6 +1080,112 @@ mod tests {
         };
         assert!(sched.wake_preempts(waiter, p3, Duration::from_millis(150), now));
         assert!(!sched.wake_preempts(waiter, p3, Duration::ZERO, now));
+    }
+
+    #[test]
+    fn affinity_pick_never_exceeds_margin() {
+        // Pin for the precomputed affinity cutoff: a task that last ran
+        // on the picking CPU must never be selected when its surplus
+        // exceeds the exact minimum by more than the configured margin.
+        let mk = || {
+            let mut s = Sfs::with_config(
+                2,
+                SfsConfig {
+                    quantum: Duration::from_millis(1),
+                    affinity_margin: Some(Duration::from_millis(1)),
+                    ..SfsConfig::default()
+                },
+            );
+            let now = Time::ZERO;
+            for i in 1..=3u64 {
+                s.attach(TaskId(i), Weight::new(1).unwrap(), now);
+            }
+            // T1 runs on cpu0 and burns a long quantum: its surplus is
+            // now 50 ms while T2/T3 sit at zero.
+            let first = s.pick_next(CpuId(0), now);
+            assert_eq!(first, Some(TaskId(1)));
+            s.put_prev(
+                TaskId(1),
+                Duration::from_millis(50),
+                SwitchReason::Preempted,
+                now,
+            );
+            s
+        };
+        let mut s = mk();
+        // T1 has affinity for cpu0 but is 50 ms over the margin: the
+        // pick must take the minimum-surplus task instead.
+        let picked = s.pick_next(CpuId(0), Time::ZERO).unwrap();
+        assert_ne!(picked, TaskId(1), "affinity overrode the margin");
+        let min = [TaskId(1), TaskId(2), TaskId(3)]
+            .iter()
+            .filter(|&&id| id != picked)
+            .map(|&id| s.fresh_surplus(id))
+            .fold(s.fresh_surplus(picked), Fixed::min);
+        let margin = duration_fx(Duration::from_millis(1));
+        assert!(s.fresh_surplus(picked) <= min + margin);
+        // Within the margin, affinity wins: same setup but T1 only ran
+        // a hair past its peers.
+        let mut s = mk();
+        // Give T2/T3 runs of 49.5 ms each — on cpu1, so only T1 keeps
+        // affinity for cpu0 — leaving T1 within 1 ms of them.
+        for id in [TaskId(2), TaskId(3)] {
+            let got = s.pick_next(CpuId(1), Time::ZERO);
+            assert_eq!(got, Some(id));
+            s.put_prev(
+                id,
+                Duration::from_micros(49_500),
+                SwitchReason::Preempted,
+                Time::ZERO,
+            );
+        }
+        assert_eq!(
+            s.pick_next(CpuId(0), Time::ZERO),
+            Some(TaskId(1)),
+            "affinity must win inside the margin"
+        );
+    }
+
+    #[test]
+    fn steal_candidate_is_max_surplus_ready() {
+        let mut s = Sfs::with_config(
+            2,
+            SfsConfig {
+                quantum: Duration::from_millis(1),
+                ..SfsConfig::default()
+            },
+        );
+        let now = Time::ZERO;
+        for i in 1..=3u64 {
+            s.attach(TaskId(i), Weight::new(1).unwrap(), now);
+        }
+        assert_eq!(s.pick_next(CpuId(0), now), Some(TaskId(1)));
+        s.put_prev(
+            TaskId(1),
+            Duration::from_millis(30),
+            SwitchReason::Preempted,
+            now,
+        );
+        assert_eq!(s.pick_next(CpuId(0), now), Some(TaskId(2)));
+        s.put_prev(
+            TaskId(2),
+            Duration::from_millis(10),
+            SwitchReason::Preempted,
+            now,
+        );
+        // T1 is the most-ahead ready task; running tasks are excluded.
+        assert_eq!(s.steal_candidate(), Some(TaskId(1)));
+        let p = s.pick_next(CpuId(0), now).unwrap();
+        assert_eq!(p, TaskId(3), "least surplus runs");
+        assert_eq!(s.steal_candidate(), Some(TaskId(1)));
+        // Charged surplus ranks victims: T1 with in-flight time beats
+        // its own idle surplus.
+        let base = s.charged_surplus(TaskId(1), Duration::ZERO, now).unwrap();
+        let charged = s
+            .charged_surplus(TaskId(1), Duration::from_millis(5), now)
+            .unwrap();
+        assert_eq!(charged - base, duration_fx(Duration::from_millis(5)));
+        assert_eq!(s.charged_surplus(TaskId(99), Duration::ZERO, now), None);
     }
 
     #[test]

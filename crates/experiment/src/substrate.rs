@@ -175,14 +175,16 @@ impl Substrate for RtSubstrate {
         let cpus = scenario.config.cpus;
         let duration = scenario.config.duration;
         let horizon = Time(duration.as_nanos());
-        let sched = policy.build(cpus);
-        let sched_name = sched.name().to_string();
-        let ex = Executor::new(
+        // Sharded specs split the executor into per-shard locks; the
+        // scheduler name is reconstructed from a throwaway build so the
+        // report matches the simulator substrate's.
+        let sched_name = policy.build(cpus).name().to_string();
+        let ex = Executor::from_spec(
             RtConfig {
                 cpus,
                 timer_interval: self.timer_interval,
             },
-            sched,
+            policy,
         );
         let epoch = Instant::now();
         let seeds = AtomicU64::new(scenario.config.seed);
@@ -226,7 +228,7 @@ impl Substrate for RtSubstrate {
 
         let mut tasks = outcomes.into_inner().expect("outcome lock");
         tasks.sort_by(|a, b| a.arrived.cmp(&b.arrived).then_with(|| a.name.cmp(&b.name)));
-        let sched_stats = ex.with_scheduler(|s| s.stats());
+        let sched_stats = ex.sched_stats();
         Ok(RunReport {
             scenario: scenario.name.clone(),
             substrate: self.name(),
@@ -269,6 +271,35 @@ mod tests {
         let light = rep.task("w1").unwrap().service.as_secs_f64();
         let ratio = heavy / light.max(1e-9);
         assert!((1.8..4.5).contains(&ratio), "w3:w1 = {ratio:.2}");
+    }
+
+    #[test]
+    fn both_substrates_drive_sharded_specs() {
+        // The same declarative scenario runs under a sharded spec on
+        // the simulator (via PolicySpec::build) and on real threads
+        // (via the per-shard-lock executor), with weights honoured.
+        // Weights 3:1:1:1 on 2 CPUs are feasible: the heavy task
+        // deserves a full CPU, each light one a third of the other.
+        let scenario = Scenario::new("sharded", quick_cfg(2, 400))
+            .task(TaskSpec::new("w3", 3, BehaviorSpec::Inf))
+            .task(TaskSpec::new("w1", 1, BehaviorSpec::Inf).replicated(3));
+        let policy: PolicySpec = "sfs:quantum=2ms,shards=2,rebalance=20ms".parse().unwrap();
+        let sim = SimSubstrate.run(&scenario, &policy).unwrap();
+        assert_eq!(sim.sched_name, "SFS(sharded)");
+        let light = |rep: &crate::RunReport| {
+            rep.tasks
+                .iter()
+                .filter(|t| t.name.starts_with("w1"))
+                .map(|t| t.service.as_secs_f64())
+                .sum::<f64>()
+                / 3.0
+        };
+        let ratio = sim.task("w3").unwrap().service.as_secs_f64() / light(&sim);
+        assert!((2.2..4.0).contains(&ratio), "sim w3:w1 = {ratio:.2}");
+        let rt = RtSubstrate::default().run(&scenario, &policy).unwrap();
+        assert_eq!(rt.sched_name, "SFS(sharded)");
+        let ratio = rt.task("w3").unwrap().service.as_secs_f64() / light(&rt).max(1e-9);
+        assert!((1.8..5.0).contains(&ratio), "rt w3:w1 = {ratio:.2}");
     }
 
     #[test]

@@ -11,19 +11,38 @@
 //! boundary. Blocking I/O is modelled by [`TaskCtx::block_for`], which
 //! releases the virtual CPU for the sleep duration.
 //!
+//! # Lock structure
+//!
+//! The machine is split into run-queue *shards* (one by default — the
+//! paper's global queue — or per [`PolicySpec`] `shards=N`). Each shard
+//! owns a contiguous CPU range, its own policy instance and its own
+//! mutex, so quantum expiry, yields and picks on different shards never
+//! contend. A single small *global section* serializes only what is
+//! inherently machine-wide: task placement on arrival and wakeup, the
+//! §2.1 weight readjustment (published to SFS shards through the
+//! lock-free epoch snapshot of [`sfs_core::shard`]), and the periodic
+//! surplus rebalance that migrates ready tasks off overloaded shards.
+//! Lock order is global → shard, shards in ascending index; the hot
+//! still-runnable path (checkpoint preemption, yield) takes only its
+//! own shard lock.
+//!
 //! This substrate is what the overhead experiments (Table 1, Fig. 7)
-//! measure: every scheduler entry takes the same lock and runs the same
-//! policy code a kernel implementation would, so the *relative* costs of
-//! SFS vs time sharing are preserved, even though the absolute numbers
-//! are userspace numbers.
+//! and the `repro scale` sweep measure: every scheduler entry takes the
+//! same locks and runs the same policy code a kernel implementation
+//! would, so the *relative* costs of SFS vs time sharing — and of one
+//! global lock vs per-shard locks — are preserved, even though the
+//! absolute numbers are userspace numbers.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
-use sfs_core::sched::{Scheduler, SwitchReason};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use sfs_core::policy::PolicySpec;
+use sfs_core::sched::{select_preemption_victim, SchedStats, Scheduler, SwitchReason};
+use sfs_core::shard::{Balancer, ShardLayout, ShardedScheduler};
 use sfs_core::task::{CpuId, TaskId, Weight};
 use sfs_core::time::{Duration, Time};
 
@@ -55,13 +74,18 @@ struct CpuSlot {
 struct RtTask {
     id: TaskId,
     name: String,
+    /// The shard this task currently belongs to. Running and blocked
+    /// tasks are never migrated, so a task reading its own index while
+    /// it holds (or is about to re-check) a CPU sees a stable value;
+    /// ready tasks are migrated only under both shard locks.
+    shard: AtomicUsize,
     /// Raised by the timer thread or a wakeup preemption; consumed at
     /// the next checkpoint.
     preempt: AtomicBool,
     /// Total CPU service in nanoseconds.
     service_ns: AtomicU64,
     /// "You hold a virtual CPU" flag, guarded by its own mutex so a
-    /// parked thread can wait on it without the core lock.
+    /// parked thread can wait on it without any scheduler lock.
     granted: Mutex<bool>,
     cv: Condvar,
 }
@@ -85,23 +109,23 @@ impl RtTask {
     }
 }
 
-struct Core {
+/// One run-queue shard: a policy instance over a contiguous CPU range,
+/// behind its own mutex.
+struct ShardCore {
     sched: Box<dyn Scheduler>,
+    /// Local CPU slots; machine CPU id = `cpu_base + local index`.
     cpus: Vec<CpuSlot>,
-    tasks: Vec<Arc<RtTask>>,
-    /// Tasks currently blocked in the scheduler (event or timed sleep).
-    blocked: std::collections::HashSet<TaskId>,
-    next_id: u64,
-    live: usize,
+    tasks: HashMap<TaskId, Arc<RtTask>>,
+    /// Tasks currently blocked in this shard (event or timed sleep).
+    /// With a balancer present, mutations additionally require the
+    /// global lock, so wake/placement decisions are race-free.
+    blocked: HashSet<TaskId>,
     switches: u64,
 }
 
-impl Core {
+impl ShardCore {
     fn task(&self, id: TaskId) -> &Arc<RtTask> {
-        self.tasks
-            .iter()
-            .find(|t| t.id == id)
-            .expect("unknown task id")
+        self.tasks.get(&id).expect("unknown task id")
     }
 
     fn slot_of(&self, id: TaskId) -> Option<usize> {
@@ -109,13 +133,32 @@ impl Core {
     }
 }
 
+/// The global section: placement, machine-wide readjustment and task
+/// lifetime accounting. Deliberately small — the pick/requeue hot path
+/// never touches it.
+struct Global {
+    /// Placement + global feasibility; `None` for a single shard.
+    bal: Option<Balancer>,
+    /// Machine-wide task registry, so wake-by-id resolves with one
+    /// global probe instead of scanning every shard's lock.
+    registry: HashMap<TaskId, Arc<RtTask>>,
+    next_id: u64,
+    live: usize,
+}
+
 struct Inner {
     cfg: RtConfig,
-    core: Mutex<Core>,
+    shards: Vec<Mutex<ShardCore>>,
+    global: Mutex<Global>,
+    /// Interval of the timer thread's rebalance pass (sharded only).
+    rebalance_every: Duration,
     idle_cv: Condvar,
     epoch: Instant,
     shutdown: AtomicBool,
     stop_requested: AtomicBool,
+    steals: AtomicU64,
+    rebalances: AtomicU64,
+    wake_migrations: AtomicU64,
 }
 
 impl Inner {
@@ -123,8 +166,44 @@ impl Inner {
         Time(u64::try_from(self.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX))
     }
 
-    /// Fills idle virtual CPUs. Caller holds the core lock.
-    fn dispatch_all(&self, core: &mut Core) {
+    fn sharded(&self) -> bool {
+        self.shards.len() > 1
+    }
+
+    /// Locks the shard a task currently belongs to, revalidating the
+    /// index after acquisition (a ready task may migrate between the
+    /// load and the lock).
+    fn lock_own_shard(&self, task: &RtTask) -> (usize, MutexGuard<'_, ShardCore>) {
+        loop {
+            let s = task.shard.load(Ordering::Acquire);
+            let guard = self.shards[s].lock();
+            if task.shard.load(Ordering::Acquire) == s {
+                return (s, guard);
+            }
+        }
+    }
+
+    /// Locks two distinct shards in index order, returning the guards
+    /// in argument order.
+    fn lock_two(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> (MutexGuard<'_, ShardCore>, MutexGuard<'_, ShardCore>) {
+        assert_ne!(a, b, "locking one shard twice");
+        if a < b {
+            let ga = self.shards[a].lock();
+            let gb = self.shards[b].lock();
+            (ga, gb)
+        } else {
+            let gb = self.shards[b].lock();
+            let ga = self.shards[a].lock();
+            (ga, gb)
+        }
+    }
+
+    /// Fills idle virtual CPUs of one shard. Caller holds its lock.
+    fn dispatch(&self, core: &mut ShardCore) {
         let now = self.now();
         for i in 0..core.cpus.len() {
             if core.cpus[i].current.is_some() {
@@ -147,8 +226,10 @@ impl Inner {
     }
 
     /// Removes `id` from its virtual CPU, charging actual usage.
-    /// Caller holds the core lock.
-    fn stop_running(&self, core: &mut Core, id: TaskId, reason: SwitchReason) {
+    /// Caller holds the shard lock (and the global lock when the
+    /// reason leaves the runnable set and a balancer exists — the
+    /// caller also updates the balancer).
+    fn stop_running(&self, core: &mut ShardCore, id: TaskId, reason: SwitchReason) {
         let slot = core.slot_of(id).expect("task not on any cpu");
         let used = Duration::from_std(core.cpus[slot].dispatched_at.elapsed());
         core.cpus[slot].current = None;
@@ -160,6 +241,191 @@ impl Inner {
             core.blocked.insert(id);
         }
         core.sched.put_prev(id, used, reason, self.now());
+    }
+
+    /// If `woken` did not get a CPU, flags the *worst* eligible running
+    /// task of this shard for preemption: among every CPU whose running
+    /// task loses to the woken one, the one with the largest charged
+    /// surplus (the old code flagged the first eligible CPU, evicting
+    /// near-ties while far-worse tasks kept running).
+    fn flag_wake_preemption(&self, core: &ShardCore, woken: TaskId) {
+        if core.slot_of(woken).is_some() {
+            return;
+        }
+        let now = self.now();
+        let candidates: Vec<(usize, TaskId, Duration)> = core
+            .cpus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| {
+                slot.current
+                    .map(|id| (i, id, Duration::from_std(slot.dispatched_at.elapsed())))
+            })
+            .collect();
+        if let Some((_, victim)) =
+            select_preemption_victim(core.sched.as_ref(), woken, &candidates, now)
+        {
+            core.task(victim).preempt.store(true, Ordering::Release);
+        }
+    }
+
+    /// Moves a ready (or still-blocked, at wake migration) task between
+    /// two locked shards: policy detach/attach, task-map transfer, and
+    /// the task's shard index. Balancer accounting is the caller's
+    /// (steals call [`Balancer::migrate`]; wake placement was already
+    /// accounted by [`Balancer::wake`]).
+    fn move_task_locked(
+        &self,
+        from: &mut ShardCore,
+        to_idx: usize,
+        to: &mut ShardCore,
+        id: TaskId,
+    ) {
+        let now = self.now();
+        let w = from.sched.weight_of(id).expect("migrating stranger");
+        from.sched.detach(id, now);
+        let arc = from.tasks.remove(&id).expect("task map out of sync");
+        arc.shard.store(to_idx, Ordering::Release);
+        to.tasks.insert(id, arc);
+        to.sched.attach(id, w, now);
+    }
+
+    /// Steal-on-idle (sharded only; caller holds the global lock):
+    /// after a blocking or exit event leaves shard `s` with an idle
+    /// CPU, pull the highest-surplus ready task from the most loaded
+    /// shard that can spare one — the same cross-shard work
+    /// conservation the sim substrate's `ShardedScheduler::pick_next`
+    /// has, without waiting for the next periodic rebalance tick.
+    fn steal_on_idle(&self, global: &mut Global, s: usize) {
+        let Some(bal) = global.bal.as_mut() else {
+            return;
+        };
+        let mut donors: Vec<usize> = (0..self.shards.len()).filter(|&o| o != s).collect();
+        donors.sort_by_key(|&o| std::cmp::Reverse(bal.load(o)));
+        for o in donors {
+            let (mut f, mut t) = self.lock_two(o, s);
+            if t.cpus.iter().all(|c| c.current.is_some()) {
+                return; // the idle CPU was filled in the meantime
+            }
+            // Never drain a shard below its own processor count.
+            if f.sched.nr_runnable() <= f.cpus.len() {
+                continue;
+            }
+            let Some(id) = f.sched.steal_candidate() else {
+                continue;
+            };
+            bal.migrate(id, s);
+            self.move_task_locked(&mut f, s, &mut t, id);
+            drop(f);
+            self.dispatch(&mut t);
+            self.flag_wake_preemption(&t, id);
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+    }
+
+    /// Blocks the calling task: releases its CPU, records it blocked,
+    /// and (when sharded) removes it from the global runnable set and
+    /// offers the freed CPU a stolen task. The caller parks on
+    /// `wait_granted` afterwards.
+    fn block_current(&self, task: &Arc<RtTask>) {
+        let mut global = self.sharded().then(|| self.global.lock());
+        let (s, mut core) = self.lock_own_shard(task);
+        self.stop_running(&mut core, task.id, SwitchReason::Blocked);
+        if let Some(bal) = global.as_mut().and_then(|g| g.bal.as_mut()) {
+            bal.block(task.id);
+        }
+        self.dispatch(&mut core);
+        let idle = core.cpus.iter().any(|c| c.current.is_none());
+        drop(core);
+        if idle {
+            if let Some(g) = global.as_mut() {
+                self.steal_on_idle(g, s);
+            }
+        }
+    }
+
+    /// Wakes a blocked task, letting the balancer place it (sticky to
+    /// its home shard unless that shard is overloaded). Returns `false`
+    /// if the task was not blocked.
+    fn wake_blocked(&self, task: &Arc<RtTask>) -> bool {
+        let now = self.now();
+        if !self.sharded() {
+            let mut core = self.shards[0].lock();
+            if !core.blocked.remove(&task.id) {
+                return false;
+            }
+            core.sched.wake(task.id, now);
+            self.dispatch(&mut core);
+            self.flag_wake_preemption(&core, task.id);
+            return true;
+        }
+        let mut global = self.global.lock();
+        // Blocked tasks never migrate, so the home index is stable
+        // while we hold the global lock (all blocked-set transitions
+        // take it too).
+        let home = task.shard.load(Ordering::Acquire);
+        {
+            let core = self.shards[home].lock();
+            if !core.blocked.contains(&task.id) {
+                return false;
+            }
+        }
+        let bal = global.bal.as_mut().expect("sharded executor has balancer");
+        let (_, target) = bal.wake(task.id);
+        if target == home {
+            let mut core = self.shards[home].lock();
+            core.blocked.remove(&task.id);
+            core.sched.wake(task.id, now);
+            self.dispatch(&mut core);
+            self.flag_wake_preemption(&core, task.id);
+        } else {
+            // Overloaded home shard: re-admit the waker on the target
+            // shard instead (fresh tags there, like any migration).
+            // `Balancer::wake` already accounted the placement.
+            self.wake_migrations.fetch_add(1, Ordering::Relaxed);
+            let (mut from, mut to) = self.lock_two(home, target);
+            from.blocked.remove(&task.id);
+            self.move_task_locked(&mut from, target, &mut to, task.id);
+            drop(from);
+            self.dispatch(&mut to);
+            self.flag_wake_preemption(&to, task.id);
+        }
+        true
+    }
+
+    /// One surplus-rebalance pass (timer thread, sharded only):
+    /// migrate highest-surplus ready tasks from overloaded to
+    /// underloaded shards while each move strictly reduces the worse
+    /// per-CPU load. The move decision itself is
+    /// [`Balancer::plan_move`], shared with the sim substrate, so the
+    /// rebalance invariant has exactly one implementation.
+    fn rebalance(&self) {
+        let mut global = self.global.lock();
+        let Some(bal) = global.bal.as_mut() else {
+            return;
+        };
+        for _ in 0..self.shards.len() * 2 {
+            let Some((from, to)) = bal.imbalanced_pair() else {
+                break;
+            };
+            let (mut f, mut t) = self.lock_two(from, to);
+            // Loads cannot change while we hold the global lock, so
+            // the planner re-derives the same pair; the donor's
+            // runnable count and candidate are read under its lock.
+            let Some((id, pf, pt)) = bal.plan_move(
+                |_| f.sched.nr_runnable() > f.cpus.len(),
+                |_| f.sched.steal_candidate(),
+            ) else {
+                break;
+            };
+            debug_assert_eq!((pf, pt), (from, to), "loads moved under the global lock");
+            bal.migrate(id, to);
+            self.move_task_locked(&mut f, to, &mut t, id);
+            drop(f);
+            self.dispatch(&mut t);
+            self.rebalances.fetch_add(1, Ordering::Relaxed);
+        }
     }
 }
 
@@ -236,9 +502,12 @@ impl TaskCtx {
         self.reschedule(SwitchReason::Yielded);
     }
 
+    /// The still-runnable requeue path: only this task's shard lock is
+    /// taken — with per-shard locks, quantum expiry on one shard never
+    /// contends with another shard's.
     fn reschedule(&self, reason: SwitchReason) {
         {
-            let mut core = self.inner.core.lock();
+            let (_, mut core) = self.inner.lock_own_shard(&self.task);
             // The flag may be stale (e.g. raised just as we blocked and
             // got re-granted); only act when we actually hold a CPU.
             if core.slot_of(self.task.id).is_none() {
@@ -246,7 +515,7 @@ impl TaskCtx {
                 return;
             }
             self.inner.stop_running(&mut core, self.task.id, reason);
-            self.inner.dispatch_all(&mut core);
+            self.inner.dispatch(&mut core);
         }
         self.task.wait_granted();
     }
@@ -256,14 +525,23 @@ impl TaskCtx {
     /// token and calls [`TaskCtx::wake_task`]. Returns once the token
     /// has been consumed.
     ///
-    /// Token inspection happens under the scheduler lock on both the
+    /// Token inspection happens under the scheduler locks on both the
     /// consumer and producer sides, so no wakeup can be lost. This is
     /// the substrate for pipe-style handoffs (the lmbench `lat_ctx`
     /// analogue in [`crate::microbench`]).
     pub fn block_on_token(&self, token: &AtomicBool) {
         loop {
+            // Fast path: a token set before we got here is consumed
+            // without touching any scheduler lock (the early return
+            // never blocks, so no wakeup can be lost).
+            if token.swap(false, Ordering::AcqRel) {
+                return;
+            }
             {
-                let mut core = self.inner.core.lock();
+                let mut global = self.inner.sharded().then(|| self.inner.global.lock());
+                let (s, mut core) = self.inner.lock_own_shard(&self.task);
+                // Re-check under the locks: the producer sets the
+                // token before taking them on its wake path.
                 if token.swap(false, Ordering::AcqRel) {
                     return;
                 }
@@ -272,7 +550,17 @@ impl TaskCtx {
                 }
                 self.inner
                     .stop_running(&mut core, self.task.id, SwitchReason::Blocked);
-                self.inner.dispatch_all(&mut core);
+                if let Some(bal) = global.as_mut().and_then(|g| g.bal.as_mut()) {
+                    bal.block(self.task.id);
+                }
+                self.inner.dispatch(&mut core);
+                let idle = core.cpus.iter().any(|c| c.current.is_none());
+                drop(core);
+                if idle {
+                    if let Some(g) = global.as_mut() {
+                        self.inner.steal_on_idle(g, s);
+                    }
+                }
             }
             self.task.wait_granted();
         }
@@ -282,102 +570,118 @@ impl TaskCtx {
     /// blocked task). Returns `true` if the task was blocked. The
     /// producer must set its token *before* calling this.
     pub fn wake_task(&self, id: TaskId) -> bool {
-        let mut core = self.inner.core.lock();
-        if !core.blocked.remove(&id) {
+        let Some(task) = self.inner.find_task(id) else {
             return false;
-        }
-        let now = self.inner.now();
-        core.sched.wake(id, now);
-        self.inner.dispatch_all(&mut core);
-        if core.slot_of(id).is_none() {
-            for i in 0..core.cpus.len() {
-                let Some(running) = core.cpus[i].current else {
-                    continue;
-                };
-                let ran = Duration::from_std(core.cpus[i].dispatched_at.elapsed());
-                if core.sched.wake_preempts(id, running, ran, now) {
-                    core.task(running).preempt.store(true, Ordering::Release);
-                    break;
-                }
-            }
-        }
-        true
+        };
+        self.inner.wake_blocked(&task)
     }
 
     /// Blocks (releases the virtual CPU) for the given duration — the
     /// userspace analogue of sleeping on I/O.
     pub fn block_for(&self, d: Duration) {
-        {
-            let mut core = self.inner.core.lock();
-            self.inner
-                .stop_running(&mut core, self.task.id, SwitchReason::Blocked);
-            self.inner.dispatch_all(&mut core);
-        }
+        self.inner.block_current(&self.task);
         thread::sleep(d.to_std());
-        {
-            let mut core = self.inner.core.lock();
-            let now = self.inner.now();
-            // `stop()` or `wake_task` may have woken us already; only
-            // report the wakeup if we are still blocked.
-            if core.blocked.remove(&self.task.id) {
-                core.sched.wake(self.task.id, now);
-                self.inner.dispatch_all(&mut core);
-                // No idle CPU took us: ask for a wakeup preemption.
-                if core.slot_of(self.task.id).is_none() {
-                    for i in 0..core.cpus.len() {
-                        let Some(running) = core.cpus[i].current else {
-                            continue;
-                        };
-                        let ran = Duration::from_std(core.cpus[i].dispatched_at.elapsed());
-                        if core.sched.wake_preempts(self.task.id, running, ran, now) {
-                            core.task(running).preempt.store(true, Ordering::Release);
-                            break;
-                        }
-                    }
-                }
-            }
-        }
+        // `stop()` or `wake_task` may have woken us already; only
+        // report the wakeup if we are still blocked.
+        self.inner.wake_blocked(&self.task);
         self.task.wait_granted();
     }
 }
 
+impl Inner {
+    /// Looks a task up by id (wake-by-id API): one global-registry
+    /// probe instead of scanning every shard's lock.
+    fn find_task(&self, id: TaskId) -> Option<Arc<RtTask>> {
+        self.global.lock().registry.get(&id).cloned()
+    }
+}
+
 /// The userspace executor: `p` virtual CPUs multiplexed over real
-/// threads by an `sfs-core` scheduling policy.
+/// threads by one or more `sfs-core` scheduling policy shards.
 pub struct Executor {
     inner: Arc<Inner>,
     timer: Option<thread::JoinHandle<()>>,
 }
 
 impl Executor {
-    /// Creates an executor over the given policy.
+    /// Creates an executor over a single (global run queue) policy.
     ///
     /// # Panics
     ///
     /// Panics if the scheduler's CPU count differs from the config's.
     pub fn new(cfg: RtConfig, sched: Box<dyn Scheduler>) -> Executor {
         assert_eq!(sched.cpus(), cfg.cpus, "scheduler/machine mismatch");
+        let layout = ShardLayout::new(cfg.cpus, 1);
+        Executor::from_parts(cfg, layout, vec![sched], None, None)
+    }
+
+    /// Creates an executor from a policy spec, honouring its `shards=N`
+    /// option: the machine is split into per-shard policy instances
+    /// behind per-shard locks, with the balancer in the global section
+    /// and a periodic surplus rebalance on the timer thread. Unsharded
+    /// specs behave exactly like [`Executor::new`].
+    pub fn from_spec(cfg: RtConfig, spec: &PolicySpec) -> Executor {
+        if spec.shard_count() <= 1 {
+            // `spec.build` keeps the scheduler identical to the sim
+            // substrate's — for `shards=1` that is the one-shard
+            // wrapper (named e.g. "SFS(sharded)"), behind one lock.
+            return Executor::new(cfg.clone(), spec.build(cfg.cpus));
+        }
+        let rebalance = spec.rebalance_every();
+        let sharded = ShardedScheduler::build(
+            &spec.without_sharding(),
+            spec.shard_count(),
+            cfg.cpus,
+            rebalance,
+        );
+        let (layout, shards, bal) = sharded.into_parts();
+        Executor::from_parts(cfg, layout, shards, Some(bal), rebalance)
+    }
+
+    fn from_parts(
+        cfg: RtConfig,
+        layout: ShardLayout,
+        shards: Vec<Box<dyn Scheduler>>,
+        bal: Option<Balancer>,
+        rebalance: Option<Duration>,
+    ) -> Executor {
+        let cores: Vec<Mutex<ShardCore>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, sched)| {
+                Mutex::new(ShardCore {
+                    sched,
+                    cpus: vec![
+                        CpuSlot {
+                            current: None,
+                            dispatched_at: Instant::now(),
+                            slice: Duration::ZERO,
+                        };
+                        layout.shard_cpus(s) as usize
+                    ],
+                    tasks: HashMap::new(),
+                    blocked: HashSet::new(),
+                    switches: 0,
+                })
+            })
+            .collect();
         let inner = Arc::new(Inner {
-            core: Mutex::new(Core {
-                sched,
-                cpus: vec![
-                    CpuSlot {
-                        current: None,
-                        dispatched_at: Instant::now(),
-                        slice: Duration::ZERO,
-                    };
-                    cfg.cpus as usize
-                ],
-                tasks: Vec::new(),
-                blocked: std::collections::HashSet::new(),
+            cfg,
+            shards: cores,
+            global: Mutex::new(Global {
+                bal,
+                registry: HashMap::new(),
                 next_id: 1,
                 live: 0,
-                switches: 0,
             }),
-            cfg,
+            rebalance_every: rebalance.unwrap_or(ShardedScheduler::DEFAULT_REBALANCE),
             idle_cv: Condvar::new(),
             epoch: Instant::now(),
             shutdown: AtomicBool::new(false),
             stop_requested: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            rebalances: AtomicU64::new(0),
+            wake_migrations: AtomicU64::new(0),
         });
         let timer = {
             let inner = Arc::clone(&inner);
@@ -392,43 +696,87 @@ impl Executor {
         }
     }
 
+    /// The quantum-expiry timer. Two properties matter here:
+    ///
+    /// * **Absolute deadlines.** The loop sleeps until `next` and then
+    ///   advances it by exactly one interval, so lock-hold and wake
+    ///   latency do not accumulate as tick drift (the old relative
+    ///   `sleep(interval)` pushed every subsequent tick late by the
+    ///   scan time). If a scan overruns a whole interval the schedule
+    ///   skips forward instead of bursting catch-up ticks.
+    /// * **Flags set outside the lock.** Each shard's slots are
+    ///   snapshot under its lock; the preempt flags are raised after
+    ///   release, so a task re-entering the scheduler never contends
+    ///   with the timer holding its shard lock across the full scan.
     fn timer_loop(inner: &Inner) {
+        let interval = inner.cfg.timer_interval.to_std();
+        let rebalance_every = inner.rebalance_every.to_std();
+        let mut next = Instant::now() + interval;
+        let mut next_rebalance = Instant::now() + rebalance_every;
         while !inner.shutdown.load(Ordering::Acquire) {
-            thread::sleep(inner.cfg.timer_interval.to_std());
-            let core = inner.core.lock();
-            for slot in &core.cpus {
-                let Some(id) = slot.current else { continue };
-                let elapsed = Duration::from_std(slot.dispatched_at.elapsed());
-                if elapsed >= slot.slice {
-                    core.task(id).preempt.store(true, Ordering::Release);
+            let now = Instant::now();
+            if next > now {
+                thread::sleep(next - now);
+            }
+            next += interval;
+            let now = Instant::now();
+            if next < now {
+                next = now + interval;
+            }
+            let mut expired: Vec<Arc<RtTask>> = Vec::new();
+            for shard in &inner.shards {
+                {
+                    let core = shard.lock();
+                    for slot in &core.cpus {
+                        let Some(id) = slot.current else { continue };
+                        if Duration::from_std(slot.dispatched_at.elapsed()) >= slot.slice {
+                            expired.push(Arc::clone(core.task(id)));
+                        }
+                    }
                 }
+                // Shard lock released: raise the flags outside it.
+                for t in expired.drain(..) {
+                    t.preempt.store(true, Ordering::Release);
+                }
+            }
+            if inner.sharded() && Instant::now() >= next_rebalance {
+                next_rebalance = Instant::now() + rebalance_every;
+                inner.rebalance();
             }
         }
     }
 
     /// Spawns a task with a weight; the body receives a [`TaskCtx`] and
-    /// must call [`TaskCtx::checkpoint`] regularly.
+    /// must call [`TaskCtx::checkpoint`] regularly. The task is placed
+    /// on the shard with the least adjusted-weight load per CPU.
     pub fn spawn<F>(&self, name: &str, weight: Weight, body: F) -> TaskHandle
     where
         F: FnOnce(&TaskCtx) + Send + 'static,
     {
         let (task, ctx) = {
-            let mut core = self.inner.core.lock();
-            let id = TaskId(core.next_id);
-            core.next_id += 1;
+            let mut global = self.inner.global.lock();
+            let id = TaskId(global.next_id);
+            global.next_id += 1;
+            global.live += 1;
+            let shard = match global.bal.as_mut() {
+                Some(bal) => bal.attach(id, weight),
+                None => 0,
+            };
             let task = Arc::new(RtTask {
                 id,
                 name: name.to_string(),
+                shard: AtomicUsize::new(shard),
                 preempt: AtomicBool::new(false),
                 service_ns: AtomicU64::new(0),
                 granted: Mutex::new(false),
                 cv: Condvar::new(),
             });
-            core.tasks.push(Arc::clone(&task));
-            core.live += 1;
+            global.registry.insert(id, Arc::clone(&task));
+            let mut core = self.inner.shards[shard].lock();
+            core.tasks.insert(id, Arc::clone(&task));
             let now = self.inner.now();
             core.sched.attach(id, weight, now);
-            self.inner.dispatch_all(&mut core);
+            self.inner.dispatch(&mut core);
             let ctx = TaskCtx {
                 inner: Arc::clone(&self.inner),
                 task: Arc::clone(&task),
@@ -445,19 +793,33 @@ impl Executor {
                     body(&ctx);
                 }));
                 {
-                    let mut core = inner.core.lock();
+                    let mut global = inner.global.lock();
+                    let (_, mut core) = inner.lock_own_shard(&task2);
                     core.blocked.remove(&task2.id);
                     if core.slot_of(task2.id).is_some() {
                         inner.stop_running(&mut core, task2.id, SwitchReason::Exited);
-                    } else {
+                    } else if core.sched.weight_of(task2.id).is_some() {
                         // Exited while not on a CPU (e.g. right after a
                         // block woke it but before it was granted —
                         // cannot happen for well-formed bodies, but a
                         // panicking body may unwind from anywhere).
                         core.sched.detach(task2.id, inner.now());
                     }
-                    core.live -= 1;
-                    inner.dispatch_all(&mut core);
+                    if let Some(bal) = global.bal.as_mut() {
+                        bal.remove(task2.id);
+                    }
+                    core.tasks.remove(&task2.id);
+                    global.registry.remove(&task2.id);
+                    global.live -= 1;
+                    inner.dispatch(&mut core);
+                    let s = task2.shard.load(Ordering::Acquire);
+                    let idle = core.cpus.iter().any(|c| c.current.is_none());
+                    drop(core);
+                    if idle {
+                        // The exit may have freed a CPU: offer it a
+                        // stolen task before it idles.
+                        inner.steal_on_idle(&mut global, s);
+                    }
                     inner.idle_cv.notify_all();
                 }
                 if let Err(p) = result {
@@ -478,44 +840,47 @@ impl Executor {
         self.inner.stop_requested.store(true, Ordering::Relaxed);
         // Nudge everything through the scheduler so parked tasks get
         // CPU time to observe the stop flag, and release event-blocked
-        // tasks so they can observe it too.
-        let mut core = self.inner.core.lock();
-        for t in &core.tasks {
-            t.preempt.store(true, Ordering::Release);
-        }
-        let blocked: Vec<TaskId> = core.blocked.drain().collect();
+        // tasks so they can observe it too. Wakes stay on their home
+        // shard — migration at shutdown is pointless churn.
+        let mut global = self.inner.global.lock();
         let now = self.inner.now();
-        for id in blocked {
-            core.sched.wake(id, now);
+        for shard in &self.inner.shards {
+            let mut core = shard.lock();
+            for t in core.tasks.values() {
+                t.preempt.store(true, Ordering::Release);
+            }
+            let blocked: Vec<TaskId> = core.blocked.drain().collect();
+            for id in blocked {
+                if let Some(bal) = global.bal.as_mut() {
+                    bal.wake_in_place(id);
+                }
+                core.sched.wake(id, now);
+            }
+            self.inner.dispatch(&mut core);
         }
-        self.inner.dispatch_all(&mut core);
     }
 
     /// Blocks until every spawned task has finished.
     pub fn wait(&self) {
-        let mut core = self.inner.core.lock();
-        while core.live > 0 {
-            self.inner.idle_cv.wait(&mut core);
+        let mut global = self.inner.global.lock();
+        while global.live > 0 {
+            self.inner.idle_cv.wait(&mut global);
         }
     }
 
-    /// Number of dispatches that granted a virtual CPU.
+    /// Number of dispatches that granted a virtual CPU, across shards.
     pub fn switches(&self) -> u64 {
-        self.inner.core.lock().switches
+        self.inner.shards.iter().map(|s| s.lock().switches).sum()
     }
 
     /// Wakes an event-blocked task from outside the executor (e.g. the
     /// spawning thread kicking off a token ring). Returns `true` if the
     /// task was blocked.
     pub fn wake_task(&self, id: TaskId) -> bool {
-        let mut core = self.inner.core.lock();
-        if !core.blocked.remove(&id) {
+        let Some(task) = self.inner.find_task(id) else {
             return false;
-        }
-        let now = self.inner.now();
-        core.sched.wake(id, now);
-        self.inner.dispatch_all(&mut core);
-        true
+        };
+        self.inner.wake_blocked(&task)
     }
 
     /// Current time since executor start.
@@ -523,9 +888,30 @@ impl Executor {
         self.inner.now()
     }
 
-    /// Runs a closure against the scheduler (for stats inspection).
+    /// Number of run-queue shards.
+    pub fn shards(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    /// Aggregated scheduler work counters across all shards, including
+    /// the executor-level steal/rebalance/wake-migration counts.
+    pub fn sched_stats(&self) -> SchedStats {
+        let mut agg = SchedStats::default();
+        for shard in &self.inner.shards {
+            agg = agg.merged(shard.lock().sched.stats());
+        }
+        agg.shard_steals += self.inner.steals.load(Ordering::Relaxed);
+        agg.shard_rebalances += self.inner.rebalances.load(Ordering::Relaxed);
+        agg.shard_wake_migrations += self.inner.wake_migrations.load(Ordering::Relaxed);
+        agg
+    }
+
+    /// Runs a closure against the first shard's scheduler (for stats
+    /// inspection; on a single-shard executor this is the whole
+    /// policy). Sharded executors aggregate via
+    /// [`Executor::sched_stats`].
     pub fn with_scheduler<R>(&self, f: impl FnOnce(&dyn Scheduler) -> R) -> R {
-        let core = self.inner.core.lock();
+        let core = self.inner.shards[0].lock();
         f(core.sched.as_ref())
     }
 }
@@ -729,6 +1115,102 @@ mod tests {
         ex.wait();
         let picks = ex.with_scheduler(|s| s.stats().picks);
         assert!(picks >= 10, "picks = {picks}");
+        assert!(ex.sched_stats().picks >= 10);
         h.join();
+    }
+
+    #[test]
+    fn sharded_executor_keeps_proportional_shares() {
+        let spec: PolicySpec = "sfs:quantum=2ms,shards=2,rebalance=10ms".parse().unwrap();
+        let ex = Executor::from_spec(
+            RtConfig {
+                cpus: 2,
+                timer_interval: Duration::from_micros(200),
+            },
+            &spec,
+        );
+        assert_eq!(ex.shards(), 2);
+        // Four spinners 3:3:1:1 over two single-CPU shards: placement
+        // pairs a heavy with a light on each shard, and the global
+        // snapshot keeps the weights feasible.
+        let h1 = ex.spawn("w3a", weight(3), spin);
+        let h2 = ex.spawn("w3b", weight(3), spin);
+        let l1 = ex.spawn("w1a", weight(1), spin);
+        let l2 = ex.spawn("w1b", weight(1), spin);
+        std::thread::sleep(std::time::Duration::from_millis(500));
+        ex.stop();
+        ex.wait();
+        let heavy = (h1.service() + h2.service()).as_nanos() as f64;
+        let light = (l1.service() + l2.service()).as_nanos() as f64;
+        let ratio = heavy / light.max(1.0);
+        assert!(
+            (1.7..5.0).contains(&ratio),
+            "expected ≈3:1 heavy:light, got {ratio:.2}"
+        );
+        // Work conservation: the whole machine stayed busy.
+        let total = heavy + light;
+        assert!(
+            total > 2.0 * 0.8 * 500e6,
+            "machine under-utilised: {total} ns over 2 CPUs × 500 ms"
+        );
+    }
+
+    #[test]
+    fn sharded_executor_steals_work_from_loaded_shards() {
+        let spec: PolicySpec = "sfs:quantum=1ms,shards=2,rebalance=5ms".parse().unwrap();
+        let ex = Executor::from_spec(
+            RtConfig {
+                cpus: 2,
+                timer_interval: Duration::from_micros(200),
+            },
+            &spec,
+        );
+        // Three equal spinners on two shards: one shard gets two tasks.
+        // Stealing + rebalancing must keep both CPUs busy and the
+        // allocation roughly equal thirds.
+        let hs: Vec<TaskHandle> = (0..3)
+            .map(|i| ex.spawn(&format!("t{i}"), weight(1), spin))
+            .collect();
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        ex.stop();
+        ex.wait();
+        let svcs: Vec<f64> = hs.iter().map(|h| h.service().as_nanos() as f64).collect();
+        let total: f64 = svcs.iter().sum();
+        assert!(
+            total > 2.0 * 0.8 * 400e6,
+            "idle CPU despite ready tasks: {svcs:?}"
+        );
+        let stats = ex.sched_stats();
+        assert!(
+            stats.shard_steals + stats.shard_wake_migrations + stats.shard_rebalances > 0
+                || svcs.iter().all(|&s| s > 0.25 * 400e6),
+            "no balancing activity and skewed shares: {svcs:?} ({stats:?})"
+        );
+        for h in hs {
+            h.join();
+        }
+    }
+
+    #[test]
+    fn sharded_executor_blocking_and_waking_across_shards() {
+        let spec: PolicySpec = "sfs:quantum=1ms,shards=2".parse().unwrap();
+        let ex = Executor::from_spec(
+            RtConfig {
+                cpus: 2,
+                timer_interval: Duration::from_micros(200),
+            },
+            &spec,
+        );
+        let sleeper = ex.spawn("sleeper", weight(1), |ctx| {
+            for _ in 0..5 {
+                ctx.block_for(Duration::from_millis(10));
+            }
+        });
+        let spinner = ex.spawn("spinner", weight(1), spin);
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        ex.stop();
+        ex.wait();
+        assert!(sleeper.service() < Duration::from_millis(100));
+        assert!(spinner.service() > Duration::from_millis(100));
     }
 }

@@ -18,7 +18,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use sfs_core::gms::FluidGms;
-use sfs_core::sched::{Scheduler, SwitchReason};
+use sfs_core::sched::{select_preemption_victim, Scheduler, SwitchReason};
 use sfs_core::task::{CpuId, TaskId, Weight};
 use sfs_core::time::{Duration, Time};
 use sfs_workloads::{Behavior, BehaviorSpec, Phase};
@@ -663,18 +663,23 @@ impl Simulator {
         if self.tasks.get(&woken).map(|t| t.state) != Some(TState::Ready) {
             return;
         }
-        for i in 0..self.cpus.len() {
-            let Some(running) = self.cpus[i].current else {
-                continue;
-            };
-            let ran = self.now.since(self.cpus[i].dispatched_at);
-            if self.sched.wake_preempts(woken, running, ran, self.now) {
-                self.stop_running(i, SwitchReason::Preempted);
-                self.tasks.get_mut(&running).unwrap().state = TState::Ready;
-                self.dispatch(i);
-                break;
-            }
-        }
+        let candidates: Vec<(usize, TaskId, Duration)> = self
+            .cpus
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.current
+                    .map(|running| (i, running, self.now.since(c.dispatched_at)))
+            })
+            .collect();
+        let Some((i, running)) =
+            select_preemption_victim(self.sched.as_ref(), woken, &candidates, self.now)
+        else {
+            return;
+        };
+        self.stop_running(i, SwitchReason::Preempted);
+        self.tasks.get_mut(&running).unwrap().state = TState::Ready;
+        self.dispatch(i);
     }
 }
 
@@ -801,6 +806,44 @@ mod tests {
             .unwrap()
             .completion_rate(Time::from_secs(10));
         assert!((rate - 20.0).abs() < 1.0, "frame rate {rate}");
+    }
+
+    #[test]
+    fn wake_preemption_selects_worst_victim_not_first() {
+        // Regression: preempt_check used to evict the *first* CPU whose
+        // running task lost to the woken one. With a near-tie on CPU 0
+        // and a far-worse task on CPU 2, the victim must be CPU 2.
+        let mut sched = PolicySpec::sfs()
+            .with_quantum(Duration::from_millis(1))
+            .build(3);
+        let now = Time::ZERO;
+        for i in 1..=4u64 {
+            sched.attach(TaskId(i), weight(1), now);
+        }
+        // Deterministic id tie-break: T1→cpu0, T2→cpu1, T3→cpu2;
+        // T4 stays ready with zero surplus.
+        for c in 0..3u32 {
+            assert_eq!(
+                sched.pick_next(sfs_core::task::CpuId(c), now),
+                Some(TaskId(c as u64 + 1))
+            );
+        }
+        let candidates = [
+            (0usize, TaskId(1), Duration::from_micros(200)),
+            (1usize, TaskId(2), Duration::from_micros(150)),
+            (2usize, TaskId(3), Duration::from_millis(50)),
+        ];
+        // Every CPU is preemptable (all charged surpluses exceed the
+        // woken task's zero surplus plus the margin)...
+        for &(_, running, ran) in &candidates {
+            assert!(sched.wake_preempts(TaskId(4), running, ran, now));
+        }
+        // ...but the selected victim is the largest-surplus one.
+        let victim = select_preemption_victim(sched.as_ref(), TaskId(4), &candidates, now);
+        assert_eq!(victim, Some((2, TaskId(3))));
+        // With no eligible CPU there is no victim.
+        let none = select_preemption_victim(sched.as_ref(), TaskId(4), &[], now);
+        assert_eq!(none, None);
     }
 
     #[test]
