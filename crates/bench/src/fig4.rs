@@ -54,7 +54,7 @@ fn scenario(effort: Effort) -> (Scenario, Fig4Times) {
 fn run_one(kind: &str, effort: Effort) -> (SimReport, Fig4Times) {
     let (scenario, times) = scenario(effort);
     let run = Experiment::new(scenario)
-        .run(&policy(kind, effort.quantum()))
+        .run(policy(kind, effort.quantum()))
         .expect("fig4 scenario is well-formed");
     (run.sim_report().clone(), times)
 }

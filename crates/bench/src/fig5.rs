@@ -62,7 +62,7 @@ fn scenario(effort: Effort, q_full_ms: u64) -> (Scenario, Duration) {
 fn run_one(kind: &str, effort: Effort, q_full_ms: u64) -> SimReport {
     let (scenario, quantum) = scenario(effort, q_full_ms);
     Experiment::new(scenario)
-        .run(&policy(kind, quantum))
+        .run(policy(kind, quantum))
         .expect("fig5 scenario is well-formed")
         .sim_report()
         .clone()

@@ -40,7 +40,7 @@ fn run_6a_pair(w_a: u64, w_b: u64, effort: Effort) -> SimReport {
         .task(TaskSpec::new("A", w_a, BehaviorSpec::Dhrystone))
         .task(TaskSpec::new("B", w_b, BehaviorSpec::Dhrystone));
     Experiment::new(scenario)
-        .run(&policy("sfs", effort.quantum()))
+        .run(policy("sfs", effort.quantum()))
         .expect("fig6a scenario is well-formed")
         .sim_report()
         .clone()

@@ -40,6 +40,7 @@ mod tests {
             id: TaskId(1),
             name: "t".into(),
             weight: 1,
+            tenant: None,
             service: Duration::ZERO,
             iterations: None,
             completions: 0,

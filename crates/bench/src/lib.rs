@@ -14,6 +14,7 @@
 //! | [`overhead`] | Per-decision cost sweep, 10²–10⁵ threads (beyond the paper: bucket-queue pick path) |
 //! | [`churn`] | Per-event cost sweep, 10²–10⁵ threads (beyond the paper: indexed-queue event path) |
 //! | [`scale`] | Shard-scaling sweep: decisions/s + lock costs vs shard count, sharded-vs-global fairness (beyond the paper: §5 per-CPU run queues) |
+//! | [`tenants`] | Multi-tenant sweep: misbehaving-tenant isolation, decision cost at 10²–10⁴ tenants (beyond the paper: §6 hierarchical SFS) |
 //!
 //! The `repro` binary drives them all and writes reports to
 //! `results/`; the `figures`/`overheads` bench targets run them in
@@ -30,6 +31,7 @@ pub mod helpers;
 pub mod overhead;
 pub mod overheads;
 pub mod scale;
+pub mod tenants;
 
 use common::{Effort, ExpResult};
 
@@ -37,7 +39,7 @@ use common::{Effort, ExpResult};
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
-        "churn", "scale",
+        "churn", "scale", "tenants",
     ]
 }
 
@@ -60,6 +62,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "overhead" => overhead::run(effort),
         "churn" => churn::run(effort),
         "scale" => scale::run(effort),
+        "tenants" => tenants::run(effort),
         other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
     }
 }

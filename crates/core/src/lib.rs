@@ -16,6 +16,11 @@
 //!   ([`mod@buckets`]) that makes the exact pick O(#weight-classes)
 //!   instead of O(n), plus the bounded-lookahead heuristic and
 //!   fixed-point tags with renormalisation (§3).
+//! * [`hier`] — hierarchical SFS over tenant groups (`sfs:groups(...)`):
+//!   the top level runs SFS with each group's share as its weight
+//!   (group-level §2.1 readjustment included) and each group's member
+//!   tasks are scheduled by that group's own policy, giving per-tenant
+//!   isolation no flat weight space can.
 //! * [`mod@shard`] — sharded run queues (§5 scaling direction): per-CPU
 //!   instances of any registered policy behind surplus-balanced
 //!   placement, steal-on-idle and a periodic rebalance pass, with the
@@ -56,6 +61,7 @@ pub mod bvt;
 pub mod feasible;
 pub mod fixed;
 pub mod gms;
+pub mod hier;
 pub mod policy;
 pub mod queues;
 pub mod readjust;
@@ -77,7 +83,8 @@ pub mod prelude {
     pub use crate::bvt::{Bvt, BvtConfig};
     pub use crate::fixed::Fixed;
     pub use crate::gms::FluidGms;
-    pub use crate::policy::{ParsePolicyError, PolicyKind, PolicySpec};
+    pub use crate::hier::HierSfs;
+    pub use crate::policy::{GroupSpec, ParsePolicyError, PolicyKind, PolicySpec};
     pub use crate::readjust::{is_feasible, readjust, Readjustment};
     pub use crate::rr::RoundRobin;
     pub use crate::sched::{SchedStats, Scheduler, SwitchReason};
@@ -85,7 +92,7 @@ pub mod prelude {
     pub use crate::sfs::{Sfs, SfsConfig};
     pub use crate::shard::{ShardLayout, ShardedScheduler};
     pub use crate::stride::{Stride, StrideConfig};
-    pub use crate::task::{weight, CpuId, TaskId, TaskState, Weight};
+    pub use crate::task::{weight, CpuId, TaskId, TaskState, TenantId, Weight};
     pub use crate::time::{Duration, Time};
     pub use crate::timeshare::{TimeSharing, TimeSharingConfig};
     pub use crate::wfq::{Wfq, WfqConfig};

@@ -26,12 +26,14 @@ use core::str::FromStr;
 use std::sync::Arc;
 
 use crate::bvt::{Bvt, BvtConfig};
+use crate::hier::HierSfs;
 use crate::rr::RoundRobin;
 use crate::sched::Scheduler;
 use crate::sfq::{Sfq, SfqConfig};
 use crate::sfs::{Sfs, SfsConfig};
 use crate::shard::{ShardedScheduler, SnapshotCell};
 use crate::stride::{Stride, StrideConfig};
+use crate::task::TenantId;
 use crate::time::Duration;
 use crate::timeshare::{TimeSharing, TimeSharingConfig};
 use crate::wfq::{Wfq, WfqConfig};
@@ -114,6 +116,107 @@ impl fmt::Display for PolicyKind {
     }
 }
 
+/// One tenant group of a hierarchical spec: a name, a share (the group
+/// weight SFS enforces at the top level) and the policy scheduling
+/// *within* the group.
+///
+/// The string form is `name=policy` inside a `groups(...)` clause, or
+/// `name*share=policy` for shares other than 1:
+///
+/// ```
+/// use sfs_core::policy::{GroupSpec, PolicySpec};
+///
+/// let spec = PolicySpec::sfs_over([
+///     GroupSpec::new("batch", PolicySpec::sfq()),
+///     GroupSpec::new("frontend", PolicySpec::sfs().with_heuristic(4)).with_share(3),
+/// ]);
+/// assert_eq!(spec.to_string(), "sfs:groups(batch=sfq,frontend*3=sfs:heuristic=4)");
+/// assert_eq!(spec, spec.to_string().parse().unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GroupSpec {
+    name: String,
+    share: u64,
+    policy: PolicySpec,
+}
+
+impl GroupSpec {
+    /// A group with share 1 under the given intra-group policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is empty or contains characters outside
+    /// `[A-Za-z0-9_-]`, or if the policy is itself sharded or grouped
+    /// (hierarchies are two-level).
+    #[must_use]
+    pub fn new(name: &str, policy: PolicySpec) -> GroupSpec {
+        assert!(
+            !name.is_empty() && name.chars().all(valid_group_char),
+            "invalid group name {name:?} (want [A-Za-z0-9_-]+)"
+        );
+        assert!(
+            policy.shards.is_none(),
+            "group policies cannot be sharded: {policy}"
+        );
+        assert!(policy.groups.is_empty(), "groups cannot nest: {policy}");
+        GroupSpec {
+            name: name.to_string(),
+            share: 1,
+            policy,
+        }
+    }
+
+    /// Sets the group's share (its weight in the top-level SFS).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the share is zero.
+    #[must_use]
+    pub fn with_share(mut self, share: u64) -> GroupSpec {
+        assert!(share > 0, "group share must be positive");
+        self.share = share;
+        self
+    }
+
+    /// The group (tenant) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The group's share.
+    pub fn share(&self) -> u64 {
+        self.share
+    }
+
+    /// The intra-group policy.
+    pub fn policy(&self) -> &PolicySpec {
+        &self.policy
+    }
+}
+
+impl fmt::Display for GroupSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.share == 1 {
+            write!(f, "{}=", self.name)?;
+        } else {
+            write!(f, "{}*{}=", self.name, self.share)?;
+        }
+        // A sub-spec with several options contains commas, which would
+        // read as new group entries; parenthesise it so the clause
+        // round-trips.
+        let policy = self.policy.to_string();
+        if policy.contains(',') {
+            write!(f, "({policy})")
+        } else {
+            f.write_str(&policy)
+        }
+    }
+}
+
+fn valid_group_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
 /// A serialisable policy + configuration description.
 ///
 /// Construct one with the per-kind builders ([`PolicySpec::sfs`],
@@ -143,6 +246,7 @@ pub struct PolicySpec {
     ticks: Option<i64>,
     shards: Option<u32>,
     rebalance: Option<Duration>,
+    groups: Vec<GroupSpec>,
 }
 
 impl PolicySpec {
@@ -159,6 +263,7 @@ impl PolicySpec {
             ticks: None,
             shards: None,
             rebalance: None,
+            groups: Vec::new(),
         }
     }
 
@@ -204,6 +309,57 @@ impl PolicySpec {
         PolicySpec::new(PolicyKind::RoundRobin)
     }
 
+    /// Hierarchical SFS over tenant groups: the top level runs SFS with
+    /// each group's share as its weight (group-level §2.1 readjustment
+    /// included), and each group's member tasks are scheduled by that
+    /// group's own policy. String form: `sfs:groups(name=policy,...)`.
+    ///
+    /// ```
+    /// use sfs_core::policy::{GroupSpec, PolicySpec};
+    ///
+    /// let spec = PolicySpec::sfs_over([
+    ///     GroupSpec::new("batch", PolicySpec::sfq()),
+    ///     GroupSpec::new("frontend", PolicySpec::sfs()),
+    /// ]);
+    /// let sched = spec.build(2);
+    /// assert_eq!(sched.name(), "SFS(hier)");
+    /// assert_eq!(spec.tenant_of("frontend").unwrap().0, 1);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group list is empty or contains duplicate names.
+    #[must_use]
+    pub fn sfs_over(groups: impl IntoIterator<Item = GroupSpec>) -> PolicySpec {
+        let groups: Vec<GroupSpec> = groups.into_iter().collect();
+        assert!(!groups.is_empty(), "need at least one group");
+        for (i, g) in groups.iter().enumerate() {
+            assert!(
+                !groups[..i].iter().any(|o| o.name == g.name),
+                "duplicate group name {:?}",
+                g.name
+            );
+        }
+        let mut spec = PolicySpec::new(PolicyKind::Sfs);
+        spec.groups = groups;
+        spec
+    }
+
+    /// The tenant groups of a hierarchical spec (empty when flat).
+    pub fn groups(&self) -> &[GroupSpec] {
+        &self.groups
+    }
+
+    /// Resolves a group name to its [`TenantId`] — the group's position
+    /// in the `groups(...)` clause, stable across the parse ∘ `Display`
+    /// round-trip. `None` for flat specs or unknown names.
+    pub fn tenant_of(&self, name: &str) -> Option<TenantId> {
+        self.groups
+            .iter()
+            .position(|g| g.name == name)
+            .map(|i| TenantId(i as u32))
+    }
+
     /// One canonical (all-defaults) spec per registered kind — the
     /// registry that generic cross-policy tests iterate.
     pub fn registered() -> Vec<PolicySpec> {
@@ -237,8 +393,18 @@ impl PolicySpec {
             "`quantum` does not apply to {}",
             self.kind
         );
+        self.assert_flat("quantum");
         self.quantum = Some(q);
         self
+    }
+
+    /// Per-task options live on the group policies of a hierarchical
+    /// spec, not on the outer `sfs:groups(...)` level.
+    fn assert_flat(&self, opt: &str) {
+        assert!(
+            self.groups.is_empty(),
+            "`{opt}` does not apply to a hierarchical spec; set it on the group policies"
+        );
     }
 
     /// Enables §2.1 weight readjustment (SFQ / stride / BVT / WFQ only;
@@ -271,6 +437,7 @@ impl PolicySpec {
             "`heuristic` does not apply to {}",
             self.kind
         );
+        self.assert_flat("heuristic");
         self.heuristic = Some(k);
         self
     }
@@ -288,6 +455,7 @@ impl PolicySpec {
             "`refresh` does not apply to {}",
             self.kind
         );
+        self.assert_flat("refresh");
         self.refresh_every = Some(n);
         self
     }
@@ -305,6 +473,7 @@ impl PolicySpec {
             "`affinity` does not apply to {}",
             self.kind
         );
+        self.assert_flat("affinity");
         self.affinity_margin = Some(margin);
         self
     }
@@ -322,6 +491,7 @@ impl PolicySpec {
             "`audit` does not apply to {}",
             self.kind
         );
+        self.assert_flat("audit");
         self.audit = true;
         self
     }
@@ -426,6 +596,14 @@ impl PolicySpec {
     }
 
     fn build_base(&self, cpus: u32, snapshot: Option<&Arc<SnapshotCell>>) -> Box<dyn Scheduler> {
+        if !self.groups.is_empty() {
+            debug_assert_eq!(self.kind, PolicyKind::Sfs);
+            // Hierarchical: SFS over the groups, each scheduling its
+            // members with its own policy. The cross-shard φ snapshot
+            // does not apply — group shares are readjusted at the
+            // group level, per shard.
+            return Box::new(HierSfs::new(cpus, &self.groups));
+        }
         match self.kind {
             PolicyKind::Sfs => {
                 let mut cfg = SfsConfig::default();
@@ -512,6 +690,15 @@ impl fmt::Display for PolicySpec {
         if let Some(m) = self.affinity_margin {
             emit(f, format_args!("affinity={}", FmtDuration(m)))?;
         }
+        if !self.groups.is_empty() {
+            let inner = self
+                .groups
+                .iter()
+                .map(GroupSpec::to_string)
+                .collect::<Vec<_>>()
+                .join(",");
+            emit(f, format_args!("groups({inner})"))?;
+        }
         if let Some(n) = self.shards {
             emit(f, format_args!("shards={n}"))?;
         }
@@ -570,10 +757,29 @@ impl FromStr for PolicySpec {
         if opts.is_empty() {
             return Err(ParsePolicyError::new("trailing `:` with no options"));
         }
-        for opt in opts.split(',') {
+        for opt in split_top_level(opts) {
+            let opt = opt.trim();
+            // `groups(...)` carries a nested spec list whose commas and
+            // `=` belong to the sub-specs, so it is handled before the
+            // generic key[=value] split.
+            if let Some(rest) = opt.strip_prefix("groups(") {
+                if kind != PolicyKind::Sfs {
+                    return Err(ParsePolicyError::new(format!(
+                        "option \"groups\" does not apply to policy {kind}"
+                    )));
+                }
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| ParsePolicyError::new("unclosed `groups(` (missing `)`)"))?;
+                if !spec.groups.is_empty() {
+                    return Err(ParsePolicyError::new("`groups` given twice"));
+                }
+                spec.groups = parse_groups(inner)?;
+                continue;
+            }
             let (key, value) = match opt.split_once('=') {
                 Some((k, v)) => (k.trim(), Some(v.trim())),
-                None => (opt.trim(), None),
+                None => (opt, None),
             };
             let check = |ok: bool| -> Result<(), ParsePolicyError> {
                 if ok {
@@ -645,7 +851,120 @@ impl FromStr for PolicySpec {
         if spec.rebalance.is_some() && spec.shards.is_none() {
             return Err(ParsePolicyError::new("`rebalance` requires `shards`"));
         }
+        if !spec.groups.is_empty()
+            && (spec.quantum.is_some()
+                || spec.heuristic.is_some()
+                || spec.refresh_every.is_some()
+                || spec.affinity_margin.is_some()
+                || spec.audit)
+        {
+            return Err(ParsePolicyError::new(
+                "per-task options do not apply to a `groups(...)` spec; \
+                 set them on the group policies",
+            ));
+        }
         Ok(spec)
+    }
+}
+
+/// Splits an option list on commas outside parentheses, so the commas
+/// inside a `groups(...)` clause stay with the clause.
+fn split_top_level(s: &str) -> impl Iterator<Item = &str> {
+    let mut depth = 0usize;
+    s.split(move |c: char| {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        c == ',' && depth == 0
+    })
+}
+
+/// Parses the inside of a `groups(...)` clause: comma-separated
+/// `name[*share]=policy` entries.
+fn parse_groups(inner: &str) -> Result<Vec<GroupSpec>, ParsePolicyError> {
+    if inner.trim().is_empty() {
+        return Err(ParsePolicyError::new("empty `groups(...)`"));
+    }
+    let mut groups: Vec<GroupSpec> = Vec::new();
+    for entry in split_top_level(inner) {
+        let entry = entry.trim();
+        let (head, sub) = entry.split_once('=').ok_or_else(|| {
+            ParsePolicyError::new(format!("group entry {entry:?} wants `name=policy`"))
+        })?;
+        let head = head.trim();
+        let (name, share) = match head.split_once('*') {
+            Some((n, s)) => (n.trim(), parse_num::<u64>(s.trim(), "group share")?),
+            None => (head, 1),
+        };
+        if name.is_empty() || !name.chars().all(valid_group_char) {
+            return Err(ParsePolicyError::new(format!(
+                "invalid group name {name:?} (want [A-Za-z0-9_-]+)"
+            )));
+        }
+        if share == 0 {
+            return Err(ParsePolicyError::new(format!(
+                "group {name:?} has zero share (shares must be ≥ 1)"
+            )));
+        }
+        if groups.iter().any(|g| g.name() == name) {
+            return Err(ParsePolicyError::new(format!(
+                "duplicate group name {name:?}"
+            )));
+        }
+        let sub = sub.trim();
+        let sub = match sub.strip_prefix('(') {
+            Some(rest) => rest
+                .strip_suffix(')')
+                .ok_or_else(|| ParsePolicyError::new(format!("group {name:?}: unclosed `(`")))?,
+            None => sub,
+        };
+        let policy: PolicySpec = sub.trim().parse().map_err(|e: ParsePolicyError| {
+            ParsePolicyError::new(format!("in group {name:?}: {}", e.message))
+        })?;
+        if policy.shards.is_some() {
+            return Err(ParsePolicyError::new(format!(
+                "group {name:?}: group policies cannot be sharded"
+            )));
+        }
+        if !policy.groups.is_empty() {
+            return Err(ParsePolicyError::new(format!(
+                "group {name:?}: groups cannot nest"
+            )));
+        }
+        groups.push(GroupSpec {
+            name: name.to_string(),
+            share,
+            policy,
+        });
+    }
+    Ok(groups)
+}
+
+/// `&str → PolicySpec` for APIs taking `impl TryInto<PolicySpec>`
+/// (e.g. `Experiment::run("sfs:quantum=5ms")`).
+impl TryFrom<&str> for PolicySpec {
+    type Error = ParsePolicyError;
+
+    fn try_from(s: &str) -> Result<PolicySpec, ParsePolicyError> {
+        s.parse()
+    }
+}
+
+impl TryFrom<&String> for PolicySpec {
+    type Error = ParsePolicyError;
+
+    fn try_from(s: &String) -> Result<PolicySpec, ParsePolicyError> {
+        s.parse()
+    }
+}
+
+/// Borrowed specs convert by cloning, so `impl TryInto<PolicySpec>`
+/// APIs accept `&PolicySpec` alongside owned specs and strings.
+impl From<&PolicySpec> for PolicySpec {
+    fn from(spec: &PolicySpec) -> PolicySpec {
+        spec.clone()
     }
 }
 
@@ -790,6 +1109,120 @@ mod tests {
         ] {
             assert!(bad.parse::<PolicySpec>().is_err(), "{bad:?} parsed");
         }
+    }
+
+    #[test]
+    fn grouped_specs_round_trip() {
+        let specs = [
+            PolicySpec::sfs_over([
+                GroupSpec::new("batch", PolicySpec::sfq()),
+                GroupSpec::new("frontend", PolicySpec::sfs().with_heuristic(4)),
+            ]),
+            PolicySpec::sfs_over([
+                GroupSpec::new("a", PolicySpec::round_robin()).with_share(3),
+                GroupSpec::new(
+                    "b",
+                    PolicySpec::sfq()
+                        .with_quantum(Duration::from_millis(1))
+                        .with_readjustment(),
+                ),
+                GroupSpec::new("c-2", PolicySpec::time_sharing().with_ticks(2)),
+            ]),
+            PolicySpec::sfs_over([
+                GroupSpec::new("x", PolicySpec::sfs()),
+                GroupSpec::new("y", PolicySpec::sfs()).with_share(7),
+            ])
+            .with_shards(2)
+            .with_rebalance_every(Duration::from_millis(20)),
+        ];
+        for spec in specs {
+            let s = spec.to_string();
+            assert_eq!(s.parse::<PolicySpec>().unwrap(), spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn grouped_grammar_examples() {
+        // The issue's literal example parses and round-trips.
+        let spec: PolicySpec = "sfs:groups(batch=sfq,frontend=sfs:heuristic=4)"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.groups().len(), 2);
+        assert_eq!(spec.groups()[0].name(), "batch");
+        assert_eq!(spec.groups()[1].policy().kind(), PolicyKind::Sfs);
+        assert_eq!(spec.tenant_of("batch"), Some(crate::task::TenantId(0)));
+        assert_eq!(spec.tenant_of("frontend"), Some(crate::task::TenantId(1)));
+        assert_eq!(spec.tenant_of("nope"), None);
+        assert_eq!(
+            spec.to_string(),
+            "sfs:groups(batch=sfq,frontend=sfs:heuristic=4)"
+        );
+        // Shares and parenthesised multi-option sub-specs.
+        let spec: PolicySpec = "sfs:groups(a*3=rr,b=(sfq:quantum=1ms,readjust))"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.groups()[0].share(), 3);
+        assert_eq!(
+            spec.groups()[1].policy(),
+            &PolicySpec::sfq()
+                .with_quantum(Duration::from_millis(1))
+                .with_readjustment()
+        );
+        assert_eq!(
+            spec.to_string(),
+            "sfs:groups(a*3=rr,b=(sfq:quantum=1ms,readjust))"
+        );
+        // groups × shards composition.
+        let spec: PolicySpec = "sfs:groups(a=sfs,b=rr),shards=2".parse().unwrap();
+        assert_eq!(spec.shard_count(), 2);
+        assert_eq!(spec.without_sharding().groups().len(), 2);
+    }
+
+    #[test]
+    fn grouped_grammar_rejects_nonsense() {
+        for bad in [
+            "sfs:groups()",
+            "sfs:groups(",
+            "sfs:groups(a=sfs",
+            "sfs:groups(a)",
+            "sfs:groups(a=cfs)",
+            "sfs:groups(a*0=sfs)",
+            "sfs:groups(a*x=sfs)",
+            "sfs:groups(a=sfs,a=rr)",
+            "sfs:groups(a=sfs:shards=2)",
+            "sfs:groups(a=(sfs:groups(b=rr)))",
+            "sfs:groups(a=(sfq:readjust)",
+            "sfs:groups(a b=sfs)",
+            "sfq:groups(a=sfs)",
+            "sfs:groups(a=sfs),quantum=5ms",
+            "sfs:heuristic=4,groups(a=sfs)",
+            "sfs:groups(a=sfs),groups(b=sfs)",
+        ] {
+            assert!(bad.parse::<PolicySpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn spec_conversions() {
+        let spec = PolicySpec::try_from("sfs:quantum=5ms").unwrap();
+        assert_eq!(spec, "sfs:quantum=5ms".parse().unwrap());
+        assert!(PolicySpec::try_from("bogus").is_err());
+        assert_eq!(PolicySpec::from(&spec), spec);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not apply to a hierarchical spec")]
+    fn builder_rejects_per_task_option_on_hier() {
+        let _ = PolicySpec::sfs_over([GroupSpec::new("a", PolicySpec::sfs())]).with_heuristic(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate group name")]
+    fn builder_rejects_duplicate_groups() {
+        let _ = PolicySpec::sfs_over([
+            GroupSpec::new("a", PolicySpec::sfs()),
+            GroupSpec::new("a", PolicySpec::sfq()),
+        ]);
     }
 
     #[test]

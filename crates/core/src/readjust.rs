@@ -139,6 +139,86 @@ pub fn readjust(weights_desc: &[u64], cpus: u32) -> Readjustment {
     }
 }
 
+/// Capacity-generalized readjustment, used for *group*-level
+/// feasibility in [`crate::hier`].
+///
+/// §2.1 assumes each entity is a thread that can consume at most one
+/// processor. A tenant **group** with `c` runnable members can consume
+/// up to `c` processors, so the feasibility constraint generalizes to
+///
+/// ```text
+/// φ_g · p  ≤  c_g · Σ_h φ_h        (group feasibility)
+/// ```
+///
+/// with `c_g = min(runnable members, p)`. The same greedy argument
+/// applies with entities ordered by `w/c` descending: entity `g` is
+/// infeasible iff `w_g · rem_p > c_g · rem_w` (remaining sums excluding
+/// already-clamped entities), each clamp removes `c_g` processors of
+/// capacity, and every clamped entity lands exactly *at* its capacity:
+/// `φ_g = c_g · T / (p − Σ_clamped c)` where `T` is the weight of the
+/// feasible tail. With all capacities 1 this reduces to [`readjust`]
+/// (a property test below pins the equivalence).
+///
+/// `entries` is a slice of `(weight, capacity)` pairs in any order;
+/// capacities must be ≥ 1. Returns the instantaneous weights in input
+/// order plus the number of clamped entries. At most `p − 1` entries
+/// are ever clamped, so only the top `p − 1` by `w/c` are inspected
+/// (selected in O(n), not sorted).
+pub fn readjust_capped(entries: &[(u64, u32)], cpus: u32) -> (Vec<Fixed>, usize) {
+    debug_assert!(entries.iter().all(|&(_, c)| c >= 1), "capacities are >= 1");
+    let mut phis: Vec<Fixed> = entries
+        .iter()
+        .map(|&(w, _)| Fixed::from_int(w as i64))
+        .collect();
+    if cpus <= 1 || entries.is_empty() {
+        return (phis, 0);
+    }
+    let p = u128::from(cpus);
+    let ratio_desc = |&a: &usize, &b: &usize| {
+        // w_a/c_a vs w_b/c_b, descending, by cross-multiplication.
+        let (wa, ca) = entries[a];
+        let (wb, cb) = entries[b];
+        (u128::from(wb) * u128::from(ca)).cmp(&(u128::from(wa) * u128::from(cb)))
+    };
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    let prefix = (cpus as usize - 1).min(order.len());
+    if order.len() > prefix {
+        order.select_nth_unstable_by(prefix - 1, ratio_desc);
+    }
+    order[..prefix].sort_unstable_by(ratio_desc);
+
+    let mut rem_w: u128 = entries.iter().map(|&(w, _)| u128::from(w)).sum();
+    let mut rem_p = p;
+    let mut clamped: Vec<usize> = Vec::new();
+    for &i in &order[..prefix] {
+        let (w, c) = entries[i];
+        let (w, c) = (u128::from(w), u128::from(c));
+        // Infeasible iff (w/c) / rem_w > 1 / rem_p. Note the clamp
+        // condition together with rem_w ≥ w forces rem_p > c, so the
+        // remaining capacity stays positive throughout.
+        if w * rem_p > c * rem_w {
+            rem_w -= w;
+            rem_p -= c;
+            clamped.push(i);
+        } else {
+            break;
+        }
+    }
+    for &i in &clamped {
+        let c = u128::from(entries[i].1);
+        phis[i] = if rem_w == 0 {
+            // Less total demand than processors: every clamped entity
+            // can hold its full capacity continuously, so capacities
+            // themselves are an exact assignment.
+            Fixed::from_int(entries[i].1 as i64)
+        } else {
+            let num = (c * rem_w).min(i64::MAX as u128) as i64;
+            Fixed::from_ratio(num, rem_p as i64)
+        };
+    }
+    (phis, clamped.len())
+}
+
 /// Exact rational number used by the reference implementation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Ratio {
@@ -301,6 +381,96 @@ mod tests {
         let w = [1_000_000, 1];
         assert!(is_feasible(&w, 1));
         assert_eq!(readjust(&w, 1), Readjustment::UNCHANGED);
+    }
+
+    #[test]
+    fn capped_readjustment_respects_capacities() {
+        // Two CPUs, shares 3:1, both entities able to use both CPUs
+        // (3 members each): 3/4 of 2 CPUs = 1.5 ≤ capacity 2, feasible.
+        let (phi, clamps) = readjust_capped(&[(3, 2), (1, 2)], 2);
+        assert_eq!(clamps, 0);
+        assert_eq!(phi, vec![Fixed::from_int(3), Fixed::from_int(1)]);
+
+        // Same shares but the big entity has a single member: it can
+        // hold only one CPU, so its weight clamps to the tail (1/(2−1)).
+        let (phi, clamps) = readjust_capped(&[(3, 1), (1, 2)], 2);
+        assert_eq!(clamps, 1);
+        assert_eq!(phi[0], Fixed::from_int(1));
+        assert_eq!(phi[1], Fixed::from_int(1));
+
+        // Input order does not matter.
+        let (phi, clamps) = readjust_capped(&[(1, 2), (3, 1)], 2);
+        assert_eq!(clamps, 1);
+        assert_eq!(phi[1], Fixed::from_int(1));
+    }
+
+    #[test]
+    fn capped_degenerate_tail_uses_capacities() {
+        // One entity with one member on four CPUs: clamped with an
+        // empty tail; its capacity is the exact assignment.
+        let (phi, clamps) = readjust_capped(&[(100, 1)], 4);
+        assert_eq!(clamps, 1);
+        assert_eq!(phi[0], Fixed::from_int(1));
+        // Two members: capacity 2.
+        let (phi, _) = readjust_capped(&[(100, 2)], 4);
+        assert_eq!(phi[0], Fixed::from_int(2));
+    }
+
+    #[test]
+    fn capped_clamp_lands_exactly_at_capacity() {
+        // Three CPUs, entity (10, c=2) vs two (1, c=1): 10/12 of 3 CPUs
+        // = 2.5 > 2, so it clamps to φ = 2·2/(3−2) = 4 — exactly 4/6 of
+        // 3 CPUs = 2 CPUs, its capacity.
+        let (phi, clamps) = readjust_capped(&[(10, 2), (1, 1), (1, 1)], 3);
+        assert_eq!(clamps, 1);
+        assert_eq!(phi[0], Fixed::from_int(4));
+        let total: i128 = phi.iter().map(|f| f.raw()).sum();
+        assert_eq!(phi[0].raw() * 3, 2 * total);
+    }
+
+    proptest! {
+        /// With every capacity equal to 1, the capacity-generalized
+        /// walk IS §2.1: it must agree with [`readjust`] exactly.
+        #[test]
+        fn capped_with_unit_capacities_matches_flat(
+            mut weights in proptest::collection::vec(1u64..1_000, 1..12),
+            cpus in 1u32..6,
+        ) {
+            weights.sort_unstable_by(|a, b| b.cmp(a));
+            let entries: Vec<(u64, u32)> = weights.iter().map(|&w| (w, 1)).collect();
+            let (phi, clamps) = readjust_capped(&entries, cpus);
+            let adj = readjust(&weights, cpus);
+            prop_assert_eq!(clamps, adj.clamped);
+            prop_assert_eq!(phi, apply(&weights, &adj));
+        }
+
+        /// On a saturable machine (Σc ≥ p) the result satisfies the
+        /// generalized feasibility constraint φ_g·p ≤ c_g·Σφ (up to
+        /// fixed-point rounding); with less total capacity than
+        /// processors every entity just holds its capacity.
+        #[test]
+        fn capped_result_is_feasible(
+            entries in proptest::collection::vec((1u64..1_000, 1u32..5), 1..12),
+            cpus in 2u32..6,
+        ) {
+            let (phi, _) = readjust_capped(&entries, cpus);
+            let cap_total: u64 = entries.iter().map(|&(_, c)| u64::from(c)).sum();
+            if cap_total < u64::from(cpus) {
+                for (k, &(_, c)) in entries.iter().enumerate() {
+                    prop_assert_eq!(phi[k], Fixed::from_int(c as i64));
+                }
+                return Ok(());
+            }
+            let total: i128 = phi.iter().map(|f| f.raw()).sum();
+            for (k, &(_, c)) in entries.iter().enumerate() {
+                prop_assert!(
+                    phi[k].raw() * i128::from(cpus)
+                        <= i128::from(c) * total + i128::from(cpus),
+                    "entity {} over capacity: phi={} c={} total={}",
+                    k, phi[k], c, total
+                );
+            }
+        }
     }
 
     #[test]

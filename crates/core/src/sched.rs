@@ -25,7 +25,7 @@
 //! readjustment inside the policy (§3.1).
 
 use crate::fixed::Fixed;
-use crate::task::{CpuId, TaskId, Weight};
+use crate::task::{CpuId, TaskId, TenantId, Weight};
 use crate::time::{Duration, Time};
 
 /// Why a running task is giving up its processor.
@@ -159,6 +159,28 @@ pub trait Scheduler: Send {
     ///
     /// Implementations may panic if `id` is already attached.
     fn attach(&mut self, id: TaskId, w: Weight, now: Time);
+
+    /// Resolves a tenant group name to the [`TenantId`] this policy
+    /// schedules it under, for policies with hierarchical groups.
+    /// Returns `None` (the default) when the policy is flat or does not
+    /// know the name; substrates treat that as "no tenant routing".
+    fn bind_tenant(&self, _group: &str) -> Option<TenantId> {
+        None
+    }
+
+    /// Introduces a new runnable task under a tenant group. Flat
+    /// policies ignore the tenant (the default forwards to
+    /// [`Scheduler::attach`]); hierarchical policies route the task
+    /// into the tenant's group queue.
+    fn attach_tenant(&mut self, id: TaskId, w: Weight, _tenant: Option<TenantId>, now: Time) {
+        self.attach(id, w, now);
+    }
+
+    /// The tenant group a task was attached under, if the policy
+    /// tracks one.
+    fn tenant_of(&self, _id: TaskId) -> Option<TenantId> {
+        None
+    }
 
     /// Removes a task that is **not currently running** (ready or
     /// blocked). Running tasks leave via [`Scheduler::put_prev`] with

@@ -46,6 +46,20 @@
 //! unless a new epoch was actually published) and cap each task's
 //! local `φ` at the global value. Non-SFS shard policies ignore the
 //! snapshot and get placement balancing only.
+//!
+//! **Tenant groups place as units.** When the shard policy is
+//! hierarchical (`sfs:groups(...)`, see [`crate::hier`]), every task
+//! carries a [`TenantId`] and per-tenant isolation is only meaningful
+//! while all of a tenant's tasks share one group instance. The
+//! balancer therefore anchors each tenant to a home shard — the
+//! least-loaded shard at the moment the tenant's *first* task arrives
+//! — and every later arrival, wakeup and rebalance decision keeps the
+//! tenant's tasks there: wakers with a tenant never migrate, and
+//! [`Balancer::plan_move`] refuses candidates that belong to a tenant
+//! (hierarchical shards nominate no steal candidates in the first
+//! place). A tenant moves between shards only as a whole group, which
+//! happens naturally when its last task exits and the next one
+//! re-anchors it.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -55,7 +69,7 @@ use crate::feasible::FeasibleWeights;
 use crate::fixed::Fixed;
 use crate::policy::PolicySpec;
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
-use crate::task::{CpuId, TaskId, Weight};
+use crate::task::{CpuId, TaskId, TenantId, Weight};
 use crate::time::{Duration, Time};
 
 /// One published epoch of the machine-wide weight readjustment: the
@@ -215,6 +229,10 @@ struct BalTask {
     phi: Fixed,
     shard: usize,
     runnable: bool,
+    /// The tenant group this task belongs to, when the shard policy is
+    /// hierarchical. Tenant tasks are pinned to the tenant's home
+    /// shard.
+    tenant: Option<TenantId>,
 }
 
 /// The sharded scheduler's global section: machine-wide weight
@@ -232,6 +250,10 @@ pub struct Balancer {
     tasks: HashMap<TaskId, BalTask>,
     shard_phi: Vec<Fixed>,
     shard_cpus: Vec<u32>,
+    /// Each tenant's home shard and its live task count. The anchor is
+    /// dropped when the count reaches zero, so an empty tenant can
+    /// re-place onto the then-least-loaded shard.
+    tenant_home: HashMap<TenantId, (usize, usize)>,
 }
 
 impl Balancer {
@@ -244,6 +266,7 @@ impl Balancer {
             tasks: HashMap::new(),
             shard_phi: vec![Fixed::ZERO; layout.shards()],
             shard_cpus: (0..layout.shards()).map(|s| layout.shard_cpus(s)).collect(),
+            tenant_home: HashMap::new(),
         }
     }
 
@@ -299,7 +322,24 @@ impl Balancer {
     /// Places a new runnable task on the least-loaded shard, updates
     /// the global readjustment and publishes. Returns the chosen shard.
     pub fn attach(&mut self, id: TaskId, w: Weight) -> usize {
-        let shard = self.least_loaded();
+        self.attach_tenant(id, w, None)
+    }
+
+    /// Places a new runnable task, honouring tenant anchoring: the
+    /// first task of a tenant anchors the tenant to the least-loaded
+    /// shard; every later task of that tenant joins it there, so the
+    /// tenant's group is never split across shard policies. Returns
+    /// the chosen shard.
+    pub fn attach_tenant(&mut self, id: TaskId, w: Weight, tenant: Option<TenantId>) -> usize {
+        let shard = match tenant {
+            Some(t) => {
+                let least = self.least_loaded();
+                let entry = self.tenant_home.entry(t).or_insert((least, 0));
+                entry.1 += 1;
+                entry.0
+            }
+            None => self.least_loaded(),
+        };
         self.feas.insert(id, w);
         self.apply_changes();
         let phi = self.feas.phi(id, w);
@@ -311,11 +351,22 @@ impl Balancer {
                 phi,
                 shard,
                 runnable: true,
+                tenant,
             },
         );
         debug_assert!(prev.is_none(), "task {id} placed twice");
         self.publish();
         shard
+    }
+
+    /// The tenant a tracked task belongs to, if any.
+    pub fn tenant_of(&self, id: TaskId) -> Option<TenantId> {
+        self.tasks.get(&id)?.tenant
+    }
+
+    /// The home shard a tenant is anchored to, while it has tasks.
+    pub fn tenant_shard(&self, t: TenantId) -> Option<usize> {
+        self.tenant_home.get(&t).map(|&(s, _)| s)
     }
 
     /// Records a task leaving the runnable set (blocking).
@@ -347,11 +398,13 @@ impl Balancer {
     }
 
     fn readmit(&mut self, id: TaskId, allow_migration: bool) -> (usize, usize) {
-        let (home, w) = {
+        let (home, w, pinned) = {
             let t = self.tasks.get(&id).expect("waking unknown task");
             debug_assert!(!t.runnable, "waking runnable task {id}");
-            (t.shard, t.weight)
+            (t.shard, t.weight, t.tenant.is_some())
         };
+        // A tenant task never leaves its tenant's home shard.
+        let allow_migration = allow_migration && !pinned;
         self.feas.insert(id, w);
         self.apply_changes();
         let phi = self.feas.phi(id, w);
@@ -398,9 +451,20 @@ impl Balancer {
         }
     }
 
-    /// Forgets a task entirely (exit or detach).
+    /// Forgets a task entirely (exit or detach). A tenant whose last
+    /// task leaves loses its anchor and re-places on its next arrival.
     pub fn remove(&mut self, id: TaskId) {
         let t = self.tasks.remove(&id).expect("removing unknown task");
+        if let Some(tenant) = t.tenant {
+            let count = self
+                .tenant_home
+                .get_mut(&tenant)
+                .expect("tenant anchor missing");
+            count.1 -= 1;
+            if count.1 == 0 {
+                self.tenant_home.remove(&tenant);
+            }
+        }
         if t.runnable {
             self.shard_phi[t.shard] -= t.phi;
             self.feas.remove(id, t.weight);
@@ -414,6 +478,7 @@ impl Balancer {
     pub fn migrate(&mut self, id: TaskId, to: usize) {
         let t = self.tasks.get_mut(&id).expect("migrating unknown task");
         debug_assert!(t.runnable, "migrating non-runnable task {id}");
+        debug_assert!(t.tenant.is_none(), "migrating would split tenant {id}");
         let (from, phi) = (t.shard, t.phi);
         t.shard = to;
         self.shard_phi[from] -= phi;
@@ -463,6 +528,10 @@ impl Balancer {
             return None;
         }
         let id = candidate(from)?;
+        // Never split a tenant: its group is whole on its home shard.
+        if self.tasks.get(&id).is_some_and(|t| t.tenant.is_some()) {
+            return None;
+        }
         self.steal_gain(id, to).then_some((id, from, to))
     }
 
@@ -483,6 +552,7 @@ impl Balancer {
     pub fn check_invariants(&self) {
         let mut sums = vec![Fixed::ZERO; self.shard_phi.len()];
         let mut runnable = 0usize;
+        let mut tenant_counts: HashMap<TenantId, usize> = HashMap::new();
         for (id, t) in &self.tasks {
             if t.runnable {
                 runnable += 1;
@@ -493,9 +563,25 @@ impl Balancer {
                     "stale global φ for {id}"
                 );
             }
+            if let Some(tenant) = t.tenant {
+                *tenant_counts.entry(tenant).or_default() += 1;
+                assert_eq!(
+                    self.tenant_home.get(&tenant).map(|&(s, _)| s),
+                    Some(t.shard),
+                    "task {id} strayed from tenant {tenant}'s home shard"
+                );
+            }
         }
         assert_eq!(runnable, self.feas.len(), "readjustment tracks runnable");
         assert_eq!(sums, self.shard_phi, "shard load sums out of sync");
+        assert_eq!(
+            tenant_counts,
+            self.tenant_home
+                .iter()
+                .map(|(&t, &(_, n))| (t, n))
+                .collect(),
+            "tenant anchors track live tasks"
+        );
     }
 }
 
@@ -544,6 +630,7 @@ impl ShardedScheduler {
         let name = match shards[0].name() {
             "SFS" => "SFS(sharded)",
             "SFS(heuristic)" => "SFS(heuristic,sharded)",
+            "SFS(hier)" => "SFS(hier,sharded)",
             "SFQ" => "SFQ(sharded)",
             "SFQ+readjust" => "SFQ+readjust(sharded)",
             "WFQ" => "WFQ(sharded)",
@@ -652,6 +739,21 @@ impl Scheduler for ShardedScheduler {
     fn attach(&mut self, id: TaskId, w: Weight, now: Time) {
         let s = self.bal.attach(id, w);
         self.shards[s].attach(id, w, now);
+    }
+
+    fn bind_tenant(&self, group: &str) -> Option<TenantId> {
+        // All shards are built from the same spec, so any shard's
+        // group table answers.
+        self.shards[0].bind_tenant(group)
+    }
+
+    fn attach_tenant(&mut self, id: TaskId, w: Weight, tenant: Option<TenantId>, now: Time) {
+        let s = self.bal.attach_tenant(id, w, tenant);
+        self.shards[s].attach_tenant(id, w, tenant, now);
+    }
+
+    fn tenant_of(&self, id: TaskId) -> Option<TenantId> {
+        self.bal.tenant_of(id)
     }
 
     fn detach(&mut self, id: TaskId, now: Time) {
@@ -1000,6 +1102,82 @@ mod tests {
             (0.9..1.1).contains(&ratio),
             "clamped ratio {ratio:.2} (service {service:?})"
         );
+    }
+
+    #[test]
+    fn tenants_anchor_to_one_shard_and_wake_in_place() {
+        let layout = ShardLayout::new(2, 2);
+        let mut b = Balancer::new(&layout, Arc::new(SnapshotCell::new()));
+        let ta = TenantId(0);
+        // The tenant's first task anchors it (shard 0 on the empty
+        // tie); every later task joins it there even though plain
+        // placement would alternate.
+        assert_eq!(b.attach_tenant(TaskId(1), weight(1), Some(ta)), 0);
+        assert_eq!(b.attach_tenant(TaskId(2), weight(1), Some(ta)), 0);
+        assert_eq!(b.attach_tenant(TaskId(3), weight(1), Some(ta)), 0);
+        assert_eq!(b.tenant_shard(ta), Some(0));
+        assert_eq!(b.tenant_of(TaskId(2)), Some(ta));
+        // Even with the home shard far heavier, a tenant task wakes in
+        // place — migration would split the group.
+        b.attach(TaskId(9), weight(1)); // shard 1
+        b.block(TaskId(1));
+        assert_eq!(b.wake(TaskId(1)), (0, 0), "tenant task stays home");
+        // A tenant candidate is refused by the rebalance planner.
+        assert_eq!(b.plan_move(|_| true, |_| Some(TaskId(2))), None);
+        b.check_invariants();
+        // The anchor drops with the last task and re-places on the
+        // (now heavier-0) machine: the next arrival anchors on shard 1.
+        for id in [1u64, 2, 3] {
+            b.remove(TaskId(id));
+        }
+        assert_eq!(b.tenant_shard(ta), None);
+        assert_eq!(b.attach_tenant(TaskId(4), weight(1), Some(ta)), 0);
+        b.check_invariants();
+    }
+
+    #[test]
+    fn sharded_hier_never_splits_a_tenant() {
+        let spec: PolicySpec = "sfs:groups(a=sfs,b=sfs),shards=2".parse().unwrap();
+        let inner = spec.without_sharding();
+        let mut s = ShardedScheduler::build(&inner, 2, 4, Some(Duration::from_millis(2)));
+        assert_eq!(s.name(), "SFS(hier,sharded)");
+        let ta = s.bind_tenant("a").unwrap();
+        let tb = s.bind_tenant("b").unwrap();
+        assert_eq!(s.bind_tenant("zzz"), None);
+        let mut now = Time::ZERO;
+        for i in 0..4u64 {
+            s.attach_tenant(TaskId(i), weight(1), Some(ta), now);
+        }
+        for i in 4..8u64 {
+            s.attach_tenant(TaskId(i), weight(1), Some(tb), now);
+        }
+        assert_eq!(s.tenant_of(TaskId(0)), Some(ta));
+        assert_eq!(s.tenant_of(TaskId(7)), Some(tb));
+        let q = Duration::from_millis(1);
+        let mut running: Vec<Option<TaskId>> = vec![None; 4];
+        for _ in 0..200 {
+            for (c, slot) in running.iter_mut().enumerate() {
+                if slot.is_none() {
+                    *slot = s.pick_next(CpuId(c as u32), now);
+                }
+            }
+            now += q;
+            for slot in &mut running {
+                if let Some(id) = slot.take() {
+                    s.put_prev(id, q, SwitchReason::Preempted, now);
+                }
+            }
+        }
+        s.check_invariants();
+        // Every tenant's tasks stayed together on one shard.
+        let home_a = s.bal.shard_of(TaskId(0)).unwrap();
+        for i in 0..4u64 {
+            assert_eq!(s.bal.shard_of(TaskId(i)), Some(home_a), "tenant a split");
+        }
+        let home_b = s.bal.shard_of(TaskId(4)).unwrap();
+        for i in 4..8u64 {
+            assert_eq!(s.bal.shard_of(TaskId(i)), Some(home_b), "tenant b split");
+        }
     }
 
     #[test]

@@ -19,6 +19,22 @@ impl fmt::Display for TaskId {
     }
 }
 
+/// Identifies a tenant group in hierarchical scheduling.
+///
+/// Tenants are declared by a `PolicySpec`'s `groups(...)` clause; the
+/// id is the group's position in that clause, so it is stable across
+/// the spec's parse ∘ `Display` round-trip. Tasks carry an optional
+/// tenant and the hierarchical scheduler (`crate::hier`) enforces each
+/// tenant's share regardless of how many tasks the tenant runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u32);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}", self.0)
+    }
+}
+
 /// Identifies one processor of the symmetric multiprocessor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CpuId(pub u32);
@@ -195,6 +211,7 @@ mod tests {
     fn display_formats() {
         assert_eq!(format!("{}", TaskId(4)), "T4");
         assert_eq!(format!("{}", CpuId(1)), "cpu1");
+        assert_eq!(format!("{}", TenantId(2)), "G2");
         assert_eq!(format!("{}", weight(10)), "10");
     }
 }

@@ -32,14 +32,16 @@
 //!     .task(TaskSpec::new("http", 1, BehaviorSpec::Inf))
 //!     .task(TaskSpec::new("batch", 1, BehaviorSpec::Inf));
 //!
-//! // One policy, one substrate-independent report.
+//! // One policy, one substrate-independent report. `run` takes
+//! // anything convertible to a `PolicySpec` — a spec, a borrow of
+//! // one, or its string form.
 //! let sfs: PolicySpec = "sfs:quantum=10ms".parse().unwrap();
 //! let report = Experiment::new(scenario.clone()).run(&sfs).unwrap();
 //! assert!(report.task("db").unwrap().service > report.task("http").unwrap().service);
 //!
 //! // A policy matrix: SFS vs time sharing, with fairness deltas.
 //! let cmp = Experiment::new(scenario)
-//!     .compare(&[sfs, "ts".parse().unwrap()])
+//!     .compare(["sfs:quantum=10ms", "ts"])
 //!     .unwrap();
 //! let d = cmp.deltas();
 //! assert!(d[0].fairness.max_share_error < d[1].fairness.max_share_error);
@@ -63,6 +65,13 @@ pub enum ExperimentError {
     Scenario(ScenarioError),
     /// A policy string did not parse.
     Policy(ParsePolicyError),
+    /// A scenario task names a tenant the policy's `groups(...)` clause
+    /// does not declare, so its service would silently fall outside
+    /// every group.
+    UnknownTenant {
+        /// The unmatched tenant name.
+        tenant: String,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -70,6 +79,9 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Scenario(e) => write!(f, "scenario error: {e}"),
             ExperimentError::Policy(e) => write!(f, "policy error: {e}"),
+            ExperimentError::UnknownTenant { tenant } => {
+                write!(f, "tenant {tenant:?} is not a group of the policy")
+            }
         }
     }
 }
@@ -79,6 +91,7 @@ impl std::error::Error for ExperimentError {
         match self {
             ExperimentError::Scenario(e) => Some(e),
             ExperimentError::Policy(e) => Some(e),
+            ExperimentError::UnknownTenant { .. } => None,
         }
     }
 }
@@ -92,6 +105,14 @@ impl From<ScenarioError> for ExperimentError {
 impl From<ParsePolicyError> for ExperimentError {
     fn from(e: ParsePolicyError) -> ExperimentError {
         ExperimentError::Policy(e)
+    }
+}
+
+/// Infallible conversions (e.g. passing a `PolicySpec` directly to
+/// [`Experiment::run`]) produce no error.
+impl From<core::convert::Infallible> for ExperimentError {
+    fn from(e: core::convert::Infallible) -> ExperimentError {
+        match e {}
     }
 }
 
@@ -126,23 +147,32 @@ impl Experiment {
         &self.scenario
     }
 
-    /// Runs the scenario under one policy.
-    pub fn run(&self, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
-        self.substrate.run(&self.scenario, policy)
-    }
-
-    /// Runs the scenario under a policy given in its string form
+    /// Runs the scenario under one policy. Accepts anything convertible
+    /// to a [`PolicySpec`]: a spec, a borrow of one, or its string form
     /// (`"sfs:quantum=5ms"`).
-    pub fn run_str(&self, policy: &str) -> Result<RunReport, ExperimentError> {
-        let spec: PolicySpec = policy.parse()?;
-        self.run(&spec)
+    pub fn run<P>(&self, policy: P) -> Result<RunReport, ExperimentError>
+    where
+        P: TryInto<PolicySpec>,
+        ExperimentError: From<P::Error>,
+    {
+        let spec = policy.try_into()?;
+        self.substrate.run(&self.scenario, &spec)
     }
 
     /// Runs the same scenario under every policy in the matrix and
     /// returns the comparative report. The first policy is the
-    /// baseline that fairness deltas are measured against.
-    pub fn compare(&self, policies: &[PolicySpec]) -> Result<ComparisonReport, ExperimentError> {
-        let mut runs = Vec::with_capacity(policies.len());
+    /// baseline that fairness deltas are measured against. Policies
+    /// convert like in [`Experiment::run`], so a string slice works:
+    /// `exp.compare(["sfs", "ts"])`.
+    pub fn compare<P>(
+        &self,
+        policies: impl IntoIterator<Item = P>,
+    ) -> Result<ComparisonReport, ExperimentError>
+    where
+        P: TryInto<PolicySpec>,
+        ExperimentError: From<P::Error>,
+    {
+        let mut runs = Vec::new();
         for p in policies {
             runs.push(self.run(p)?);
         }
@@ -150,15 +180,6 @@ impl Experiment {
             scenario: self.scenario.name.clone(),
             runs,
         })
-    }
-
-    /// [`Experiment::compare`] with string policies.
-    pub fn compare_strs(&self, policies: &[&str]) -> Result<ComparisonReport, ExperimentError> {
-        let specs: Vec<PolicySpec> = policies
-            .iter()
-            .map(|s| s.parse().map_err(ExperimentError::Policy))
-            .collect::<Result<_, _>>()?;
-        self.compare(&specs)
     }
 }
 
@@ -184,13 +205,17 @@ mod tests {
     #[test]
     fn run_and_compare_on_the_simulator() {
         let exp = Experiment::new(scenario());
-        let rep = exp.run_str("sfs:quantum=10ms").unwrap();
+        // `run` accepts strings, owned specs and borrowed specs alike.
+        let rep = exp.run("sfs:quantum=10ms").unwrap();
+        let spec: PolicySpec = "sfs:quantum=10ms".parse().unwrap();
+        assert_eq!(exp.run(&spec).unwrap().sched_name, rep.sched_name);
+        assert_eq!(exp.run(spec).unwrap().sched_name, rep.sched_name);
         assert_eq!(rep.substrate, "sim");
         assert_eq!(rep.cpus, 2);
         assert!(rep.task("a").unwrap().service > rep.task("b").unwrap().service);
         assert!(rep.sim.is_some());
 
-        let cmp = exp.compare_strs(&["sfs:quantum=10ms", "ts"]).unwrap();
+        let cmp = exp.compare(["sfs:quantum=10ms", "ts"]).unwrap();
         assert_eq!(cmp.runs.len(), 2);
         let deltas = cmp.deltas();
         // SFS honours 2:1:1; time sharing equalises → worse share error.
@@ -210,9 +235,9 @@ mod tests {
             0,
             BehaviorSpec::Inf,
         )));
-        let err = exp.run_str("sfs").unwrap_err();
+        let err = exp.run("sfs").unwrap_err();
         assert!(matches!(err, ExperimentError::Scenario(_)), "{err}");
-        let err = exp.run_str("not-a-policy").unwrap_err();
+        let err = exp.run("not-a-policy").unwrap_err();
         assert!(matches!(err, ExperimentError::Policy(_)), "{err}");
 
         // A zero-CPU machine must be a typed error, not a scheduler
@@ -227,10 +252,38 @@ mod tests {
             1,
             BehaviorSpec::Inf,
         )));
-        let err = exp.run_str("sfs").unwrap_err();
+        let err = exp.run("sfs").unwrap_err();
         assert!(
             matches!(err, ExperimentError::Scenario(ScenarioError::NoCpus)),
             "{err}"
         );
+    }
+
+    #[test]
+    fn unknown_tenant_under_grouped_policy_is_a_typed_error() {
+        let cfg = SimConfig {
+            cpus: 2,
+            duration: Duration::from_millis(50),
+            ..SimConfig::default()
+        };
+        let scenario = Scenario::new("tenants", cfg)
+            .tenant("batch", [TaskSpec::new("j", 1, BehaviorSpec::Inf)])
+            .tenant("webapp", [TaskSpec::new("w", 1, BehaviorSpec::Inf)]);
+        let exp = Experiment::new(scenario);
+        // The policy only declares `batch`: `webapp` must not silently
+        // run outside every group.
+        let err = exp.run("sfs:groups(batch=sfs)").unwrap_err();
+        assert_eq!(
+            err,
+            ExperimentError::UnknownTenant {
+                tenant: "webapp".into()
+            }
+        );
+        // A flat policy ignores tenants entirely.
+        assert!(exp.run("sfs").is_ok());
+        // A policy declaring both runs fine, with tenants in the report.
+        let rep = exp.run("sfs:groups(batch=sfs,webapp=sfs)").unwrap();
+        assert!(rep.task("j").unwrap().tenant.is_some());
+        assert!(rep.task("w").unwrap().tenant.is_some());
     }
 }

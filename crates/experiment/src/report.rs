@@ -2,6 +2,7 @@
 
 use sfs_core::policy::PolicySpec;
 use sfs_core::sched::SchedStats;
+use sfs_core::task::TenantId;
 use sfs_core::time::{Duration, Time};
 use sfs_metrics::{fairness, Summary, Table};
 use sfs_sim::SimReport;
@@ -13,6 +14,9 @@ pub struct TaskOutcome {
     pub name: String,
     /// Assigned weight.
     pub weight: u64,
+    /// The tenant group the task ran under, when the policy is
+    /// hierarchical (`sfs:groups(...)`).
+    pub tenant: Option<TenantId>,
     /// Total CPU service received.
     pub service: Duration,
     /// Completed compute phases (frames decoded, requests served, jobs
@@ -74,6 +78,7 @@ impl RunReport {
             .map(|t| TaskOutcome {
                 name: t.name.clone(),
                 weight: t.weight,
+                tenant: t.tenant,
                 service: t.service,
                 completions: t.completions,
                 responses: t.responses.clone(),
@@ -108,11 +113,70 @@ impl RunReport {
     }
 
     /// Sum of services over tasks whose name starts with `prefix`.
+    #[deprecated(
+        since = "0.6.0",
+        note = "prefix matching is ambiguous; use `tenant_service`/`tenant_shares` \
+                keyed by `TenantId`"
+    )]
     pub fn group_service(&self, prefix: &str) -> Duration {
         self.tasks
             .iter()
             .filter(|t| t.name.starts_with(prefix))
             .fold(Duration::ZERO, |acc, t| acc + t.service)
+    }
+
+    /// Sum of services over tasks bound to tenant `t`.
+    pub fn tenant_service(&self, t: TenantId) -> Duration {
+        self.tasks
+            .iter()
+            .filter(|task| task.tenant == Some(t))
+            .fold(Duration::ZERO, |acc, task| acc + task.service)
+    }
+
+    /// Each tenant's share of total service, sorted by tenant id.
+    /// Tasks outside any tenant are excluded from the numerators but
+    /// count toward the total.
+    pub fn tenant_shares(&self) -> Vec<(TenantId, f64)> {
+        let total = self.total_service().as_nanos() as f64;
+        let mut by_tenant: std::collections::BTreeMap<TenantId, f64> =
+            std::collections::BTreeMap::new();
+        for t in &self.tasks {
+            if let Some(tenant) = t.tenant {
+                *by_tenant.entry(tenant).or_default() += t.service.as_nanos() as f64;
+            }
+        }
+        by_tenant
+            .into_iter()
+            .map(|(t, s)| (t, if total == 0.0 { 0.0 } else { s / total }))
+            .collect()
+    }
+
+    /// Jain's fairness index over tenants, with each tenant's share
+    /// normalised by its group share in the policy's `groups(...)`
+    /// clause. 1.0 means every tenant got exactly its entitlement;
+    /// returns `None` for flat (non-hierarchical) runs.
+    pub fn tenant_fairness(&self) -> Option<f64> {
+        let groups = self.policy.groups();
+        if groups.is_empty() {
+            return None;
+        }
+        let shares = self.tenant_shares();
+        let total_weight: u64 = groups.iter().map(sfs_core::policy::GroupSpec::share).sum();
+        let ratios: Vec<f64> = shares
+            .iter()
+            .map(|&(t, s)| {
+                let w = groups
+                    .get(t.0 as usize)
+                    .map(|g| g.share() as f64 / total_weight.max(1) as f64)
+                    .unwrap_or(0.0);
+                if w <= 0.0 {
+                    0.0
+                } else {
+                    s / w
+                }
+            })
+            .collect();
+        Some(fairness::jain_index(&ratios))
     }
 
     /// Per-task share of total service, in task order.
@@ -285,6 +349,7 @@ mod tests {
         TaskOutcome {
             name: name.into(),
             weight,
+            tenant: None,
             service: Duration::from_millis(service_ms),
             completions: 0,
             responses: None,
@@ -316,7 +381,39 @@ mod tests {
         assert!((f.jain - 1.0).abs() < 1e-9, "{f:?}");
         assert!(f.max_share_error < 1e-9, "{f:?}");
         assert_eq!(rep.shares()[0], 2.0 / 3.0);
-        assert_eq!(rep.group_service("a"), Duration::from_millis(600));
+        #[allow(deprecated)]
+        let by_prefix = rep.group_service("a");
+        assert_eq!(by_prefix, Duration::from_millis(600));
+    }
+
+    #[test]
+    fn tenant_accessors_match_the_deprecated_prefix_shim() {
+        // When tenant members share a name prefix (the scenario
+        // replication convention), the deprecated prefix accessor and
+        // the tenant-keyed one must agree exactly.
+        let mut a1 = outcome("batch#1", 1, 300);
+        a1.tenant = Some(TenantId(0));
+        let mut a2 = outcome("batch#2", 1, 150);
+        a2.tenant = Some(TenantId(0));
+        let mut b = outcome("web", 1, 450);
+        b.tenant = Some(TenantId(1));
+        let free = outcome("stray", 1, 100);
+        let rep = report(vec![a1, a2, b, free]);
+
+        #[allow(deprecated)]
+        let by_prefix = rep.group_service("batch#");
+        assert_eq!(rep.tenant_service(TenantId(0)), by_prefix);
+        assert_eq!(rep.tenant_service(TenantId(1)), Duration::from_millis(450));
+        assert_eq!(rep.tenant_service(TenantId(9)), Duration::ZERO);
+
+        // Shares: tenant-less service counts in the denominator only.
+        let shares = rep.tenant_shares();
+        assert_eq!(shares.len(), 2);
+        assert!((shares[0].1 - 0.45).abs() < 1e-9, "{shares:?}");
+        assert!((shares[1].1 - 0.45).abs() < 1e-9, "{shares:?}");
+
+        // A flat policy has no tenant fairness.
+        assert_eq!(rep.tenant_fairness(), None);
     }
 
     #[test]

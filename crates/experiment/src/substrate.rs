@@ -17,7 +17,7 @@ use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
 use sfs_core::policy::PolicySpec;
-use sfs_core::task::Weight;
+use sfs_core::task::{TenantId, Weight};
 use sfs_core::time::{Duration, Time};
 use sfs_metrics::Summary;
 use sfs_rt::{drive_recording_until, DriveRecord, Executor, RtConfig};
@@ -35,6 +35,25 @@ pub trait Substrate {
     fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError>;
 }
 
+/// Rejects scenario tenants the policy's `groups(...)` clause does not
+/// declare. Flat policies ignore tenant bindings entirely (the tenant
+/// builder then only names tasks), but under a hierarchical policy an
+/// unmatched tenant would silently run outside every group — a typed
+/// error is the only honest outcome.
+fn check_tenants(scenario: &Scenario, policy: &PolicySpec) -> Result<(), ExperimentError> {
+    if policy.groups().is_empty() {
+        return Ok(());
+    }
+    for spec in &scenario.tasks {
+        if let Some(t) = &spec.tenant {
+            if !policy.groups().iter().any(|g| g.name() == t.as_str()) {
+                return Err(ExperimentError::UnknownTenant { tenant: t.clone() });
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The deterministic discrete-event simulator substrate.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimSubstrate;
@@ -48,6 +67,7 @@ impl Substrate for SimSubstrate {
         // Validate before building: scheduler constructors assert on a
         // zero-CPU machine, and that must be a typed error, not a panic.
         scenario.validate()?;
+        check_tenants(scenario, policy)?;
         let rep = scenario.try_run(policy.build(scenario.config.cpus))?;
         Ok(RunReport::from_sim(&scenario.name, policy.clone(), rep))
     }
@@ -82,19 +102,21 @@ fn sleep_until(epoch: Instant, t: Time) {
 
 /// Spawns one executor task driving `spec`'s behaviour (bounded by
 /// `stop_at`, if any), waits for it to finish, and returns its outcome.
+#[allow(clippy::too_many_arguments)]
 fn run_rt_task(
     ex: &Executor,
     epoch: Instant,
     name: &str,
     weight: Weight,
     spec: &TaskSpec,
+    tenant: Option<TenantId>,
     seed: u64,
     arrived: Time,
 ) -> TaskOutcome {
     let (tx, rx) = mpsc::channel::<(DriveRecord, Time)>();
     let behavior_spec = spec.behavior.clone();
     let stop_at = spec.stop_at;
-    let handle = ex.spawn(name, weight, move |ctx| {
+    let handle = ex.spawn_in_tenant(name, weight, tenant, move |ctx| {
         let behavior = behavior_spec.build(seed);
         // `stop_at` becomes a drive deadline: the phase in flight is
         // aborted without counting a completion, matching the
@@ -110,6 +132,7 @@ fn run_rt_task(
     TaskOutcome {
         name: name.to_string(),
         weight: weight.get(),
+        tenant,
         service,
         completions: rec.completions,
         responses: if rec.responses_ms.is_empty() {
@@ -157,6 +180,7 @@ fn run_rt_stream(
             &job.name,
             weight,
             &job,
+            None,
             seeds.fetch_add(1, Ordering::Relaxed),
             arrived,
         );
@@ -172,6 +196,7 @@ impl Substrate for RtSubstrate {
 
     fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
         scenario.validate()?;
+        check_tenants(scenario, policy)?;
         let cpus = scenario.config.cpus;
         let duration = scenario.config.duration;
         let horizon = Time(duration.as_nanos());
@@ -193,6 +218,10 @@ impl Substrate for RtSubstrate {
         std::thread::scope(|s| {
             for spec in &scenario.tasks {
                 let weight = Weight::new(spec.weight).expect("validated non-zero");
+                // Like the simulator substrate: tenant names the policy
+                // does not know run tenant-less (check_tenants already
+                // rejected unknown names under hierarchical policies).
+                let tenant = spec.tenant.as_deref().and_then(|g| ex.bind_tenant(g));
                 for k in 0..spec.count.max(1) {
                     let name = if spec.count > 1 {
                         format!("{}#{}", spec.name, k + 1)
@@ -210,7 +239,7 @@ impl Substrate for RtSubstrate {
                         }
                         sleep_until(epoch, spec.arrive);
                         let outcome =
-                            run_rt_task(ex, epoch, &name, weight, spec, seed, spec.arrive);
+                            run_rt_task(ex, epoch, &name, weight, spec, tenant, seed, spec.arrive);
                         outcomes.lock().expect("outcome lock").push(outcome);
                     });
                 }
@@ -300,6 +329,35 @@ mod tests {
         assert_eq!(rt.sched_name, "SFS(sharded)");
         let ratio = rt.task("w3").unwrap().service.as_secs_f64() / light(&rt).max(1e-9);
         assert!((1.8..5.0).contains(&ratio), "rt w3:w1 = {ratio:.2}");
+    }
+
+    #[test]
+    fn rt_substrate_honours_tenant_groups() {
+        // Two tenants with shares 3:1, two infinitely hungry tasks
+        // each: the hierarchical top level must apportion the CPU
+        // between the tenants, not the four tasks.
+        let scenario = Scenario::new("rt-tenants", quick_cfg(1, 400))
+            .tenant(
+                "gold",
+                [TaskSpec::new("g", 1, BehaviorSpec::Inf).replicated(2)],
+            )
+            .tenant(
+                "dev",
+                [TaskSpec::new("d", 1, BehaviorSpec::Inf).replicated(2)],
+            );
+        let policy: PolicySpec = "sfs:groups(gold*3=sfs:quantum=2ms,dev=sfs:quantum=2ms)"
+            .parse()
+            .unwrap();
+        let rep = RtSubstrate::default().run(&scenario, &policy).unwrap();
+        assert_eq!(rep.sched_name, "SFS(hier)");
+        let shares = rep.tenant_shares();
+        assert_eq!(shares.len(), 2, "{shares:?}");
+        let ratio = shares[0].1 / shares[1].1.max(1e-9);
+        assert!((2.0..4.5).contains(&ratio), "gold:dev = {ratio:.2}");
+        // Every task's outcome carries its tenant.
+        for t in &rep.tasks {
+            assert!(t.tenant.is_some(), "{} lost its tenant", t.name);
+        }
     }
 
     #[test]

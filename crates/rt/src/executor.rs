@@ -43,7 +43,7 @@ use parking_lot::{Condvar, Mutex, MutexGuard};
 use sfs_core::policy::PolicySpec;
 use sfs_core::sched::{select_preemption_victim, SchedStats, Scheduler, SwitchReason};
 use sfs_core::shard::{Balancer, ShardLayout, ShardedScheduler};
-use sfs_core::task::{CpuId, TaskId, Weight};
+use sfs_core::task::{CpuId, TaskId, TenantId, Weight};
 use sfs_core::time::{Duration, Time};
 
 /// Executor configuration.
@@ -314,6 +314,11 @@ impl Inner {
             let Some(id) = f.sched.steal_candidate() else {
                 continue;
             };
+            if bal.tenant_of(id).is_some() {
+                // Tenant groups place as units; stealing one member
+                // would split the group across shards.
+                continue;
+            }
             bal.migrate(id, s);
             self.move_task_locked(&mut f, s, &mut t, id);
             drop(f);
@@ -746,10 +751,34 @@ impl Executor {
         }
     }
 
+    /// Resolves a tenant group name (from a policy's `groups(...)`
+    /// clause) to the id [`Executor::spawn_in_tenant`] takes. Returns
+    /// `None` when the policy is flat or the name is unknown.
+    pub fn bind_tenant(&self, group: &str) -> Option<TenantId> {
+        self.inner.shards[0].lock().sched.bind_tenant(group)
+    }
+
     /// Spawns a task with a weight; the body receives a [`TaskCtx`] and
     /// must call [`TaskCtx::checkpoint`] regularly. The task is placed
     /// on the shard with the least adjusted-weight load per CPU.
     pub fn spawn<F>(&self, name: &str, weight: Weight, body: F) -> TaskHandle
+    where
+        F: FnOnce(&TaskCtx) + Send + 'static,
+    {
+        self.spawn_in_tenant(name, weight, None, body)
+    }
+
+    /// [`Executor::spawn`] under a tenant group: the task attaches via
+    /// [`Scheduler::attach_tenant`] so hierarchical policies account it
+    /// to that group, and sharded executors anchor the whole tenant to
+    /// one shard (members never split across shards).
+    pub fn spawn_in_tenant<F>(
+        &self,
+        name: &str,
+        weight: Weight,
+        tenant: Option<TenantId>,
+        body: F,
+    ) -> TaskHandle
     where
         F: FnOnce(&TaskCtx) + Send + 'static,
     {
@@ -759,7 +788,7 @@ impl Executor {
             global.next_id += 1;
             global.live += 1;
             let shard = match global.bal.as_mut() {
-                Some(bal) => bal.attach(id, weight),
+                Some(bal) => bal.attach_tenant(id, weight, tenant),
                 None => 0,
             };
             let task = Arc::new(RtTask {
@@ -775,7 +804,7 @@ impl Executor {
             let mut core = self.inner.shards[shard].lock();
             core.tasks.insert(id, Arc::clone(&task));
             let now = self.inner.now();
-            core.sched.attach(id, weight, now);
+            core.sched.attach_tenant(id, weight, tenant, now);
             self.inner.dispatch(&mut core);
             let ctx = TaskCtx {
                 inner: Arc::clone(&self.inner),

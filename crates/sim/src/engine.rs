@@ -19,7 +19,7 @@ use std::collections::{BinaryHeap, HashMap};
 
 use sfs_core::gms::FluidGms;
 use sfs_core::sched::{select_preemption_victim, Scheduler, SwitchReason};
-use sfs_core::task::{CpuId, TaskId, Weight};
+use sfs_core::task::{CpuId, TaskId, TenantId, Weight};
 use sfs_core::time::{Duration, Time};
 use sfs_workloads::{Behavior, BehaviorSpec, Phase};
 
@@ -104,6 +104,8 @@ struct SimTask {
     awaiting_response: bool,
     /// Sequential-stream membership (next job spawns on exit).
     stream: Option<usize>,
+    /// Tenant group the task attaches under, for hierarchical policies.
+    tenant: Option<TenantId>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -135,6 +137,7 @@ struct PendingArrival {
     weight: Weight,
     spec: BehaviorSpec,
     seed: u64,
+    tenant: Option<TenantId>,
     stream: Option<usize>,
     spawned: Option<TaskId>,
 }
@@ -210,7 +213,22 @@ impl Simulator {
         weight: Weight,
         spec: BehaviorSpec,
     ) -> usize {
-        self.schedule_arrival_inner(at, name.to_string(), weight, spec, None)
+        self.schedule_arrival_inner(at, name.to_string(), weight, spec, None, None)
+    }
+
+    /// Schedules a task arrival bound to a tenant group. The task
+    /// attaches via [`Scheduler::attach_tenant`], so hierarchical
+    /// policies account it to that group; flat policies ignore the
+    /// binding. Returns the arrival index.
+    pub fn schedule_arrival_tenant(
+        &mut self,
+        at: Time,
+        name: &str,
+        weight: Weight,
+        spec: BehaviorSpec,
+        tenant: Option<TenantId>,
+    ) -> usize {
+        self.schedule_arrival_inner(at, name.to_string(), weight, spec, tenant, None)
     }
 
     fn schedule_arrival_inner(
@@ -219,6 +237,7 @@ impl Simulator {
         name: String,
         weight: Weight,
         spec: BehaviorSpec,
+        tenant: Option<TenantId>,
         stream: Option<usize>,
     ) -> usize {
         let idx = self.arrivals.len();
@@ -232,6 +251,7 @@ impl Simulator {
             weight,
             spec,
             seed,
+            tenant,
             stream,
             spawned: None,
         });
@@ -266,7 +286,7 @@ impl Simulator {
             spawned: 1,
         });
         let name = format!("{prefix}#1");
-        self.schedule_arrival_inner(first, name, weight, spec, Some(sidx));
+        self.schedule_arrival_inner(first, name, weight, spec, None, Some(sidx));
     }
 
     fn post(&mut self, at: Time, kind: EvKind) {
@@ -346,8 +366,9 @@ impl Simulator {
         let name = a.name.clone();
         let weight = a.weight;
         let stream = a.stream;
+        let tenant = a.tenant;
         self.trace
-            .register(id, &name, weight.get(), iteration_cost, self.now);
+            .register(id, &name, weight.get(), tenant, iteration_cost, self.now);
         self.tasks.insert(
             id,
             SimTask {
@@ -359,6 +380,7 @@ impl Simulator {
                 last_wake: self.now,
                 awaiting_response: false,
                 stream,
+                tenant,
             },
         );
         self.continue_task(id);
@@ -550,13 +572,14 @@ impl Simulator {
         {
             let task = self.tasks.get_mut(&id).unwrap();
             let weight = task.weight;
+            let tenant = task.tenant;
             if task.attached {
                 self.sched.wake(id, self.now);
                 if let Some(g) = &mut self.gms {
                     g.set_runnable(id, true);
                 }
             } else {
-                self.sched.attach(id, weight, self.now);
+                self.sched.attach_tenant(id, weight, tenant, self.now);
                 task.attached = true;
                 if let Some(g) = &mut self.gms {
                     g.add(id, weight, true);
@@ -585,7 +608,7 @@ impl Simulator {
                 s.spawned += 1;
                 let name = format!("{}#{}", s.prefix, s.spawned);
                 let (weight, spec) = (s.weight, s.spec.clone());
-                self.schedule_arrival_inner(next_at, name, weight, spec, Some(sidx));
+                self.schedule_arrival_inner(next_at, name, weight, spec, None, Some(sidx));
             }
         }
     }

@@ -31,6 +31,18 @@ pub enum ScenarioError {
         /// Name of the offending stream spec.
         stream: String,
     },
+    /// Two task or stream specs share a base name, which would make
+    /// report lookups by name ambiguous.
+    DuplicateTaskName {
+        /// The colliding name.
+        task: String,
+    },
+    /// A tenant group was declared with no member tasks, so it could
+    /// never receive service.
+    EmptyTenant {
+        /// Name of the empty tenant group.
+        tenant: String,
+    },
     /// The machine has no processors.
     NoCpus,
 }
@@ -43,6 +55,12 @@ impl fmt::Display for ScenarioError {
             }
             ScenarioError::ZeroStreamWeight { stream } => {
                 write!(f, "stream {stream:?} has zero weight (weights must be ≥ 1)")
+            }
+            ScenarioError::DuplicateTaskName { task } => {
+                write!(f, "duplicate task name {task:?} (names must be unique)")
+            }
+            ScenarioError::EmptyTenant { tenant } => {
+                write!(f, "tenant {tenant:?} declares no tasks")
             }
             ScenarioError::NoCpus => write!(f, "scenario machine has zero processors"),
         }
@@ -66,6 +84,9 @@ pub struct TaskSpec {
     pub behavior: BehaviorSpec,
     /// Number of identical replicas (default 1).
     pub count: usize,
+    /// Tenant group the task belongs to, matched against the policy's
+    /// `groups(...)` clause by name (default none).
+    pub tenant: Option<String>,
 }
 
 impl TaskSpec {
@@ -79,7 +100,16 @@ impl TaskSpec {
             stop_at: None,
             behavior,
             count: 1,
+            tenant: None,
         }
+    }
+
+    /// Binds the task to a tenant group, by the name used in the
+    /// policy's `groups(...)` clause.
+    #[must_use]
+    pub fn in_tenant(mut self, tenant: &str) -> TaskSpec {
+        self.tenant = Some(tenant.to_string());
+        self
     }
 
     /// Sets the arrival time.
@@ -170,6 +200,8 @@ pub struct Scenario {
     pub tasks: Vec<TaskSpec>,
     /// Sequential job streams.
     pub streams: Vec<StreamSpec>,
+    /// Tenant groups declared via [`Scenario::tenant`], for validation.
+    pub tenants: Vec<String>,
 }
 
 impl Scenario {
@@ -181,6 +213,7 @@ impl Scenario {
             config,
             tasks: Vec::new(),
             streams: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 
@@ -195,6 +228,42 @@ impl Scenario {
     #[must_use]
     pub fn stream(mut self, spec: StreamSpec) -> Scenario {
         self.streams.push(spec);
+        self
+    }
+
+    /// Adds a tenant group's member tasks: every spec is bound to the
+    /// named tenant, matching a `groups(...)` entry in the policy.
+    ///
+    /// ```
+    /// use sfs_core::time::Duration;
+    /// use sfs_sim::{Scenario, SimConfig, TaskSpec};
+    /// use sfs_workloads::BehaviorSpec;
+    ///
+    /// let cfg = SimConfig {
+    ///     cpus: 2,
+    ///     duration: Duration::from_secs(1),
+    ///     ..SimConfig::default()
+    /// };
+    /// let policy: sfs_core::policy::PolicySpec =
+    ///     "sfs:groups(batch=sfq,frontend*3=sfs)".parse().unwrap();
+    /// let report = Scenario::new("tenants", cfg)
+    ///     .tenant("batch", [
+    ///         TaskSpec::new("cruncher", 1, BehaviorSpec::Inf).replicated(4),
+    ///     ])
+    ///     .tenant("frontend", [
+    ///         TaskSpec::new("web", 1, BehaviorSpec::Inf),
+    ///     ])
+    ///     .try_run(policy.build(2))
+    ///     .unwrap();
+    /// // frontend's share-3 tenant outweighs batch's 4 unit tasks.
+    /// assert_eq!(report.tenant_shares().len(), 2);
+    /// ```
+    #[must_use]
+    pub fn tenant(mut self, name: &str, specs: impl IntoIterator<Item = TaskSpec>) -> Scenario {
+        self.tenants.push(name.to_string());
+        for spec in specs {
+            self.tasks.push(spec.in_tenant(name));
+        }
         self
     }
 
@@ -219,6 +288,28 @@ impl Scenario {
                 });
             }
         }
+        let mut names = std::collections::HashSet::new();
+        for name in self
+            .tasks
+            .iter()
+            .map(|t| &t.name)
+            .chain(self.streams.iter().map(|s| &s.name))
+        {
+            if !names.insert(name.as_str()) {
+                return Err(ScenarioError::DuplicateTaskName { task: name.clone() });
+            }
+        }
+        for tenant in &self.tenants {
+            if !self
+                .tasks
+                .iter()
+                .any(|t| t.tenant.as_deref() == Some(tenant))
+            {
+                return Err(ScenarioError::EmptyTenant {
+                    tenant: tenant.clone(),
+                });
+            }
+        }
         Ok(())
     }
 
@@ -226,8 +317,17 @@ impl Scenario {
     /// reporting malformed scenarios as a [`ScenarioError`].
     pub fn try_run(&self, sched: Box<dyn Scheduler>) -> Result<SimReport, ScenarioError> {
         self.validate()?;
+        // Resolve tenant names to scheduler group ids before the
+        // scheduler moves into the simulator. Names the policy does not
+        // know (a flat policy, or a missing group) run tenant-less —
+        // strict matching is the experiment layer's job.
+        let bindings: Vec<_> = self
+            .tasks
+            .iter()
+            .map(|spec| spec.tenant.as_deref().and_then(|g| sched.bind_tenant(g)))
+            .collect();
         let mut sim = Simulator::new(self.config.clone(), sched);
-        for spec in &self.tasks {
+        for (spec, tenant) in self.tasks.iter().zip(bindings) {
             let weight = Weight::new(spec.weight).expect("validated non-zero");
             for k in 0..spec.count.max(1) {
                 let name = if spec.count > 1 {
@@ -235,7 +335,13 @@ impl Scenario {
                 } else {
                     spec.name.clone()
                 };
-                let idx = sim.schedule_arrival(spec.arrive, &name, weight, spec.behavior.clone());
+                let idx = sim.schedule_arrival_tenant(
+                    spec.arrive,
+                    &name,
+                    weight,
+                    spec.behavior.clone(),
+                    tenant,
+                );
                 if let Some(t) = spec.stop_at {
                     sim.schedule_kill(t, idx);
                 }
@@ -350,6 +456,102 @@ mod tests {
             .try_run(sfs(1))
             .unwrap_err();
         assert_eq!(err, ScenarioError::ZeroStreamWeight { stream: "s".into() });
+    }
+
+    #[test]
+    fn duplicate_names_are_a_typed_error() {
+        let cfg = SimConfig {
+            cpus: 1,
+            duration: Duration::from_millis(10),
+            ..SimConfig::default()
+        };
+        let err = Scenario::new("dup", cfg.clone())
+            .task(TaskSpec::new("t", 1, BehaviorSpec::Inf))
+            .task(TaskSpec::new("t", 2, BehaviorSpec::Inf))
+            .try_run(sfs(1))
+            .unwrap_err();
+        assert_eq!(err, ScenarioError::DuplicateTaskName { task: "t".into() });
+
+        // Streams collide with tasks too.
+        let err = Scenario::new("dup2", cfg)
+            .task(TaskSpec::new("jobs", 1, BehaviorSpec::Inf))
+            .stream(StreamSpec::new(
+                "jobs",
+                1,
+                BehaviorSpec::Finite(Duration::from_millis(1)),
+            ))
+            .try_run(sfs(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::DuplicateTaskName {
+                task: "jobs".into()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_tenant_is_a_typed_error() {
+        let cfg = SimConfig {
+            cpus: 1,
+            duration: Duration::from_millis(10),
+            ..SimConfig::default()
+        };
+        let err = Scenario::new("empty", cfg)
+            .tenant("ghost", [])
+            .task(TaskSpec::new("t", 1, BehaviorSpec::Inf))
+            .try_run(sfs(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ScenarioError::EmptyTenant {
+                tenant: "ghost".into()
+            }
+        );
+        assert!(err.to_string().contains("ghost"));
+    }
+
+    #[test]
+    fn tenants_bind_to_hierarchical_groups() {
+        let cfg = SimConfig {
+            cpus: 2,
+            duration: Duration::from_secs(4),
+            ..SimConfig::default()
+        };
+        let policy: PolicySpec = "sfs:groups(a*3=sfs,b=sfs)".parse().unwrap();
+        let rep = Scenario::new("tenants", cfg)
+            .tenant(
+                "a",
+                [TaskSpec::new("a-task", 1, BehaviorSpec::Inf).replicated(2)],
+            )
+            .tenant(
+                "b",
+                [TaskSpec::new("b-task", 1, BehaviorSpec::Inf).replicated(2)],
+            )
+            .run(policy.build(2));
+        // Every task carries its tenant in the report.
+        for t in &rep.tasks {
+            assert!(t.tenant.is_some(), "{} lost its tenant", t.name);
+        }
+        let shares = rep.tenant_shares();
+        assert_eq!(shares.len(), 2);
+        // Shares split 3:1 between the two tenants.
+        let ratio = shares[0].1 / shares[1].1;
+        assert!((ratio - 3.0).abs() < 0.15, "tenant ratio {ratio}");
+    }
+
+    #[test]
+    fn unknown_tenants_run_tenant_less_under_flat_policies() {
+        let cfg = SimConfig {
+            cpus: 1,
+            duration: Duration::from_millis(100),
+            ..SimConfig::default()
+        };
+        let rep = Scenario::new("flat", cfg)
+            .tenant("a", [TaskSpec::new("t", 1, BehaviorSpec::Inf)])
+            .run(sfs(1));
+        assert_eq!(rep.task("t").unwrap().tenant, None);
+        assert!(rep.tenant_shares().is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use std::collections::HashMap;
 
 use sfs_core::sched::SchedStats;
-use sfs_core::task::TaskId;
+use sfs_core::task::{TaskId, TenantId};
 use sfs_core::time::{Duration, Time};
 use sfs_metrics::{Summary, TimeSeries};
 
@@ -23,6 +23,7 @@ pub struct Trace {
 struct TaskTrace {
     name: String,
     weight: u64,
+    tenant: Option<TenantId>,
     iteration_cost: Option<Duration>,
     series: TimeSeries,
     responses_ms: Vec<f64>,
@@ -33,12 +34,14 @@ struct TaskTrace {
 }
 
 impl Trace {
-    /// Registers a task at arrival.
+    /// Registers a task at arrival. `tenant` records the tenant group
+    /// the task was bound to, if the policy is hierarchical.
     pub fn register(
         &mut self,
         id: TaskId,
         name: &str,
         weight: u64,
+        tenant: Option<TenantId>,
         iteration_cost: Option<Duration>,
         now: Time,
     ) {
@@ -52,6 +55,7 @@ impl Trace {
             TaskTrace {
                 name: name.to_string(),
                 weight,
+                tenant,
                 iteration_cost,
                 series,
                 responses_ms: Vec::new(),
@@ -125,6 +129,7 @@ impl Trace {
                 id: *id,
                 name: t.name.clone(),
                 weight: t.weight,
+                tenant: t.tenant,
                 service: t.service,
                 iterations: t
                     .iteration_cost
@@ -161,6 +166,8 @@ pub struct TaskReport {
     pub name: String,
     /// Assigned weight.
     pub weight: u64,
+    /// The tenant group the task ran under, for hierarchical policies.
+    pub tenant: Option<TenantId>,
     /// Total CPU service received.
     pub service: Duration,
     /// Application-level iterations executed (service / iteration cost),
@@ -232,6 +239,32 @@ impl SimReport {
             .fold(Duration::ZERO, |acc, t| acc + t.service)
     }
 
+    /// Sum of services over tasks bound to tenant `t`.
+    pub fn tenant_service(&self, t: TenantId) -> Duration {
+        self.tasks
+            .iter()
+            .filter(|task| task.tenant == Some(t))
+            .fold(Duration::ZERO, |acc, task| acc + task.service)
+    }
+
+    /// Each tenant's share of total service, sorted by tenant id.
+    /// Tasks without a tenant are excluded from the numerators but
+    /// count toward the total.
+    pub fn tenant_shares(&self) -> Vec<(TenantId, f64)> {
+        let total = self.total_service().as_nanos() as f64;
+        let mut by_tenant: std::collections::BTreeMap<TenantId, f64> =
+            std::collections::BTreeMap::new();
+        for t in &self.tasks {
+            if let Some(tenant) = t.tenant {
+                *by_tenant.entry(tenant).or_default() += t.service.as_nanos() as f64;
+            }
+        }
+        by_tenant
+            .into_iter()
+            .map(|(t, s)| (t, if total == 0.0 { 0.0 } else { s / total }))
+            .collect()
+    }
+
     /// Total service over all tasks.
     pub fn total_service(&self) -> Duration {
         self.tasks
@@ -267,6 +300,7 @@ mod tests {
             TaskId(1),
             "T1",
             2,
+            None,
             Some(Duration::from_micros(1)),
             Time::ZERO,
         );
@@ -288,9 +322,9 @@ mod tests {
     #[test]
     fn report_shares_and_groups() {
         let mut tr = Trace::default();
-        tr.register(TaskId(1), "a#1", 1, None, Time::ZERO);
-        tr.register(TaskId(2), "a#2", 1, None, Time::ZERO);
-        tr.register(TaskId(3), "b", 1, None, Time::ZERO);
+        tr.register(TaskId(1), "a#1", 1, Some(TenantId(0)), None, Time::ZERO);
+        tr.register(TaskId(2), "a#2", 1, Some(TenantId(0)), None, Time::ZERO);
+        tr.register(TaskId(3), "b", 1, Some(TenantId(1)), None, Time::ZERO);
         tr.add_service(TaskId(1), Duration::from_millis(10));
         tr.add_service(TaskId(2), Duration::from_millis(20));
         tr.add_service(TaskId(3), Duration::from_millis(30));
@@ -299,12 +333,19 @@ mod tests {
         assert_eq!(rep.total_service(), Duration::from_millis(60));
         let shares = rep.shares();
         assert!((shares[2] - 0.5).abs() < 1e-9);
+        // Tenant-keyed accessors agree with the prefix view here.
+        assert_eq!(rep.tenant_service(TenantId(0)), Duration::from_millis(30));
+        assert_eq!(rep.tenant_service(TenantId(1)), Duration::from_millis(30));
+        let ts = rep.tenant_shares();
+        assert_eq!(ts.len(), 2);
+        assert!((ts[0].1 - 0.5).abs() < 1e-9);
+        assert!((ts[1].1 - 0.5).abs() < 1e-9);
     }
 
     #[test]
     fn completion_rate_uses_lifetime() {
         let mut tr = Trace::default();
-        tr.register(TaskId(1), "mpeg", 1, None, Time::ZERO);
+        tr.register(TaskId(1), "mpeg", 1, None, None, Time::ZERO);
         for _ in 0..60 {
             tr.complete(TaskId(1), None);
         }

@@ -39,7 +39,7 @@ fn response_ms(policy: &str, batch: usize) -> f64 {
         );
     }
     let rep = Experiment::new(s)
-        .run_str(policy)
+        .run(policy)
         .expect("well-formed scenario and policy");
     rep.task("editor")
         .unwrap()

@@ -38,7 +38,7 @@ fn run(policy: &str, jobs: usize) -> (f64, String) {
         );
     }
     let rep = Experiment::new(s)
-        .run_str(policy)
+        .run(policy)
         .expect("well-formed scenario and policy");
     let fps = rep
         .sim_report()

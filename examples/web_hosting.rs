@@ -74,7 +74,7 @@ fn run(with_abuse: bool, policy: &str) -> SimReport {
         s = s.task(TaskSpec::new("bronze-runaway", 1, BehaviorSpec::Inf).replicated(12));
     }
     Experiment::new(s)
-        .run_str(policy)
+        .run(policy)
         .expect("well-formed scenario and policy")
         .sim_report()
         .clone()

@@ -8,8 +8,9 @@
 //! This facade crate re-exports the workspace:
 //!
 //! * [`core`] (`sfs-core`) — the algorithms: weight readjustment (§2.1),
-//!   GMS (§2.2), SFS (§2.3, §3), the SFQ / time-sharing / stride /
-//!   BVT / WFQ / round-robin baselines, and the [`core::policy`]
+//!   GMS (§2.2), SFS (§2.3, §3), hierarchical SFS over tenant groups
+//!   (`"sfs:groups(batch=sfq,frontend*3=sfs)"`), the SFQ / time-sharing /
+//!   stride / BVT / WFQ / round-robin baselines, and the [`core::policy`]
 //!   registry that names all of them.
 //! * [`sim`] (`sfs-sim`) — a deterministic discrete-event SMP simulator.
 //! * [`rt`] (`sfs-rt`) — a userspace scheduler gating real OS threads.
@@ -45,12 +46,12 @@
 //!
 //! // Run one policy on the (deterministic) simulator...
 //! let exp = Experiment::new(scenario.clone());
-//! let report = exp.run_str("sfs:quantum=10ms").unwrap();
+//! let report = exp.run("sfs:quantum=10ms").unwrap();
 //! assert!(report.task("db").unwrap().service > report.task("http").unwrap().service);
 //!
 //! // ...or compare a whole matrix: SFS vs plain SFQ vs time sharing,
 //! // with fairness-index deltas against the first (baseline) policy.
-//! let cmp = exp.compare_strs(&["sfs:quantum=10ms", "sfq:quantum=10ms", "ts"]).unwrap();
+//! let cmp = exp.compare(["sfs:quantum=10ms", "sfq:quantum=10ms", "ts"]).unwrap();
 //! println!("{}", cmp.to_table());
 //! let deltas = cmp.deltas();
 //! assert!(deltas[2].share_error_delta > 0.0, "time sharing ignores weights");
@@ -71,7 +72,7 @@
 //!     .task(TaskSpec::new("a", 3, BehaviorSpec::Inf))
 //!     .task(TaskSpec::new("b", 1, BehaviorSpec::Inf));
 //! let report = Experiment::on(scenario, RtSubstrate::default())
-//!     .run_str("sfs:quantum=2ms")
+//!     .run("sfs:quantum=2ms")
 //!     .unwrap();
 //! assert_eq!(report.substrate, "rt");
 //! ```

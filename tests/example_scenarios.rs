@@ -34,7 +34,7 @@ fn example1_scenario(secs: u64) -> Scenario {
 #[test]
 fn example1_sfq_starves_the_light_thread() {
     let rep = Experiment::new(example1_scenario(3))
-        .run(&spec("sfq:quantum=1ms"))
+        .run(spec("sfq:quantum=1ms"))
         .unwrap()
         .sim_report()
         .clone();

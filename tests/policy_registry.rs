@@ -117,7 +117,7 @@ proptest! {
         // Every policy in the registry, end to end through the one
         // front-end: a policy added to the registry automatically joins
         // this property.
-        let cmp = exp.compare(&PolicySpec::registered())
+        let cmp = exp.compare(PolicySpec::registered())
             .expect("well-formed scenario");
         for run in &cmp.runs {
             let total = run.total_service();
