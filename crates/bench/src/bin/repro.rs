@@ -1,16 +1,20 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--quick] [--out DIR] [ID...]
+//! repro [--quick] [--out DIR] [--trace DIR] [ID...]
 //!
 //!   ID      one or more of: fig1 fig3 fig4 fig5 fig6a fig6b fig6c fig7
 //!           table1 all        (default: all)
 //!   --quick scaled-down runs (seconds instead of minutes)
 //!   --out   output directory  (default: results/)
+//!   --trace additionally export a `<id>.perfetto-trace` into DIR for
+//!           every requested experiment with a canonical sim scenario
+//!           (the fig6 family) — open them in https://ui.perfetto.dev
 //! ```
 //!
 //! Each experiment prints its report to stdout and writes
-//! `<out>/<id>.txt` plus CSV data files.
+//! `<out>/<id>.txt` plus CSV data files. The `trace` experiment also
+//! writes `.perfetto-trace` artefacts next to its report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -20,7 +24,7 @@ use sfs_bench::{all_ids, run_experiment};
 
 fn usage() -> String {
     format!(
-        "usage: repro [--quick] [--out DIR] [ID...]\n       IDs: {} all",
+        "usage: repro [--quick] [--out DIR] [--trace DIR] [ID...]\n       IDs: {} all",
         all_ids().join(" ")
     )
 }
@@ -28,6 +32,7 @@ fn usage() -> String {
 fn main() -> ExitCode {
     let mut effort = Effort::Full;
     let mut out = PathBuf::from("results");
+    let mut trace_dir: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -38,6 +43,13 @@ fn main() -> ExitCode {
                 Some(dir) => out = PathBuf::from(dir),
                 None => {
                     eprintln!("--out needs a directory\n{}", usage());
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" | "-t" => match args.next() {
+                Some(dir) => trace_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--trace needs a directory\n{}", usage());
                     return ExitCode::FAILURE;
                 }
             },
@@ -86,6 +98,16 @@ fn main() -> ExitCode {
             Err(e) => {
                 eprintln!("failed writing results for {id}: {e}");
                 return ExitCode::FAILURE;
+            }
+        }
+        if let Some(dir) = &trace_dir {
+            match sfs_bench::trace::export_trace_for(id, effort, dir) {
+                Ok(Some(p)) => eprintln!("   wrote {}", p.display()),
+                Ok(None) => {}
+                Err(e) => {
+                    eprintln!("failed exporting trace for {id}: {e}");
+                    return ExitCode::FAILURE;
+                }
             }
         }
     }

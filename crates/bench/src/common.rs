@@ -56,6 +56,8 @@ pub struct ExpResult {
     pub text: String,
     /// CSV artefacts: (file name, contents).
     pub csv: Vec<(String, String)>,
+    /// Binary artefacts, e.g. `.perfetto-trace` files: (file name, bytes).
+    pub bin: Vec<(String, Vec<u8>)>,
     /// Key findings, as (metric, value) pairs for EXPERIMENTS.md.
     pub summary: Vec<(String, String)>,
 }
@@ -128,6 +130,11 @@ impl ExpResult {
         for (name, content) in &self.csv {
             let p = dir.join(name);
             fs::write(&p, content)?;
+            written.push(p);
+        }
+        for (name, bytes) in &self.bin {
+            let p = dir.join(name);
+            fs::write(&p, bytes)?;
             written.push(p);
         }
         Ok(written)

@@ -33,13 +33,19 @@ fn base_cfg(effort: Effort, full_secs: u64, seed: u64) -> SimConfig {
 
 // ---------------------------------------------------------------- 6(a)
 
-fn run_6a_pair(w_a: u64, w_b: u64, effort: Effort) -> SimReport {
+/// The Figure 6(a) scenario: a weighted dhrystone pair over 20 weight-1
+/// background dhrystones. Shared with the `trace` experiment, which
+/// exports a Perfetto trace of exactly this run.
+pub(crate) fn scenario_6a(w_a: u64, w_b: u64, effort: Effort) -> Scenario {
     let cfg = base_cfg(effort, 10, 60 + w_b);
-    let scenario = Scenario::new("fig6a", cfg)
+    Scenario::new("fig6a", cfg)
         .task(TaskSpec::new("bg", 1, BehaviorSpec::Dhrystone).replicated(20))
         .task(TaskSpec::new("A", w_a, BehaviorSpec::Dhrystone))
-        .task(TaskSpec::new("B", w_b, BehaviorSpec::Dhrystone));
-    Experiment::new(scenario)
+        .task(TaskSpec::new("B", w_b, BehaviorSpec::Dhrystone))
+}
+
+fn run_6a_pair(w_a: u64, w_b: u64, effort: Effort) -> SimReport {
+    Experiment::new(scenario_6a(w_a, w_b, effort))
         .run(policy("sfs", effort.quantum()))
         .expect("fig6a scenario is well-formed")
         .sim_report()
@@ -79,9 +85,9 @@ pub fn run_6a(effort: Effort) -> ExpResult {
 
 // ---------------------------------------------------------------- 6(b)
 
-/// MPEG frame rate at one load point under SFS and time sharing — a
-/// single comparative run.
-fn run_6b_point(compilations: usize, effort: Effort) -> (f64, f64) {
+/// The Figure 6(b) scenario: an MPEG decoder against `compilations`
+/// parallel compilations. Shared with the `trace` experiment.
+pub(crate) fn scenario_6b(compilations: usize, effort: Effort) -> Scenario {
     let cfg = base_cfg(effort, 20, 61);
     let mut scenario = Scenario::new("fig6b", cfg).task(TaskSpec::new(
         "mpeg",
@@ -104,7 +110,13 @@ fn run_6b_point(compilations: usize, effort: Effort) -> (f64, f64) {
             .replicated(compilations),
         );
     }
-    let cmp = Experiment::new(scenario)
+    scenario
+}
+
+/// MPEG frame rate at one load point under SFS and time sharing — a
+/// single comparative run.
+fn run_6b_point(compilations: usize, effort: Effort) -> (f64, f64) {
+    let cmp = Experiment::new(scenario_6b(compilations, effort))
         .compare(&[
             policy("sfs", effort.quantum()),
             policy("timeshare", effort.quantum()),
@@ -160,9 +172,9 @@ pub fn run_6b(effort: Effort) -> ExpResult {
 
 // ---------------------------------------------------------------- 6(c)
 
-/// Interactive mean response at one load point under SFS and time
-/// sharing — a single comparative run.
-fn run_6c_point(simjobs: usize, effort: Effort) -> (f64, f64) {
+/// The Figure 6(c) scenario: an interactive task against `simjobs`
+/// disksim processes. Shared with the `trace` experiment.
+pub(crate) fn scenario_6c(simjobs: usize, effort: Effort) -> Scenario {
     let cfg = base_cfg(effort, 30, 62);
     let mut scenario = Scenario::new("fig6c", cfg).task(TaskSpec::new(
         "interact",
@@ -185,7 +197,13 @@ fn run_6c_point(simjobs: usize, effort: Effort) -> (f64, f64) {
             .replicated(simjobs),
         );
     }
-    let cmp = Experiment::new(scenario)
+    scenario
+}
+
+/// Interactive mean response at one load point under SFS and time
+/// sharing — a single comparative run.
+fn run_6c_point(simjobs: usize, effort: Effort) -> (f64, f64) {
+    let cmp = Experiment::new(scenario_6c(simjobs, effort))
         .compare(&[
             policy("sfs", effort.quantum()),
             policy("timeshare", effort.quantum()),

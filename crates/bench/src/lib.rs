@@ -15,6 +15,7 @@
 //! | [`churn`] | Per-event cost sweep, 10²–10⁵ threads (beyond the paper: indexed-queue event path) |
 //! | [`scale`] | Shard-scaling sweep: decisions/s + lock costs vs shard count, sharded-vs-global fairness (beyond the paper: §5 per-CPU run queues) |
 //! | [`tenants`] | Multi-tenant sweep: misbehaving-tenant isolation, decision cost at 10²–10⁴ tenants (beyond the paper: §6 hierarchical SFS) |
+//! | [`trace`] | Trace subsystem smoke: Perfetto export validity on sim + rt, capture→replay determinism, recording overhead (beyond the paper: observability) |
 //!
 //! The `repro` binary drives them all and writes reports to
 //! `results/`; the `figures`/`overheads` bench targets run them in
@@ -32,6 +33,7 @@ pub mod overhead;
 pub mod overheads;
 pub mod scale;
 pub mod tenants;
+pub mod trace;
 
 use common::{Effort, ExpResult};
 
@@ -39,7 +41,7 @@ use common::{Effort, ExpResult};
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
-        "churn", "scale", "tenants",
+        "churn", "scale", "tenants", "trace",
     ]
 }
 
@@ -63,6 +65,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "churn" => churn::run(effort),
         "scale" => scale::run(effort),
         "tenants" => tenants::run(effort),
+        "trace" => trace::run(effort),
         other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
     }
 }

@@ -117,9 +117,21 @@ pub fn tenant_point(n: usize, decisions: u64) -> TenantPoint {
         .collect();
     let mut sched = HierSfs::new(cpus, &groups);
     let t0 = Time::ZERO;
-    for i in 0..n {
-        sched.attach_tenant(TaskId(i as u64), weight(1), Some(TenantId(i as u32)), t0);
-    }
+    let calls_before = sched.stats().readjust_calls;
+    // Bulk attach: one task per tenant in a single batch, so the §2.1
+    // group walk runs once instead of once per tenant (per-attach
+    // readjustment made the 10⁴-tenant setup quadratic: ~3.8 s).
+    let batch: Vec<(TaskId, sfs_core::task::Weight, Option<TenantId>)> = (0..n)
+        .map(|i| (TaskId(i as u64), weight(1), Some(TenantId(i as u32))))
+        .collect();
+    sched.attach_batch(&batch, t0);
+    // One group walk, plus one child walk per single-task tenant.
+    let calls_delta = sched.stats().readjust_calls - calls_before;
+    assert_eq!(
+        calls_delta,
+        n as u64 + 1,
+        "bulk attach must readjust groups exactly once"
+    );
     let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
 
     let quantum = Duration::from_millis(1);

@@ -1,0 +1,325 @@
+//! Trace subsystem smoke harness (`repro trace` → `BENCH_trace.json`).
+//!
+//! Not a figure from the paper: this artefact is the CI gate for the
+//! `sfs-trace` subsystem. Four checks, each reported as a finding so
+//! the smoke step can grep the machine-readable summary:
+//!
+//! * **Sim export.** The Figure 6(b) scenario runs on the simulator
+//!   with recording on; the trace must pass [`EventTrace::validate`]
+//!   (monotonic timestamps, every registered task has ≥ 1 slice,
+//!   counter tracks non-empty) and the encoded protobuf must pass
+//!   [`perfetto::validate_encoded`]. Written as
+//!   `fig6_sim.perfetto-trace` — open it in <https://ui.perfetto.dev>.
+//! * **Rt export.** The same pipeline over a short real-thread run
+//!   (`rt.perfetto-trace`).
+//! * **Capture→replay.** An rt capture of a deterministic sequential
+//!   scenario replays on the simulator; `replay_match` must be `true`.
+//! * **Recording overhead.** A churn-heavy sim scenario (constant
+//!   block/wake traffic) runs traced and traceless, interleaved;
+//!   `overhead_pct` is the median traced-over-traceless wall-clock
+//!   overhead, which CI gates at ≤ 5%.
+
+use std::time::Instant;
+
+use sfs_experiment::{Experiment, RtSubstrate};
+use sfs_sim::{Scenario, SimConfig, TaskSpec};
+use sfs_trace::perfetto;
+use sfs_trace::EventTrace;
+use sfs_workloads::BehaviorSpec;
+
+use crate::common::{policy, Effort, ExpResult};
+use crate::fig6;
+use sfs_core::time::{Duration, Time};
+
+/// Validates a finished trace end-to-end: structural validation, then
+/// a protobuf encode + decode pass. Returns `("ok", bytes)` or the
+/// error rendered as the finding value.
+fn validate_and_encode(trace: &EventTrace) -> (String, Vec<u8>) {
+    if let Err(e) = trace.validate() {
+        return (format!("invalid: {e}"), Vec::new());
+    }
+    let bytes = perfetto::encode(trace);
+    match perfetto::validate_encoded(&bytes) {
+        Ok(_) => ("ok".to_string(), bytes),
+        Err(e) => (format!("invalid encoding: {e}"), Vec::new()),
+    }
+}
+
+/// A short real-thread scenario: two weighted hogs plus an interactive
+/// task, so the trace carries slices, wakes, and preemptions. The
+/// duration is wall-clock on rt — keep it sub-second in quick mode.
+fn rt_scenario(effort: Effort) -> Scenario {
+    let cfg = SimConfig {
+        cpus: 2,
+        duration: effort.scale(Duration::from_secs(4)),
+        ..SimConfig::default()
+    };
+    Scenario::new("trace-rt", cfg)
+        .task(TaskSpec::new("hog-a", 3, BehaviorSpec::Inf))
+        .task(TaskSpec::new("hog-b", 1, BehaviorSpec::Inf))
+        .task(TaskSpec::new(
+            "interact",
+            1,
+            BehaviorSpec::Interact {
+                think: Duration::from_millis(20),
+                burst: Duration::from_millis(5),
+            },
+        ))
+}
+
+/// Three non-overlapping finite tasks on one CPU — deterministic on
+/// both substrates, so an rt capture must replay identically in sim.
+fn replay_scenario() -> Scenario {
+    let cfg = SimConfig {
+        cpus: 1,
+        duration: Duration::from_millis(300),
+        ..SimConfig::default()
+    };
+    Scenario::new("trace-replay", cfg)
+        .task(TaskSpec::new(
+            "alpha",
+            1,
+            BehaviorSpec::Finite(Duration::from_millis(30)),
+        ))
+        .task(
+            TaskSpec::new("beta", 2, BehaviorSpec::Finite(Duration::from_millis(30)))
+                .arrive_at(Time::from_millis(100)),
+        )
+        .task(
+            TaskSpec::new("gamma", 1, BehaviorSpec::Finite(Duration::from_millis(30)))
+                .arrive_at(Time::from_millis(200)),
+        )
+}
+
+/// A churn-heavy sim scenario: every task blocks and wakes every few
+/// milliseconds, so recording cost is measured against the busiest
+/// event path the simulator has. The run is kept long enough
+/// (milliseconds of wall clock) even in quick mode that OS timer noise
+/// does not swamp the single-digit-percent effect being measured.
+fn churn_scenario(effort: Effort) -> Scenario {
+    let cfg = SimConfig {
+        cpus: 2,
+        duration: match effort {
+            Effort::Full => Duration::from_secs(8),
+            Effort::Quick => Duration::from_secs(2),
+        },
+        ..SimConfig::default()
+    };
+    Scenario::new("trace-churn", cfg)
+        .task(
+            TaskSpec::new(
+                "interact",
+                1,
+                BehaviorSpec::Interact {
+                    think: Duration::from_millis(2),
+                    burst: Duration::from_millis(1),
+                },
+            )
+            .replicated(12),
+        )
+        .task(
+            TaskSpec::new(
+                "gcc",
+                1,
+                BehaviorSpec::Compile {
+                    burst: Duration::from_millis(4),
+                    io: Duration::from_millis(1),
+                },
+            )
+            .replicated(4),
+        )
+}
+
+/// Median of a sample (sorts a copy).
+fn median(xs: &[f64]) -> f64 {
+    let mut v = xs.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Measures the wall-clock overhead of recording on the churn
+/// scenario: `pairs` interleaved traced/traceless runs (plus two
+/// untimed warmup pairs), returning
+/// `(overhead_pct, untraced_ms, traced_ms, events)`.
+///
+/// Machine speed on shared CI runners drifts on a timescale of
+/// seconds — far larger than the effect measured — so the estimate is
+/// built from *per-pair* ratios: both runs of a pair execute
+/// back-to-back in the same machine phase, their ratio cancels the
+/// drift, and the median over pairs discards outlier pairs hit by a
+/// preemption mid-run. Pairs alternate which variant runs first so
+/// within-pair ordering cannot bias one side either.
+pub fn recording_overhead(effort: Effort, pairs: usize) -> (f64, f64, f64, usize) {
+    let exp = Experiment::new(churn_scenario(effort));
+    let spec = policy("sfs", Duration::from_millis(5));
+    let mut ratios = Vec::with_capacity(pairs);
+    let mut untraced = Vec::with_capacity(pairs);
+    let mut traced = Vec::with_capacity(pairs);
+    let mut events = 0usize;
+    let run_plain = || {
+        let t0 = Instant::now();
+        exp.run(&spec).expect("churn scenario, traceless");
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+    let run_traced = |events: &mut usize| {
+        let t0 = Instant::now();
+        let (_, trace) = exp.run_recorded(&spec).expect("churn scenario, traced");
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        *events = trace.events.len();
+        ms
+    };
+    for i in 0..pairs + 2 {
+        let (plain_ms, rec_ms) = if i % 2 == 0 {
+            let p = run_plain();
+            (p, run_traced(&mut events))
+        } else {
+            let r = run_traced(&mut events);
+            (run_plain(), r)
+        };
+        if i < 2 {
+            continue; // warmup pairs: first runs pay allocator/page-fault fills
+        }
+        ratios.push((rec_ms - plain_ms) / plain_ms * 100.0);
+        untraced.push(plain_ms);
+        traced.push(rec_ms);
+    }
+    (median(&ratios), median(&untraced), median(&traced), events)
+}
+
+/// Exports a `.perfetto-trace` for an experiment id that maps onto one
+/// canonical sim scenario (the fig6 family). Returns the written path,
+/// or `Ok(None)` for ids with no canonical single run.
+pub fn export_trace_for(
+    id: &str,
+    effort: Effort,
+    dir: &std::path::Path,
+) -> std::io::Result<Option<std::path::PathBuf>> {
+    let scenario = match id {
+        "fig6a" => fig6::scenario_6a(1, 4, effort),
+        "fig6b" => fig6::scenario_6b(4, effort),
+        "fig6c" => fig6::scenario_6c(6, effort),
+        _ => return Ok(None),
+    };
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{id}.perfetto-trace"));
+    Experiment::new(scenario)
+        .run_with_trace(policy("sfs", effort.quantum()), &path)
+        .map_err(|e| std::io::Error::other(e.to_string()))?;
+    Ok(Some(path))
+}
+
+/// Regenerates the trace smoke artefact (`BENCH_trace.json`).
+pub fn run(effort: Effort) -> ExpResult {
+    let mut res = ExpResult::new(
+        "trace",
+        "Trace subsystem smoke: Perfetto export validity, capture→replay, recording overhead",
+    );
+
+    // 1. Sim export: the Figure 6(b) scenario, recorded.
+    let (_, sim_trace) = Experiment::new(fig6::scenario_6b(4, effort))
+        .run_recorded(policy("sfs", effort.quantum()))
+        .expect("fig6b scenario is well-formed");
+    let (verdict, bytes) = validate_and_encode(&sim_trace);
+    res.finding("validator_sim", verdict);
+    res.finding("sim_events", sim_trace.events.len().to_string());
+    if !bytes.is_empty() {
+        res.bin.push(("fig6_sim.perfetto-trace".into(), bytes));
+    }
+
+    // 2. Rt export: a short real-thread run, recorded.
+    let (_, rt_trace) = Experiment::on(rt_scenario(effort), RtSubstrate::default())
+        .run_recorded(policy("sfs", Duration::from_millis(5)))
+        .expect("rt trace scenario is well-formed");
+    let (verdict, bytes) = validate_and_encode(&rt_trace);
+    res.finding("validator_rt", verdict);
+    res.finding("rt_events", rt_trace.events.len().to_string());
+    if !bytes.is_empty() {
+        res.bin.push(("rt.perfetto-trace".into(), bytes));
+    }
+
+    // 3. Capture→replay: an rt capture re-driven on the simulator.
+    let (_, capture) = Experiment::on(replay_scenario(), RtSubstrate::default())
+        .capture(policy("sfs", Duration::from_millis(5)))
+        .expect("replay scenario captures");
+    let replay = Experiment::replay(&capture).expect("capture replays in sim");
+    res.finding("replay_match", replay.sequences_match().to_string());
+    res.finding("replay_switches", replay.captured.len().to_string());
+    res.csv
+        .push(("trace_capture.json".into(), capture.to_json().to_string()));
+
+    // 4. Recording overhead on the churn-heavy scenario.
+    let pairs = match effort {
+        Effort::Full => 12,
+        Effort::Quick => 20,
+    };
+    let (pct, untraced_ms, traced_ms, events) = recording_overhead(effort, pairs);
+    res.finding("overhead_pct", format!("{pct:.2}"));
+    res.finding("churn_untraced_ms", format!("{untraced_ms:.2}"));
+    res.finding("churn_traced_ms", format!("{traced_ms:.2}"));
+    res.finding("churn_events", events.to_string());
+
+    res.section(&format!(
+        "Sim trace: {} events ({}); rt trace: {} events ({}).\n\
+         Capture→replay over {} context switches: match = {}.\n\
+         Recording overhead on the churn scenario ({events} events/run): \
+         {untraced_ms:.2} ms traceless vs {traced_ms:.2} ms traced — {pct:+.2}% \
+         (CI gates at +5%).",
+        sim_trace.events.len(),
+        res.summary[0].1,
+        rt_trace.events.len(),
+        res.summary[2].1,
+        replay.captured.len(),
+        replay.sequences_match(),
+    ));
+    res
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_smoke_exports_validate_and_replay_matches() {
+        let res = run(Effort::Quick);
+        let get = |key: &str| -> &str {
+            res.summary
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .unwrap_or_else(|| panic!("missing finding {key}"))
+        };
+        assert_eq!(get("validator_sim"), "ok");
+        assert_eq!(get("validator_rt"), "ok");
+        assert_eq!(get("replay_match"), "true");
+        assert!(
+            res.bin
+                .iter()
+                .any(|(n, b)| n == "fig6_sim.perfetto-trace" && !b.is_empty()),
+            "missing sim trace artefact"
+        );
+        assert!(
+            res.bin
+                .iter()
+                .any(|(n, b)| n == "rt.perfetto-trace" && !b.is_empty()),
+            "missing rt trace artefact"
+        );
+        // The overhead gate itself lives in CI (quick-mode numbers are
+        // noisy); here we only require the finding to be a number.
+        let pct: f64 = get("overhead_pct").parse().unwrap();
+        assert!(pct.is_finite());
+    }
+
+    #[test]
+    fn fig6_traces_export_on_demand() {
+        let dir = std::env::temp_dir().join("sfs_trace_export_test");
+        let p = export_trace_for("fig6a", Effort::Quick, &dir)
+            .unwrap()
+            .expect("fig6a has a canonical scenario");
+        let bytes = std::fs::read(&p).unwrap();
+        assert!(perfetto::validate_encoded(&bytes).is_ok());
+        assert!(export_trace_for("fig1", Effort::Quick, &dir)
+            .unwrap()
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -164,6 +164,16 @@ impl HierSfs {
     /// runnable: `S_g = max(F_g, v)` — a tenant idle for a while gets
     /// no credit, exactly the thread-level wake rule.
     fn enqueue_group(&mut self, gi: usize) {
+        self.enqueue_group_raw(gi);
+        self.readjust_groups();
+    }
+
+    /// [`HierSfs::enqueue_group`] without the trailing readjustment —
+    /// the batch-attach path queues many groups and readjusts once at
+    /// the end. Queued groups carry their raw share as `φ_g` until
+    /// that walk runs, so callers must follow up with
+    /// [`HierSfs::readjust_groups`] before any scheduling decision.
+    fn enqueue_group_raw(&mut self, gi: usize) {
         let gid = HierSfs::gid(gi);
         debug_assert!(!self.buckets.contains(gid), "group queued twice");
         let v_now = self.current_v();
@@ -172,7 +182,6 @@ impl HierSfs {
         let start = self.groups[gi].start_tag;
         self.buckets.insert(gid, self.groups[gi].phi, start);
         self.queued_share_total += u128::from(self.groups[gi].share.get());
-        self.readjust_groups();
     }
 
     /// Removes a group whose last runnable member left; freezes the
@@ -363,6 +372,31 @@ impl Scheduler for HierSfs {
         }
     }
 
+    /// Bulk attach with one §2.1 readjustment: each task does only its
+    /// per-group work (child attach, group queueing), and the global
+    /// capacity-aware walk runs once at the end instead of once per
+    /// attach — turning an n-tenant bulk attach from O(n²) group-walk
+    /// steps into O(n).
+    fn attach_batch(&mut self, batch: &[(TaskId, Weight, Option<TenantId>)], now: Time) {
+        if batch.is_empty() {
+            return;
+        }
+        for &(id, w, tenant) in batch {
+            assert!(
+                !self.task_group.contains_key(&id),
+                "task {id} attached twice"
+            );
+            let gi = self.group_index(tenant);
+            let was_idle = self.groups[gi].runnable() == 0;
+            self.groups[gi].sched.attach(id, w, now);
+            self.task_group.insert(id, gi);
+            if was_idle {
+                self.enqueue_group_raw(gi);
+            }
+        }
+        self.readjust_groups();
+    }
+
     fn tenant_of(&self, id: TaskId) -> Option<TenantId> {
         self.task_group.get(&id).map(|&gi| TenantId(gi as u32))
     }
@@ -532,6 +566,46 @@ mod tests {
             sched.check_invariants();
         }
         service
+    }
+
+    #[test]
+    fn attach_batch_readjusts_once_and_matches_per_attach_state() {
+        let shares: Vec<(String, u64)> = (0..60).map(|i| (format!("g{i}"), i % 7 + 1)).collect();
+        let shares_ref: Vec<(&str, u64)> = shares.iter().map(|(n, s)| (n.as_str(), *s)).collect();
+        let batch: Vec<(TaskId, Weight, Option<TenantId>)> = (0..60)
+            .map(|i| (TaskId(i), weight(1), Some(TenantId(i as u32))))
+            .collect();
+
+        // Per-attach: one global readjustment walk for every tenant.
+        let mut one_by_one = hier(4, &shares_ref);
+        for &(id, w, t) in &batch {
+            one_by_one.attach_tenant(id, w, t, Time::ZERO);
+        }
+        // 60 group-level walks plus 60 one-member child walks.
+        assert_eq!(one_by_one.stats().readjust_calls, 120);
+
+        // Batched: the identical end state from a single walk.
+        let mut batched = hier(4, &shares_ref);
+        batched.attach_batch(&batch, Time::ZERO);
+        batched.check_invariants();
+        // The 60 child walks remain (each child attaches its own one
+        // task), but the global group walk ran exactly once.
+        assert_eq!(batched.stats().readjust_calls, 61);
+        for &(id, ..) in &batch {
+            assert_eq!(
+                batched.adjusted_weight_of(id),
+                one_by_one.adjusted_weight_of(id),
+                "φ diverged for {id}"
+            );
+            assert_eq!(batched.tenant_of(id), one_by_one.tenant_of(id));
+        }
+
+        // The batch path must stay usable mid-lifecycle: an empty batch
+        // is free, and later batches coexist with singular attaches.
+        batched.attach_batch(&[], Time::ZERO);
+        assert_eq!(batched.stats().readjust_calls, 61);
+        batched.attach_tenant(TaskId(1000), weight(2), Some(TenantId(0)), Time::ZERO);
+        batched.check_invariants();
     }
 
     #[test]

@@ -176,6 +176,18 @@ pub trait Scheduler: Send {
         self.attach(id, w, now);
     }
 
+    /// Introduces a whole batch of runnable tasks at once. Equivalent
+    /// to one [`Scheduler::attach_tenant`] call per entry (the
+    /// default); policies whose attach path does work global to the
+    /// runnable set — e.g. the hierarchical §2.1 readjustment walk —
+    /// override this to run that work once per batch instead of once
+    /// per task.
+    fn attach_batch(&mut self, batch: &[(TaskId, Weight, Option<TenantId>)], now: Time) {
+        for &(id, w, tenant) in batch {
+            self.attach_tenant(id, w, tenant, now);
+        }
+    }
+
     /// The tenant group a task was attached under, if the policy
     /// tracks one.
     fn tenant_of(&self, _id: TaskId) -> Option<TenantId> {

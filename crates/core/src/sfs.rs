@@ -786,6 +786,7 @@ impl Scheduler for Sfs {
 
 #[cfg(test)]
 mod tests {
+
     use super::*;
     use crate::testkit::{assert_close, MiniSim};
 

@@ -1,0 +1,373 @@
+//! Deterministic capture/replay: a run's scenario, policy and recorded
+//! event stream serialized together, so a real-thread run can later be
+//! re-driven on the simulator (or anywhere else) for lockstep
+//! comparison.
+//!
+//! A [`Capture`] is self-contained JSON: the declarative [`Scenario`]
+//! (including its base RNG seed — every per-task seed derives from it
+//! in spec order on both substrates), the policy string, and the full
+//! [`EventTrace`]. [`crate::Experiment::capture`] produces one;
+//! [`crate::Experiment::replay`] consumes one.
+
+use std::path::Path;
+
+use sfs_core::policy::PolicySpec;
+use sfs_core::time::{Duration, Time};
+use sfs_sim::{Scenario, SimConfig, StreamSpec, TaskSpec};
+use sfs_trace::json::{obj, want, want_arr, want_str, want_u64};
+use sfs_trace::{EventTrace, Json};
+use sfs_workloads::BehaviorSpec;
+
+use crate::ExperimentError;
+
+/// A serialized run: scenario + policy + recorded event stream.
+#[derive(Debug, Clone)]
+pub struct Capture {
+    /// The declarative scenario the run executed (carries the base RNG
+    /// seed in `config.seed`).
+    pub scenario: Scenario,
+    /// The policy it ran under.
+    pub policy: PolicySpec,
+    /// Every scheduling event the run recorded.
+    pub trace: EventTrace,
+}
+
+fn dur_json(d: Duration) -> Json {
+    Json::Int(i128::from(d.as_nanos()))
+}
+
+fn time_json(t: Time) -> Json {
+    Json::Int(i128::from(t.as_nanos()))
+}
+
+fn want_dur(v: &Json, key: &str) -> Result<Duration, String> {
+    Ok(Duration::from_nanos(
+        want_u64(v, key).map_err(|e| e.to_string())?,
+    ))
+}
+
+fn want_time(v: &Json, key: &str) -> Result<Time, String> {
+    Ok(Time(want_u64(v, key).map_err(|e| e.to_string())?))
+}
+
+fn behavior_json(b: &BehaviorSpec) -> Json {
+    match *b {
+        BehaviorSpec::Inf => obj(vec![("kind", Json::Str("inf".into()))]),
+        BehaviorSpec::Dhrystone => obj(vec![("kind", Json::Str("dhrystone".into()))]),
+        BehaviorSpec::Finite(total) => obj(vec![
+            ("kind", Json::Str("finite".into())),
+            ("total", dur_json(total)),
+        ]),
+        BehaviorSpec::Interact { think, burst } => obj(vec![
+            ("kind", Json::Str("interact".into())),
+            ("think", dur_json(think)),
+            ("burst", dur_json(burst)),
+        ]),
+        BehaviorSpec::Mpeg { fps, frame_cost } => obj(vec![
+            ("kind", Json::Str("mpeg".into())),
+            ("fps", Json::Int(i128::from(fps))),
+            ("frame_cost", dur_json(frame_cost)),
+        ]),
+        BehaviorSpec::Compile { burst, io } => obj(vec![
+            ("kind", Json::Str("compile".into())),
+            ("burst", dur_json(burst)),
+            ("io", dur_json(io)),
+        ]),
+        BehaviorSpec::Sim { burst, io } => obj(vec![
+            ("kind", Json::Str("sim".into())),
+            ("burst", dur_json(burst)),
+            ("io", dur_json(io)),
+        ]),
+    }
+}
+
+fn behavior_from_json(v: &Json) -> Result<BehaviorSpec, String> {
+    match want_str(v, "kind").map_err(|e| e.to_string())? {
+        "inf" => Ok(BehaviorSpec::Inf),
+        "dhrystone" => Ok(BehaviorSpec::Dhrystone),
+        "finite" => Ok(BehaviorSpec::Finite(want_dur(v, "total")?)),
+        "interact" => Ok(BehaviorSpec::Interact {
+            think: want_dur(v, "think")?,
+            burst: want_dur(v, "burst")?,
+        }),
+        "mpeg" => Ok(BehaviorSpec::Mpeg {
+            fps: want_u64(v, "fps").map_err(|e| e.to_string())?,
+            frame_cost: want_dur(v, "frame_cost")?,
+        }),
+        "compile" => Ok(BehaviorSpec::Compile {
+            burst: want_dur(v, "burst")?,
+            io: want_dur(v, "io")?,
+        }),
+        "sim" => Ok(BehaviorSpec::Sim {
+            burst: want_dur(v, "burst")?,
+            io: want_dur(v, "io")?,
+        }),
+        other => Err(format!("unknown behavior kind {other:?}")),
+    }
+}
+
+fn task_json(t: &TaskSpec) -> Json {
+    obj(vec![
+        ("name", Json::Str(t.name.clone())),
+        ("weight", Json::Int(i128::from(t.weight))),
+        ("arrive", time_json(t.arrive)),
+        ("stop_at", t.stop_at.map_or(Json::Null, time_json)),
+        ("behavior", behavior_json(&t.behavior)),
+        ("count", Json::Int(t.count as i128)),
+        (
+            "tenant",
+            t.tenant
+                .as_ref()
+                .map_or(Json::Null, |s| Json::Str(s.clone())),
+        ),
+    ])
+}
+
+fn task_from_json(v: &Json) -> Result<TaskSpec, String> {
+    Ok(TaskSpec {
+        name: want_str(v, "name").map_err(|e| e.to_string())?.to_string(),
+        weight: want_u64(v, "weight").map_err(|e| e.to_string())?,
+        arrive: want_time(v, "arrive")?,
+        stop_at: match want(v, "stop_at").map_err(|e| e.to_string())? {
+            Json::Null => None,
+            t => Some(Time(t.as_u64().ok_or("stop_at must be nanoseconds")?)),
+        },
+        behavior: behavior_from_json(want(v, "behavior").map_err(|e| e.to_string())?)?,
+        count: usize::try_from(want_u64(v, "count").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?,
+        tenant: match want(v, "tenant").map_err(|e| e.to_string())? {
+            Json::Null => None,
+            t => Some(t.as_str().ok_or("tenant must be a string")?.to_string()),
+        },
+    })
+}
+
+fn stream_json(s: &StreamSpec) -> Json {
+    obj(vec![
+        ("name", Json::Str(s.name.clone())),
+        ("weight", Json::Int(i128::from(s.weight))),
+        ("first", time_json(s.first)),
+        ("job", behavior_json(&s.job)),
+        ("gap", dur_json(s.gap)),
+        ("until", time_json(s.until)),
+    ])
+}
+
+fn stream_from_json(v: &Json) -> Result<StreamSpec, String> {
+    Ok(StreamSpec {
+        name: want_str(v, "name").map_err(|e| e.to_string())?.to_string(),
+        weight: want_u64(v, "weight").map_err(|e| e.to_string())?,
+        first: want_time(v, "first")?,
+        job: behavior_from_json(want(v, "job").map_err(|e| e.to_string())?)?,
+        gap: want_dur(v, "gap")?,
+        until: want_time(v, "until")?,
+    })
+}
+
+fn config_json(c: &SimConfig) -> Json {
+    obj(vec![
+        ("cpus", Json::Int(i128::from(c.cpus))),
+        ("duration", dur_json(c.duration)),
+        ("ctx_switch", dur_json(c.ctx_switch)),
+        ("sample_every", dur_json(c.sample_every)),
+        ("track_gms", Json::Bool(c.track_gms)),
+        ("seed", Json::Int(i128::from(c.seed))),
+    ])
+}
+
+fn config_from_json(v: &Json) -> Result<SimConfig, String> {
+    Ok(SimConfig {
+        cpus: u32::try_from(want_u64(v, "cpus").map_err(|e| e.to_string())?)
+            .map_err(|e| e.to_string())?,
+        duration: want_dur(v, "duration")?,
+        ctx_switch: want_dur(v, "ctx_switch")?,
+        sample_every: want_dur(v, "sample_every")?,
+        track_gms: want(v, "track_gms")
+            .map_err(|e| e.to_string())?
+            .as_bool()
+            .ok_or("track_gms must be a bool")?,
+        seed: want_u64(v, "seed").map_err(|e| e.to_string())?,
+    })
+}
+
+fn scenario_json(s: &Scenario) -> Json {
+    obj(vec![
+        ("name", Json::Str(s.name.clone())),
+        ("config", config_json(&s.config)),
+        ("tasks", Json::Arr(s.tasks.iter().map(task_json).collect())),
+        (
+            "streams",
+            Json::Arr(s.streams.iter().map(stream_json).collect()),
+        ),
+        (
+            "tenants",
+            Json::Arr(s.tenants.iter().map(|t| Json::Str(t.clone())).collect()),
+        ),
+    ])
+}
+
+fn scenario_from_json(v: &Json) -> Result<Scenario, String> {
+    let mut tasks = Vec::new();
+    for t in want_arr(v, "tasks").map_err(|e| e.to_string())? {
+        tasks.push(task_from_json(t)?);
+    }
+    let mut streams = Vec::new();
+    for s in want_arr(v, "streams").map_err(|e| e.to_string())? {
+        streams.push(stream_from_json(s)?);
+    }
+    let mut tenants = Vec::new();
+    for t in want_arr(v, "tenants").map_err(|e| e.to_string())? {
+        tenants.push(t.as_str().ok_or("tenants must be strings")?.to_string());
+    }
+    Ok(Scenario {
+        name: want_str(v, "name").map_err(|e| e.to_string())?.to_string(),
+        config: config_from_json(want(v, "config").map_err(|e| e.to_string())?)?,
+        tasks,
+        streams,
+        tenants,
+    })
+}
+
+impl Capture {
+    /// Serializes the capture to its JSON document.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        obj(vec![
+            ("version", Json::Int(1)),
+            ("scenario", scenario_json(&self.scenario)),
+            ("policy", Json::Str(self.policy.to_string())),
+            ("trace", self.trace.to_json()),
+        ])
+    }
+
+    /// Rebuilds a capture from its JSON document.
+    pub fn from_json(v: &Json) -> Result<Capture, String> {
+        let version = want_u64(v, "version").map_err(|e| e.to_string())?;
+        if version != 1 {
+            return Err(format!("unsupported capture version {version}"));
+        }
+        let policy: PolicySpec = want_str(v, "policy")
+            .map_err(|e| e.to_string())?
+            .parse()
+            .map_err(|e| format!("capture policy: {e}"))?;
+        Ok(Capture {
+            scenario: scenario_from_json(want(v, "scenario").map_err(|e| e.to_string())?)?,
+            policy,
+            trace: EventTrace::from_json(want(v, "trace").map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?,
+        })
+    }
+
+    /// Writes the capture as JSON to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ExperimentError> {
+        let path = path.as_ref();
+        std::fs::write(path, self.to_json().to_string()).map_err(|e| ExperimentError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })
+    }
+
+    /// Reads a capture back from a JSON file written by
+    /// [`Capture::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Capture, ExperimentError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| ExperimentError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        let json = Json::parse(&text).map_err(|e| ExperimentError::Capture(e.to_string()))?;
+        Capture::from_json(&json).map_err(ExperimentError::Capture)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfs_trace::TraceMeta;
+
+    fn sample_scenario() -> Scenario {
+        Scenario::new(
+            "roundtrip",
+            SimConfig {
+                cpus: 3,
+                duration: Duration::from_millis(123),
+                seed: 0xdead_beef_dead_beef,
+                ..SimConfig::default()
+            },
+        )
+        .task(
+            TaskSpec::new("a", 2, BehaviorSpec::Finite(Duration::from_millis(7)))
+                .arrive_at(Time::from_millis(1))
+                .stop_at(Time::from_millis(99)),
+        )
+        .task(
+            TaskSpec::new(
+                "b",
+                1,
+                BehaviorSpec::Mpeg {
+                    fps: 30,
+                    frame_cost: Duration::from_millis(3),
+                },
+            )
+            .replicated(4),
+        )
+        .tenant(
+            "gold",
+            [TaskSpec::new(
+                "g",
+                1,
+                BehaviorSpec::Interact {
+                    think: Duration::from_millis(5),
+                    burst: Duration::from_micros(700),
+                },
+            )],
+        )
+        .stream(
+            StreamSpec::new(
+                "jobs",
+                3,
+                BehaviorSpec::Compile {
+                    burst: Duration::from_millis(4),
+                    io: Duration::from_millis(1),
+                },
+            )
+            .until(Time::from_millis(80)),
+        )
+    }
+
+    #[test]
+    fn capture_round_trips_through_json() {
+        let cap = Capture {
+            scenario: sample_scenario(),
+            policy: "sfs:quantum=5ms".parse().unwrap(),
+            trace: EventTrace::new(TraceMeta {
+                substrate: "rt".into(),
+                scenario: "roundtrip".into(),
+                policy: "sfs:quantum=5ms".into(),
+                cpus: 3,
+                tenants: vec!["gold".into()],
+            }),
+        };
+        let text = cap.to_json().to_string();
+        let back = Capture::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.scenario.name, cap.scenario.name);
+        assert_eq!(back.scenario.config, cap.scenario.config);
+        assert_eq!(back.scenario.tasks, cap.scenario.tasks);
+        assert_eq!(back.scenario.streams, cap.scenario.streams);
+        assert_eq!(back.scenario.tenants, cap.scenario.tenants);
+        assert_eq!(back.policy, cap.policy);
+        assert_eq!(back.trace.meta.scenario, "roundtrip");
+        // The 64-bit seed survives exactly (integers are not parsed
+        // through f64).
+        assert_eq!(back.scenario.config.seed, 0xdead_beef_dead_beef);
+    }
+
+    #[test]
+    fn malformed_captures_are_typed_errors() {
+        assert!(Capture::from_json(&Json::parse("{}").unwrap()).is_err());
+        let bad = r#"{"version": 2, "scenario": {}, "policy": "sfs", "trace": {}}"#;
+        assert!(Capture::from_json(&Json::parse(bad).unwrap())
+            .unwrap_err()
+            .contains("version"));
+    }
+}

@@ -47,14 +47,18 @@
 //! assert!(d[0].fairness.max_share_error < d[1].fairness.max_share_error);
 //! ```
 
+pub mod capture;
 pub mod report;
 pub mod substrate;
 
 use core::fmt;
+use std::path::Path;
 
 use sfs_core::policy::{ParsePolicyError, PolicySpec};
 use sfs_sim::{Scenario, ScenarioError};
+use sfs_trace::{EventTrace, TraceMeta, TraceRecorder};
 
+pub use capture::Capture;
 pub use report::{ComparisonReport, Fairness, FairnessDelta, RunReport, TaskOutcome};
 pub use substrate::{RtSubstrate, SimSubstrate, Substrate};
 
@@ -72,6 +76,16 @@ pub enum ExperimentError {
         /// The unmatched tenant name.
         tenant: String,
     },
+    /// Reading or writing a trace/capture file failed.
+    Io {
+        /// The file involved.
+        path: String,
+        /// The OS error text.
+        msg: String,
+    },
+    /// A recorded trace failed validation, or a capture file did not
+    /// parse.
+    Capture(String),
 }
 
 impl fmt::Display for ExperimentError {
@@ -82,6 +96,8 @@ impl fmt::Display for ExperimentError {
             ExperimentError::UnknownTenant { tenant } => {
                 write!(f, "tenant {tenant:?} is not a group of the policy")
             }
+            ExperimentError::Io { path, msg } => write!(f, "{path}: {msg}"),
+            ExperimentError::Capture(msg) => write!(f, "capture error: {msg}"),
         }
     }
 }
@@ -91,7 +107,9 @@ impl std::error::Error for ExperimentError {
         match self {
             ExperimentError::Scenario(e) => Some(e),
             ExperimentError::Policy(e) => Some(e),
-            ExperimentError::UnknownTenant { .. } => None,
+            ExperimentError::UnknownTenant { .. }
+            | ExperimentError::Io { .. }
+            | ExperimentError::Capture(_) => None,
         }
     }
 }
@@ -159,6 +177,96 @@ impl Experiment {
         self.substrate.run(&self.scenario, &spec)
     }
 
+    /// The trace metadata every recorded run of this experiment carries.
+    fn trace_meta(&self, policy: &PolicySpec) -> TraceMeta {
+        TraceMeta {
+            substrate: self.substrate.name().to_string(),
+            scenario: self.scenario.name.clone(),
+            policy: policy.to_string(),
+            cpus: self.scenario.config.cpus,
+            tenants: self.scenario.tenants.clone(),
+        }
+    }
+
+    /// Runs the scenario under one policy with full event recording,
+    /// returning the report together with the recorded [`EventTrace`].
+    pub fn run_recorded<P>(&self, policy: P) -> Result<(RunReport, EventTrace), ExperimentError>
+    where
+        P: TryInto<PolicySpec>,
+        ExperimentError: From<P::Error>,
+    {
+        let spec = policy.try_into()?;
+        let rec = TraceRecorder::new(self.trace_meta(&spec));
+        let report = self
+            .substrate
+            .run_traced(&self.scenario, &spec, rec.clone())?;
+        Ok((report, rec.finish()))
+    }
+
+    /// Runs the scenario under one policy, validates the recorded
+    /// trace, and writes it as a Perfetto file (open it in
+    /// <https://ui.perfetto.dev>). The returned report carries the path
+    /// in [`RunReport::trace_path`].
+    pub fn run_with_trace<P>(
+        &self,
+        policy: P,
+        path: impl AsRef<Path>,
+    ) -> Result<RunReport, ExperimentError>
+    where
+        P: TryInto<PolicySpec>,
+        ExperimentError: From<P::Error>,
+    {
+        let path = path.as_ref();
+        let (mut report, trace) = self.run_recorded(policy)?;
+        trace
+            .validate()
+            .map_err(|e| ExperimentError::Capture(e.to_string()))?;
+        let bytes = sfs_trace::perfetto::encode(&trace);
+        std::fs::write(path, bytes).map_err(|e| ExperimentError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })?;
+        report.trace_path = Some(path.to_path_buf());
+        Ok(report)
+    }
+
+    /// Runs the scenario under one policy with full event recording and
+    /// packages the run as a self-contained [`Capture`]: scenario (with
+    /// its RNG seed), policy, and the recorded event stream. Feed it to
+    /// [`Experiment::replay`] — typically after an [`RtSubstrate`] run,
+    /// to re-drive the same scenario on the simulator.
+    pub fn capture<P>(&self, policy: P) -> Result<(RunReport, Capture), ExperimentError>
+    where
+        P: TryInto<PolicySpec>,
+        ExperimentError: From<P::Error>,
+    {
+        let spec = policy.try_into()?;
+        let (report, trace) = self.run_recorded::<&PolicySpec>(&spec)?;
+        Ok((
+            report,
+            Capture {
+                scenario: self.scenario.clone(),
+                policy: spec,
+                trace,
+            },
+        ))
+    }
+
+    /// Re-drives a captured run on the deterministic simulator and
+    /// returns both context-switch sequences for lockstep comparison.
+    /// Sequences are compared as `(cpu, task name)` in timestamp order —
+    /// names, not [`sfs_core::task::TaskId`]s, because the substrates
+    /// assign ids in different orders.
+    pub fn replay(capture: &Capture) -> Result<ReplayReport, ExperimentError> {
+        let exp = Experiment::new(capture.scenario.clone());
+        let (report, trace) = exp.run_recorded(&capture.policy)?;
+        Ok(ReplayReport {
+            captured: capture.trace.ctx_switch_sequence(),
+            replayed: trace.ctx_switch_sequence(),
+            report,
+        })
+    }
+
     /// Runs the same scenario under every policy in the matrix and
     /// returns the comparative report. The first policy is the
     /// baseline that fairness deltas are measured against. Policies
@@ -180,6 +288,44 @@ impl Experiment {
             scenario: self.scenario.name.clone(),
             runs,
         })
+    }
+}
+
+/// The outcome of re-driving a [`Capture`] on the simulator
+/// ([`Experiment::replay`]).
+#[derive(Debug)]
+pub struct ReplayReport {
+    /// The replay's run report (simulator substrate).
+    pub report: RunReport,
+    /// The captured run's context switches, `(cpu, task name)` in
+    /// timestamp order.
+    pub captured: Vec<(u32, String)>,
+    /// The replay's context switches, same encoding.
+    pub replayed: Vec<(u32, String)>,
+}
+
+impl ReplayReport {
+    /// Whether the replay reproduced the captured context-switch
+    /// sequence exactly.
+    #[must_use]
+    pub fn sequences_match(&self) -> bool {
+        self.captured == self.replayed
+    }
+
+    /// The first index where the sequences diverge (`None` when they
+    /// match; the length of the shorter one when it is a prefix of the
+    /// other).
+    #[must_use]
+    pub fn first_divergence(&self) -> Option<usize> {
+        if self.sequences_match() {
+            return None;
+        }
+        let i = self
+            .captured
+            .iter()
+            .zip(&self.replayed)
+            .position(|(a, b)| a != b);
+        Some(i.unwrap_or_else(|| self.captured.len().min(self.replayed.len())))
     }
 }
 

@@ -67,6 +67,9 @@ pub struct RunReport {
     /// counts, GMS errors) when the run was simulated; `None` on the
     /// real-thread substrate.
     pub sim: Option<SimReport>,
+    /// Where the run's Perfetto trace was written, when the run was
+    /// made via [`crate::Experiment::run_with_trace`].
+    pub trace_path: Option<std::path::PathBuf>,
 }
 
 impl RunReport {
@@ -97,6 +100,7 @@ impl RunReport {
             sched_stats: rep.sched_stats,
             ctx_switches: rep.ctx_switches,
             sim: Some(rep),
+            trace_path: None,
         }
     }
 
@@ -370,6 +374,7 @@ mod tests {
             sched_stats: SchedStats::default(),
             ctx_switches: 0,
             sim: None,
+            trace_path: None,
         }
     }
 

@@ -22,6 +22,7 @@ use sfs_core::time::{Duration, Time};
 use sfs_metrics::Summary;
 use sfs_rt::{drive_recording_until, DriveRecord, Executor, RtConfig};
 use sfs_sim::{Scenario, StreamSpec, TaskSpec};
+use sfs_trace::TraceRecorder;
 
 use crate::report::{RunReport, TaskOutcome};
 use crate::ExperimentError;
@@ -31,8 +32,20 @@ pub trait Substrate {
     /// Short substrate name for reports (`"sim"`, `"rt"`).
     fn name(&self) -> &'static str;
 
+    /// Runs the scenario under the policy with scheduling events
+    /// recorded into `rec` (pass [`TraceRecorder::off`] for a traceless
+    /// run — the recorder hooks then cost one atomic load each).
+    fn run_traced(
+        &self,
+        scenario: &Scenario,
+        policy: &PolicySpec,
+        rec: TraceRecorder,
+    ) -> Result<RunReport, ExperimentError>;
+
     /// Runs the scenario under the policy, producing the common report.
-    fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError>;
+    fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
+        self.run_traced(scenario, policy, TraceRecorder::off())
+    }
 }
 
 /// Rejects scenario tenants the policy's `groups(...)` clause does not
@@ -63,12 +76,17 @@ impl Substrate for SimSubstrate {
         "sim"
     }
 
-    fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
+    fn run_traced(
+        &self,
+        scenario: &Scenario,
+        policy: &PolicySpec,
+        rec: TraceRecorder,
+    ) -> Result<RunReport, ExperimentError> {
         // Validate before building: scheduler constructors assert on a
         // zero-CPU machine, and that must be a typed error, not a panic.
         scenario.validate()?;
         check_tenants(scenario, policy)?;
-        let rep = scenario.try_run(policy.build(scenario.config.cpus))?;
+        let rep = scenario.try_run_traced(policy.build(scenario.config.cpus), rec)?;
         Ok(RunReport::from_sim(&scenario.name, policy.clone(), rep))
     }
 }
@@ -194,7 +212,12 @@ impl Substrate for RtSubstrate {
         "rt"
     }
 
-    fn run(&self, scenario: &Scenario, policy: &PolicySpec) -> Result<RunReport, ExperimentError> {
+    fn run_traced(
+        &self,
+        scenario: &Scenario,
+        policy: &PolicySpec,
+        rec: TraceRecorder,
+    ) -> Result<RunReport, ExperimentError> {
         scenario.validate()?;
         check_tenants(scenario, policy)?;
         let cpus = scenario.config.cpus;
@@ -204,12 +227,13 @@ impl Substrate for RtSubstrate {
         // scheduler name is reconstructed from a throwaway build so the
         // report matches the simulator substrate's.
         let sched_name = policy.build(cpus).name().to_string();
-        let ex = Executor::from_spec(
+        let ex = Executor::from_spec_traced(
             RtConfig {
                 cpus,
                 timer_interval: self.timer_interval,
             },
             policy,
+            rec,
         );
         let epoch = Instant::now();
         let seeds = AtomicU64::new(scenario.config.seed);
@@ -269,6 +293,7 @@ impl Substrate for RtSubstrate {
             sched_stats,
             ctx_switches: ex.switches(),
             sim: None,
+            trace_path: None,
         })
     }
 }

@@ -45,6 +45,7 @@ use sfs_core::sched::{select_preemption_victim, SchedStats, Scheduler, SwitchRea
 use sfs_core::shard::{Balancer, ShardLayout, ShardedScheduler};
 use sfs_core::task::{CpuId, TaskId, TenantId, Weight};
 use sfs_core::time::{Duration, Time};
+use sfs_trace::{CounterTrack, MigrateKind, TraceEvent, TraceRecorder};
 
 /// Executor configuration.
 #[derive(Debug, Clone)]
@@ -69,6 +70,10 @@ struct CpuSlot {
     current: Option<TaskId>,
     dispatched_at: Instant,
     slice: Duration,
+    /// The task this CPU most recently ran — `switches` counts only
+    /// grants to a *different* task, matching the sim's definition of a
+    /// context switch (idle gaps do not reset the memory).
+    last_task: Option<TaskId>,
 }
 
 struct RtTask {
@@ -115,6 +120,9 @@ struct ShardCore {
     sched: Box<dyn Scheduler>,
     /// Local CPU slots; machine CPU id = `cpu_base + local index`.
     cpus: Vec<CpuSlot>,
+    /// First machine-wide CPU id of this shard (trace events report
+    /// machine ids, not shard-local slots).
+    cpu_base: u32,
     tasks: HashMap<TaskId, Arc<RtTask>>,
     /// Tasks currently blocked in this shard (event or timed sleep).
     /// With a balancer present, mutations additionally require the
@@ -159,6 +167,9 @@ struct Inner {
     steals: AtomicU64,
     rebalances: AtomicU64,
     wake_migrations: AtomicU64,
+    /// Event recorder; off by default, so every hook below is a single
+    /// relaxed atomic load on the hot path.
+    trace: TraceRecorder,
 }
 
 impl Inner {
@@ -213,12 +224,30 @@ impl Inner {
                 continue;
             };
             let slice = core.sched.time_slice(next);
+            let switching = core.cpus[i].last_task != Some(next);
+            if switching {
+                core.switches += 1;
+            }
+            if self.trace.on() {
+                let t = self.now().as_nanos();
+                let cpu = core.cpu_base + i as u32;
+                if switching {
+                    self.trace.emit(TraceEvent::CtxSwitch {
+                        t,
+                        cpu,
+                        from: core.cpus[i].last_task,
+                        to: next,
+                    });
+                }
+                self.trace
+                    .emit(TraceEvent::SliceBegin { t, cpu, task: next });
+            }
             core.cpus[i] = CpuSlot {
                 current: Some(next),
                 dispatched_at: Instant::now(),
                 slice,
+                last_task: Some(next),
             };
-            core.switches += 1;
             let task = core.task(next).clone();
             task.preempt.store(false, Ordering::Release);
             task.grant();
@@ -240,7 +269,20 @@ impl Inner {
         if reason == SwitchReason::Blocked {
             core.blocked.insert(id);
         }
-        core.sched.put_prev(id, used, reason, self.now());
+        let now = self.now();
+        core.sched.put_prev(id, used, reason, now);
+        if self.trace.on() {
+            let t = now.as_nanos();
+            self.trace.emit(TraceEvent::SliceEnd {
+                t,
+                cpu: core.cpu_base + slot as u32,
+                task: id,
+                reason,
+            });
+            if let Some(tenant) = core.sched.tenant_of(id) {
+                self.trace.add_tenant_service(t, tenant, used.as_nanos());
+            }
+        }
     }
 
     /// If `woken` did not get a CPU, flags the *worst* eligible running
@@ -262,9 +304,17 @@ impl Inner {
                     .map(|id| (i, id, Duration::from_std(slot.dispatched_at.elapsed())))
             })
             .collect();
-        if let Some((_, victim)) =
+        if let Some((slot, victim)) =
             select_preemption_victim(core.sched.as_ref(), woken, &candidates, now)
         {
+            if self.trace.on() {
+                self.trace.emit(TraceEvent::PreemptEvict {
+                    t: now.as_nanos(),
+                    cpu: core.cpu_base + slot as u32,
+                    victim,
+                    by: woken,
+                });
+            }
             core.task(victim).preempt.store(true, Ordering::Release);
         }
     }
@@ -322,6 +372,15 @@ impl Inner {
             bal.migrate(id, s);
             self.move_task_locked(&mut f, s, &mut t, id);
             drop(f);
+            if self.trace.on() {
+                self.trace.emit(TraceEvent::Migrate {
+                    t: self.now().as_nanos(),
+                    task: id,
+                    from_shard: o as u32,
+                    to_shard: s as u32,
+                    kind: MigrateKind::Steal,
+                });
+            }
             self.dispatch(&mut t);
             self.flag_wake_preemption(&t, id);
             self.steals.fetch_add(1, Ordering::Relaxed);
@@ -361,6 +420,12 @@ impl Inner {
                 return false;
             }
             core.sched.wake(task.id, now);
+            if self.trace.on() {
+                self.trace.emit(TraceEvent::Wake {
+                    t: now.as_nanos(),
+                    task: task.id,
+                });
+            }
             self.dispatch(&mut core);
             self.flag_wake_preemption(&core, task.id);
             return true;
@@ -378,6 +443,21 @@ impl Inner {
         }
         let bal = global.bal.as_mut().expect("sharded executor has balancer");
         let (_, target) = bal.wake(task.id);
+        if self.trace.on() {
+            self.trace.emit(TraceEvent::Wake {
+                t: now.as_nanos(),
+                task: task.id,
+            });
+            if target != home {
+                self.trace.emit(TraceEvent::Migrate {
+                    t: now.as_nanos(),
+                    task: task.id,
+                    from_shard: home as u32,
+                    to_shard: target as u32,
+                    kind: MigrateKind::Wake,
+                });
+            }
+        }
         if target == home {
             let mut core = self.shards[home].lock();
             core.blocked.remove(&task.id);
@@ -428,6 +508,15 @@ impl Inner {
             bal.migrate(id, to);
             self.move_task_locked(&mut f, to, &mut t, id);
             drop(f);
+            if self.trace.on() {
+                self.trace.emit(TraceEvent::Migrate {
+                    t: self.now().as_nanos(),
+                    task: id,
+                    from_shard: from as u32,
+                    to_shard: to as u32,
+                    kind: MigrateKind::Rebalance,
+                });
+            }
             self.dispatch(&mut t);
             self.rebalances.fetch_add(1, Ordering::Relaxed);
         }
@@ -615,9 +704,21 @@ impl Executor {
     ///
     /// Panics if the scheduler's CPU count differs from the config's.
     pub fn new(cfg: RtConfig, sched: Box<dyn Scheduler>) -> Executor {
+        Executor::new_traced(cfg, sched, TraceRecorder::off())
+    }
+
+    /// [`Executor::new`] with an event recorder: every dispatch, slice,
+    /// wake, preemption and migration of the run is emitted into `rec`
+    /// (see the `sfs-trace` crate). Keep a clone of the recorder and
+    /// call `finish()` after the run to collect the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheduler's CPU count differs from the config's.
+    pub fn new_traced(cfg: RtConfig, sched: Box<dyn Scheduler>, rec: TraceRecorder) -> Executor {
         assert_eq!(sched.cpus(), cfg.cpus, "scheduler/machine mismatch");
         let layout = ShardLayout::new(cfg.cpus, 1);
-        Executor::from_parts(cfg, layout, vec![sched], None, None)
+        Executor::from_parts(cfg, layout, vec![sched], None, None, rec)
     }
 
     /// Creates an executor from a policy spec, honouring its `shards=N`
@@ -626,11 +727,17 @@ impl Executor {
     /// and a periodic surplus rebalance on the timer thread. Unsharded
     /// specs behave exactly like [`Executor::new`].
     pub fn from_spec(cfg: RtConfig, spec: &PolicySpec) -> Executor {
+        Executor::from_spec_traced(cfg, spec, TraceRecorder::off())
+    }
+
+    /// [`Executor::from_spec`] with an event recorder (see
+    /// [`Executor::new_traced`]).
+    pub fn from_spec_traced(cfg: RtConfig, spec: &PolicySpec, rec: TraceRecorder) -> Executor {
         if spec.shard_count() <= 1 {
             // `spec.build` keeps the scheduler identical to the sim
             // substrate's — for `shards=1` that is the one-shard
             // wrapper (named e.g. "SFS(sharded)"), behind one lock.
-            return Executor::new(cfg.clone(), spec.build(cfg.cpus));
+            return Executor::new_traced(cfg.clone(), spec.build(cfg.cpus), rec);
         }
         let rebalance = spec.rebalance_every();
         let sharded = ShardedScheduler::build(
@@ -640,7 +747,7 @@ impl Executor {
             rebalance,
         );
         let (layout, shards, bal) = sharded.into_parts();
-        Executor::from_parts(cfg, layout, shards, Some(bal), rebalance)
+        Executor::from_parts(cfg, layout, shards, Some(bal), rebalance, rec)
     }
 
     fn from_parts(
@@ -649,11 +756,15 @@ impl Executor {
         shards: Vec<Box<dyn Scheduler>>,
         bal: Option<Balancer>,
         rebalance: Option<Duration>,
+        trace: TraceRecorder,
     ) -> Executor {
+        let mut cpu_base = 0u32;
         let cores: Vec<Mutex<ShardCore>> = shards
             .into_iter()
             .enumerate()
             .map(|(s, sched)| {
+                let base = cpu_base;
+                cpu_base += layout.shard_cpus(s);
                 Mutex::new(ShardCore {
                     sched,
                     cpus: vec![
@@ -661,9 +772,11 @@ impl Executor {
                             current: None,
                             dispatched_at: Instant::now(),
                             slice: Duration::ZERO,
+                            last_task: None,
                         };
                         layout.shard_cpus(s) as usize
                     ],
+                    cpu_base: base,
                     tasks: HashMap::new(),
                     blocked: HashSet::new(),
                     switches: 0,
@@ -687,6 +800,7 @@ impl Executor {
             steals: AtomicU64::new(0),
             rebalances: AtomicU64::new(0),
             wake_migrations: AtomicU64::new(0),
+            trace,
         });
         let timer = {
             let inner = Arc::clone(&inner);
@@ -718,6 +832,7 @@ impl Executor {
         let rebalance_every = inner.rebalance_every.to_std();
         let mut next = Instant::now() + interval;
         let mut next_rebalance = Instant::now() + rebalance_every;
+        let mut last_readjust = (0u64, 0u64);
         while !inner.shutdown.load(Ordering::Acquire) {
             let now = Instant::now();
             if next > now {
@@ -728,10 +843,35 @@ impl Executor {
             if next < now {
                 next = now + interval;
             }
+            let tracing = inner.trace.on();
+            let mut runnable = 0usize;
+            let mut readjust = (0u64, 0u64);
             let mut expired: Vec<Arc<RtTask>> = Vec::new();
-            for shard in &inner.shards {
+            for (si, shard) in inner.shards.iter().enumerate() {
                 {
+                    let wait_start = Instant::now();
                     let core = shard.lock();
+                    if tracing {
+                        let t = inner.now().as_nanos();
+                        inner.trace.emit(TraceEvent::Counter {
+                            t,
+                            track: CounterTrack::LockWaitNs,
+                            value: wait_start.elapsed().as_nanos() as f64,
+                        });
+                        runnable += core.sched.nr_runnable();
+                        let stats = core.sched.stats();
+                        readjust.0 += stats.readjust_calls;
+                        readjust.1 += stats.weights_clamped;
+                        if si == 0 {
+                            if let Some(v) = core.sched.virtual_time() {
+                                inner.trace.emit(TraceEvent::Counter {
+                                    t,
+                                    track: CounterTrack::VirtualTime,
+                                    value: v.to_f64(),
+                                });
+                            }
+                        }
+                    }
                     for slot in &core.cpus {
                         let Some(id) = slot.current else { continue };
                         if Duration::from_std(slot.dispatched_at.elapsed()) >= slot.slice {
@@ -742,6 +882,22 @@ impl Executor {
                 // Shard lock released: raise the flags outside it.
                 for t in expired.drain(..) {
                     t.preempt.store(true, Ordering::Release);
+                }
+            }
+            if tracing {
+                let t = inner.now().as_nanos();
+                inner.trace.emit(TraceEvent::Counter {
+                    t,
+                    track: CounterTrack::Runnable,
+                    value: runnable as f64,
+                });
+                if readjust != last_readjust {
+                    inner.trace.emit(TraceEvent::Readjust {
+                        t,
+                        calls: readjust.0.saturating_sub(last_readjust.0),
+                        clamped: readjust.1.saturating_sub(last_readjust.1),
+                    });
+                    last_readjust = readjust;
                 }
             }
             if inner.sharded() && Instant::now() >= next_rebalance {
@@ -805,6 +961,15 @@ impl Executor {
             core.tasks.insert(id, Arc::clone(&task));
             let now = self.inner.now();
             core.sched.attach_tenant(id, weight, tenant, now);
+            if self.inner.trace.on() {
+                self.inner
+                    .trace
+                    .register_task(id, name, weight.get(), tenant);
+                self.inner.trace.emit(TraceEvent::Wake {
+                    t: now.as_nanos(),
+                    task: id,
+                });
+            }
             self.inner.dispatch(&mut core);
             let ctx = TaskCtx {
                 inner: Arc::clone(&self.inner),
@@ -897,7 +1062,11 @@ impl Executor {
         }
     }
 
-    /// Number of dispatches that granted a virtual CPU, across shards.
+    /// Number of context switches across shards: dispatches that
+    /// granted a virtual CPU to a different task than the one that CPU
+    /// last ran. Re-granting the same task after an idle gap is not a
+    /// switch — the same definition the simulator uses, so the two
+    /// substrates' counts are comparable.
     pub fn switches(&self) -> u64 {
         self.inner.shards.iter().map(|s| s.lock().switches).sum()
     }
@@ -1085,20 +1254,39 @@ mod tests {
             },
             small_sfs(1),
         );
-        let before = ex.switches();
+        let go = Arc::new(AtomicBool::new(false));
         let mk = |ex: &Executor, name: &str| {
-            ex.spawn(name, weight(1), |ctx| {
-                for _ in 0..200 {
+            let go = Arc::clone(&go);
+            ex.spawn(name, weight(1), move |ctx| {
+                // Hold at the gate until both tasks are runnable, so
+                // every counted yield below has a peer to rotate to.
+                while !go.load(Ordering::Acquire) {
+                    ctx.yield_now();
+                }
+                // Charge ~100 µs of real service per yield: per-yield
+                // tag advances must dominate incidental skew (thread
+                // startup latency is charged to the first slice), or
+                // the surplus order degenerates to bursts instead of
+                // rotation.
+                for _ in 0..100 {
+                    let t0 = Instant::now();
+                    while t0.elapsed() < std::time::Duration::from_micros(100) {
+                        std::hint::spin_loop();
+                    }
                     ctx.yield_now();
                 }
             })
         };
         let a = mk(&ex, "a");
         let b = mk(&ex, "b");
+        let before = ex.switches();
+        go.store(true, Ordering::Release);
         ex.wait();
         let switches = ex.switches() - before;
-        // 400 yields must produce at least a few hundred dispatches.
-        assert!(switches >= 300, "only {switches} switches");
+        // 200 equal-charge yields between two co-runnable equal-weight
+        // tasks must rotate: a context switch on most yields. Allow
+        // slack for occasional double-runs when charges are noisy.
+        assert!(switches >= 120, "only {switches} switches");
         a.join();
         b.join();
     }

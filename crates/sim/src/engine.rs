@@ -21,12 +21,13 @@ use sfs_core::gms::FluidGms;
 use sfs_core::sched::{select_preemption_victim, Scheduler, SwitchReason};
 use sfs_core::task::{CpuId, TaskId, TenantId, Weight};
 use sfs_core::time::{Duration, Time};
+use sfs_trace::{CounterTrack, TraceEvent, TraceRecorder};
 use sfs_workloads::{Behavior, BehaviorSpec, Phase};
 
 use crate::trace::{SimReport, Trace};
 
 /// Simulator configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimConfig {
     /// Number of processors.
     pub cpus: u32,
@@ -168,6 +169,18 @@ pub struct Simulator {
     gms: Option<FluidGms>,
     gms_last: Time,
     ctx_switches: u64,
+    rec: TraceRecorder,
+    /// Locally buffered trace events: the simulator is single-threaded,
+    /// so events accumulate in a plain `Vec` (one push per event, no
+    /// lock) and flush into the shared recorder in bulk at end of run.
+    trace_buf: Vec<TraceEvent>,
+    /// True once any arrived task carries a tenant — lets the slice-end
+    /// recording hook skip the per-event tenant lookup in the common
+    /// tenant-less case.
+    tenants_present: bool,
+    /// (readjust_calls, weights_clamped) at the previous sample, for
+    /// per-sample `Readjust` epoch deltas when recording.
+    last_readjust: (u64, u64),
 }
 
 impl Simulator {
@@ -198,10 +211,29 @@ impl Simulator {
             gms,
             gms_last: Time::ZERO,
             ctx_switches: 0,
+            rec: TraceRecorder::off(),
+            trace_buf: Vec::new(),
+            tenants_present: false,
+            last_readjust: (0, 0),
         };
         let first_sample = sim.cfg.sample_every;
         sim.post(Time::ZERO + first_sample, EvKind::Sample);
         sim
+    }
+
+    /// Attaches an event recorder; every scheduling event of the run is
+    /// emitted into it (see the `sfs-trace` crate). The recorder is a
+    /// shared handle — keep a clone and call `finish()` after
+    /// [`Simulator::run`] to collect the trace.
+    #[must_use]
+    pub fn with_recorder(mut self, rec: TraceRecorder) -> Simulator {
+        if rec.on() {
+            // One generous up-front allocation keeps buffer growth (and
+            // its page-fault bursts) out of the recorded hot path.
+            self.trace_buf.reserve(32 * 1024);
+        }
+        self.rec = rec;
+        self
     }
 
     /// Schedules a task arrival. Returns the arrival index (usable with
@@ -331,6 +363,7 @@ impl Simulator {
             }
         }
         self.final_sample();
+        self.rec.emit_many(std::mem::take(&mut self.trace_buf));
 
         let trace = std::mem::take(&mut self.trace);
         let mut report = trace.into_report(
@@ -367,8 +400,10 @@ impl Simulator {
         let weight = a.weight;
         let stream = a.stream;
         let tenant = a.tenant;
+        self.tenants_present |= tenant.is_some();
         self.trace
             .register(id, &name, weight.get(), tenant, iteration_cost, self.now);
+        self.rec.register_task(id, &name, weight.get(), tenant);
         self.tasks.insert(
             id,
             SimTask {
@@ -505,6 +540,7 @@ impl Simulator {
                 .unwrap_or(Duration::ZERO);
             self.trace.sample(id, self.now, extra);
         }
+        self.record_counters();
         let next = self.now + self.cfg.sample_every;
         if next.as_nanos() <= self.cfg.duration.as_nanos() {
             self.post(next, EvKind::Sample);
@@ -516,6 +552,7 @@ impl Simulator {
         for id in ids {
             self.trace.sample(id, self.now, Duration::ZERO);
         }
+        self.record_counters();
     }
 
     // ---- task lifecycle -------------------------------------------------
@@ -587,6 +624,12 @@ impl Simulator {
             }
             self.tasks.get_mut(&id).unwrap().state = TState::Ready;
         }
+        if self.rec.on() {
+            self.trace_buf.push(TraceEvent::Wake {
+                t: self.now.as_nanos(),
+                task: id,
+            });
+        }
         self.dispatch_all();
         self.preempt_check(id);
     }
@@ -631,6 +674,22 @@ impl Simulator {
         let switching = self.cpus[cpu_idx].last_task != Some(next);
         if switching {
             self.ctx_switches += 1;
+        }
+        if self.rec.on() {
+            let t = self.now.as_nanos();
+            if switching {
+                self.trace_buf.push(TraceEvent::CtxSwitch {
+                    t,
+                    cpu: cpu_idx as u32,
+                    from: self.cpus[cpu_idx].last_task,
+                    to: next,
+                });
+            }
+            self.trace_buf.push(TraceEvent::SliceBegin {
+                t,
+                cpu: cpu_idx as u32,
+                task: next,
+            });
         }
         let cs = if switching {
             self.cfg.ctx_switch
@@ -680,6 +739,20 @@ impl Simulator {
         cpu.token += 1; // invalidate any pending timer
         self.sched.put_prev(id, q, reason, self.now);
         self.trace.add_service(id, q);
+        if self.rec.on() {
+            let t = self.now.as_nanos();
+            self.trace_buf.push(TraceEvent::SliceEnd {
+                t,
+                cpu: cpu_idx as u32,
+                task: id,
+                reason,
+            });
+            if self.tenants_present {
+                if let Some(tenant) = self.tasks.get(&id).and_then(|task| task.tenant) {
+                    self.rec.add_tenant_service(t, tenant, q.as_nanos());
+                }
+            }
+        }
     }
 
     fn preempt_check(&mut self, woken: TaskId) {
@@ -700,9 +773,76 @@ impl Simulator {
         else {
             return;
         };
+        if self.rec.on() {
+            self.trace_buf.push(TraceEvent::PreemptEvict {
+                t: self.now.as_nanos(),
+                cpu: i as u32,
+                victim: running,
+                by: woken,
+            });
+        }
         self.stop_running(i, SwitchReason::Preempted);
         self.tasks.get_mut(&running).unwrap().state = TState::Ready;
         self.dispatch(i);
+    }
+
+    /// Emits counter samples and readjustment-epoch deltas (recording
+    /// runs only; called from the periodic sample event).
+    fn record_counters(&mut self) {
+        if !self.rec.on() {
+            return;
+        }
+        let t = self.now.as_nanos();
+        if let Some(v) = self.sched.virtual_time() {
+            self.trace_buf.push(TraceEvent::Counter {
+                t,
+                track: CounterTrack::VirtualTime,
+                value: v.to_f64(),
+            });
+        }
+        self.trace_buf.push(TraceEvent::Counter {
+            t,
+            track: CounterTrack::Runnable,
+            value: self.sched.nr_runnable() as f64,
+        });
+        let mut max_surplus: Option<f64> = None;
+        let mut min_phi: Option<f64> = None;
+        for cpu in &self.cpus {
+            let Some(id) = cpu.current else { continue };
+            let ran = self.now.since(cpu.dispatched_at);
+            if let Some(s) = self.sched.charged_surplus(id, ran, self.now) {
+                let s = s.to_f64();
+                max_surplus = Some(max_surplus.map_or(s, |m| m.max(s)));
+            }
+            if let Some(phi) = self.sched.adjusted_weight_of(id) {
+                let phi = phi.to_f64();
+                min_phi = Some(min_phi.map_or(phi, |m| m.min(phi)));
+            }
+        }
+        if let Some(value) = max_surplus {
+            self.trace_buf.push(TraceEvent::Counter {
+                t,
+                track: CounterTrack::MaxRunSurplus,
+                value,
+            });
+        }
+        if let Some(value) = min_phi {
+            self.trace_buf.push(TraceEvent::Counter {
+                t,
+                track: CounterTrack::MinRunPhi,
+                value,
+            });
+        }
+        let stats = self.sched.stats();
+        let (calls, clamped) = (stats.readjust_calls, stats.weights_clamped);
+        if calls > self.last_readjust.0 {
+            self.trace_buf.push(TraceEvent::Readjust {
+                t,
+                calls: calls - self.last_readjust.0,
+                clamped: clamped.saturating_sub(self.last_readjust.1),
+            });
+        }
+        self.last_readjust = (calls, clamped);
     }
 }
 

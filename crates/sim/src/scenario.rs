@@ -70,7 +70,7 @@ impl fmt::Display for ScenarioError {
 impl std::error::Error for ScenarioError {}
 
 /// One or more identical tasks in a scenario.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TaskSpec {
     /// Base name; replicas are suffixed `#k`.
     pub name: String,
@@ -136,7 +136,7 @@ impl TaskSpec {
 
 /// A sequential stream of short jobs (Example 2 / Fig. 5): each job
 /// arrives when the previous one finishes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamSpec {
     /// Name prefix; jobs are suffixed `#n`.
     pub name: String,
@@ -190,7 +190,7 @@ impl StreamSpec {
 }
 
 /// A complete experiment description.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Scenario {
     /// Scenario name (for reports).
     pub name: String,
@@ -316,6 +316,17 @@ impl Scenario {
     /// Runs the scenario under the given scheduler on the simulator,
     /// reporting malformed scenarios as a [`ScenarioError`].
     pub fn try_run(&self, sched: Box<dyn Scheduler>) -> Result<SimReport, ScenarioError> {
+        self.try_run_traced(sched, sfs_trace::TraceRecorder::off())
+    }
+
+    /// Like [`Scenario::try_run`], with scheduling events recorded into
+    /// `rec` (keep a clone and call `finish()` afterwards to collect
+    /// the trace).
+    pub fn try_run_traced(
+        &self,
+        sched: Box<dyn Scheduler>,
+        rec: sfs_trace::TraceRecorder,
+    ) -> Result<SimReport, ScenarioError> {
         self.validate()?;
         // Resolve tenant names to scheduler group ids before the
         // scheduler moves into the simulator. Names the policy does not
@@ -326,7 +337,7 @@ impl Scenario {
             .iter()
             .map(|spec| spec.tenant.as_deref().and_then(|g| sched.bind_tenant(g)))
             .collect();
-        let mut sim = Simulator::new(self.config.clone(), sched);
+        let mut sim = Simulator::new(self.config.clone(), sched).with_recorder(rec);
         for (spec, tenant) in self.tasks.iter().zip(bindings) {
             let weight = Weight::new(spec.weight).expect("validated non-zero");
             for k in 0..spec.count.max(1) {

@@ -1,0 +1,372 @@
+//! The common event model shared by the simulator and the rt executor.
+//!
+//! A trace is a flat, timestamp-ordered list of [`TraceEvent`]s plus a
+//! task registry and run metadata. Both substrates emit the same
+//! vocabulary — per-CPU run slices, context switches, wakes, preemption
+//! evictions, shard migrations, §2.1 readjustment epochs, and counter
+//! samples — so a sim trace and an rt trace of the same scenario can be
+//! compared event-for-event or opened side by side in the Perfetto UI.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use sfs_core::sched::SwitchReason;
+use sfs_core::task::{TaskId, TenantId};
+
+/// Which counter time series a [`TraceEvent::Counter`] sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CounterTrack {
+    /// The scheduler's virtual time `v` (§3.1).
+    VirtualTime,
+    /// Number of runnable tasks.
+    Runnable,
+    /// Largest charged surplus among currently-running tasks.
+    MaxRunSurplus,
+    /// Smallest adjusted weight φ among currently-running tasks — dips
+    /// show §2.1 readjustment clamping in action.
+    MinRunPhi,
+    /// Nanoseconds the timer thread waited to acquire a shard lock.
+    LockWaitNs,
+    /// Cumulative CPU service (seconds) delivered to one tenant.
+    TenantService(TenantId),
+}
+
+impl CounterTrack {
+    /// Human-readable track name; tenant tracks resolve their name
+    /// through the trace metadata when available.
+    pub fn label(&self, meta: &TraceMeta) -> String {
+        match *self {
+            CounterTrack::VirtualTime => "virtual time v".into(),
+            CounterTrack::Runnable => "runnable tasks".into(),
+            CounterTrack::MaxRunSurplus => "max running surplus".into(),
+            CounterTrack::MinRunPhi => "min running phi".into(),
+            CounterTrack::LockWaitNs => "timer lock wait (ns)".into(),
+            CounterTrack::TenantService(t) => {
+                let name = meta
+                    .tenants
+                    .get(t.0 as usize)
+                    .map_or_else(|| format!("tenant {}", t.0), String::clone);
+                format!("{name} service (s)")
+            }
+        }
+    }
+}
+
+/// Why a task left a shard (rt executor only; the sim's sharded policy
+/// steals inside `pick_next` and is invisible at this level).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrateKind {
+    /// An idle shard stole the task.
+    Steal,
+    /// The periodic balancer moved the task.
+    Rebalance,
+    /// A wakeup was redirected to a less-loaded shard.
+    Wake,
+}
+
+/// One structured scheduling event. All timestamps are nanoseconds from
+/// the start of the run (sim time or rt epoch).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A task was granted a CPU.
+    SliceBegin {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// Machine-wide CPU index.
+        cpu: u32,
+        /// The task now running.
+        task: TaskId,
+    },
+    /// A task gave up (or was evicted from) a CPU.
+    SliceEnd {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// Machine-wide CPU index.
+        cpu: u32,
+        /// The task that stopped running.
+        task: TaskId,
+        /// Why it stopped.
+        reason: SwitchReason,
+    },
+    /// A dispatch granted the CPU to a task different from the one this
+    /// CPU last ran (the shared `ctx_switches` definition).
+    CtxSwitch {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// Machine-wide CPU index.
+        cpu: u32,
+        /// Previous occupant, if the CPU has run anything yet.
+        from: Option<TaskId>,
+        /// New occupant.
+        to: TaskId,
+    },
+    /// A task became runnable (arrival or wakeup).
+    Wake {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// The task that woke.
+        task: TaskId,
+    },
+    /// A wakeup chose a running victim to evict (§wake preemption).
+    PreemptEvict {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// CPU the victim was running on.
+        cpu: u32,
+        /// The evicted task.
+        victim: TaskId,
+        /// The waking task that triggered the eviction.
+        by: TaskId,
+    },
+    /// A task moved between shards (rt executor).
+    Migrate {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// The migrated task.
+        task: TaskId,
+        /// Source shard.
+        from_shard: u32,
+        /// Destination shard.
+        to_shard: u32,
+        /// What triggered the move.
+        kind: MigrateKind,
+    },
+    /// One or more §2.1 weight readjustments ran since the last sample.
+    Readjust {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// Readjustment passes since the previous `Readjust` event.
+        calls: u64,
+        /// Weights clamped since the previous `Readjust` event.
+        clamped: u64,
+    },
+    /// A counter sample.
+    Counter {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// Which series.
+        track: CounterTrack,
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp in nanoseconds from run start.
+    pub fn timestamp(&self) -> u64 {
+        match *self {
+            TraceEvent::SliceBegin { t, .. }
+            | TraceEvent::SliceEnd { t, .. }
+            | TraceEvent::CtxSwitch { t, .. }
+            | TraceEvent::Wake { t, .. }
+            | TraceEvent::PreemptEvict { t, .. }
+            | TraceEvent::Migrate { t, .. }
+            | TraceEvent::Readjust { t, .. }
+            | TraceEvent::Counter { t, .. } => t,
+        }
+    }
+}
+
+/// Static description of one task in the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskMeta {
+    /// Scheduler task id (substrate-local; ids are not comparable
+    /// across substrates, names are).
+    pub id: TaskId,
+    /// Task name from the scenario.
+    pub name: String,
+    /// Requested weight.
+    pub weight: u64,
+    /// Owning tenant, if any.
+    pub tenant: Option<TenantId>,
+}
+
+/// Run-level metadata attached to a trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Which substrate produced the trace (`"sim"` or `"rt"`).
+    pub substrate: String,
+    /// Scenario name.
+    pub scenario: String,
+    /// Policy string (parse∘Display round-trips through `PolicySpec`).
+    pub policy: String,
+    /// Number of CPUs.
+    pub cpus: u32,
+    /// Tenant names, indexed by `TenantId`.
+    pub tenants: Vec<String>,
+}
+
+/// A complete recorded run: metadata, task registry, and the
+/// timestamp-ordered event list.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventTrace {
+    /// Run metadata.
+    pub meta: TraceMeta,
+    /// Every task that was registered (attached) during the run.
+    pub tasks: Vec<TaskMeta>,
+    /// Events, sorted by timestamp (stable within equal timestamps).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Why a trace failed validation or decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Event at `index` has a smaller timestamp than its predecessor.
+    Unsorted {
+        /// Index of the out-of-order event.
+        index: usize,
+    },
+    /// An event references a task id missing from the registry.
+    UnregisteredTask {
+        /// The unknown id.
+        id: TaskId,
+    },
+    /// A registered task never got a run slice.
+    TaskNeverRan {
+        /// The task's name.
+        name: String,
+    },
+    /// The trace contains no counter samples.
+    NoCounters,
+    /// Slice begin/end events on a CPU do not pair up.
+    UnbalancedSlice {
+        /// The CPU with mismatched slices.
+        cpu: u32,
+        /// Index of the offending event.
+        index: usize,
+    },
+    /// A JSON or protobuf payload could not be decoded.
+    Malformed(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Unsorted { index } => {
+                write!(f, "event {index} is out of timestamp order")
+            }
+            TraceError::UnregisteredTask { id } => {
+                write!(f, "event references unregistered task {}", id.0)
+            }
+            TraceError::TaskNeverRan { name } => {
+                write!(f, "registered task {name:?} has no run slice")
+            }
+            TraceError::NoCounters => write!(f, "trace has no counter samples"),
+            TraceError::UnbalancedSlice { cpu, index } => {
+                write!(
+                    f,
+                    "unbalanced slice begin/end on cpu {cpu} at event {index}"
+                )
+            }
+            TraceError::Malformed(why) => write!(f, "malformed trace payload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl EventTrace {
+    /// An empty trace carrying only metadata.
+    pub fn new(meta: TraceMeta) -> EventTrace {
+        EventTrace {
+            meta,
+            tasks: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Looks a task's name up in the registry.
+    pub fn task_name(&self, id: TaskId) -> Option<&str> {
+        self.tasks
+            .iter()
+            .find(|t| t.id == id)
+            .map(|t| t.name.as_str())
+    }
+
+    /// The context-switch sequence as `(cpu, task name)` pairs in
+    /// timestamp order — the substrate-independent key used by
+    /// capture→replay comparison (task *ids* are assigned in different
+    /// orders by the two substrates; names are stable).
+    pub fn ctx_switch_sequence(&self) -> Vec<(u32, String)> {
+        self.events
+            .iter()
+            .filter_map(|ev| match *ev {
+                TraceEvent::CtxSwitch { cpu, to, .. } => Some((
+                    cpu,
+                    self.task_name(to).unwrap_or("<unregistered>").to_string(),
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Structural validation: timestamps are monotonic, every referenced
+    /// task is registered, every registered task has at least one run
+    /// slice, slice begin/end events pair up per CPU, and at least one
+    /// counter track is non-empty.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let registry: HashMap<TaskId, &TaskMeta> = self.tasks.iter().map(|t| (t.id, t)).collect();
+        let mut last_t = 0u64;
+        let mut open: HashMap<u32, TaskId> = HashMap::new();
+        let mut ran: HashMap<TaskId, bool> = self.tasks.iter().map(|t| (t.id, false)).collect();
+        let mut counters = 0usize;
+        let check = |id: TaskId| -> Result<(), TraceError> {
+            if registry.contains_key(&id) {
+                Ok(())
+            } else {
+                Err(TraceError::UnregisteredTask { id })
+            }
+        };
+        for (i, ev) in self.events.iter().enumerate() {
+            let t = ev.timestamp();
+            if t < last_t {
+                return Err(TraceError::Unsorted { index: i });
+            }
+            last_t = t;
+            match *ev {
+                TraceEvent::SliceBegin { cpu, task, .. } => {
+                    check(task)?;
+                    if open.insert(cpu, task).is_some() {
+                        return Err(TraceError::UnbalancedSlice { cpu, index: i });
+                    }
+                    ran.insert(task, true);
+                }
+                TraceEvent::SliceEnd { cpu, task, .. } => {
+                    check(task)?;
+                    if open.remove(&cpu) != Some(task) {
+                        return Err(TraceError::UnbalancedSlice { cpu, index: i });
+                    }
+                }
+                TraceEvent::CtxSwitch { from, to, .. } => {
+                    if let Some(from) = from {
+                        check(from)?;
+                    }
+                    check(to)?;
+                }
+                TraceEvent::Wake { task, .. } | TraceEvent::Migrate { task, .. } => {
+                    check(task)?;
+                }
+                TraceEvent::PreemptEvict { victim, by, .. } => {
+                    check(victim)?;
+                    check(by)?;
+                }
+                TraceEvent::Readjust { .. } => {}
+                TraceEvent::Counter { .. } => counters += 1,
+            }
+        }
+        if let Some((&cpu, _)) = open.iter().next() {
+            return Err(TraceError::UnbalancedSlice {
+                cpu,
+                index: self.events.len(),
+            });
+        }
+        if let Some((id, _)) = ran.iter().find(|&(_, &r)| !r) {
+            let name = registry[id].name.clone();
+            return Err(TraceError::TaskNeverRan { name });
+        }
+        if counters == 0 {
+            return Err(TraceError::NoCounters);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,785 @@
+//! A minimal JSON value model, writer, and recursive-descent parser.
+//!
+//! The workspace has no serde (vendored-deps policy), so captures are
+//! serialized by hand. Integers are kept in an `i128`-backed variant so
+//! 64-bit seeds and nanosecond timestamps round-trip exactly — they
+//! would lose precision above 2⁵³ as `f64`.
+
+use std::fmt;
+
+use sfs_core::sched::SwitchReason;
+use sfs_core::task::{TaskId, TenantId};
+
+use crate::event::{
+    CounterTrack, EventTrace, MigrateKind, TaskMeta, TraceError, TraceEvent, TraceMeta,
+};
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// An integer literal (no fraction or exponent).
+    Int(i128),
+    /// Any other number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers convert).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::Num(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document.
+    pub fn parse(text: &str) -> Result<Json, TraceError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.ws();
+        let v = p.value()?;
+        p.ws();
+        if p.pos != p.bytes.len() {
+            return Err(TraceError::Malformed(format!(
+                "trailing bytes at offset {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(i) => write!(f, "{i}"),
+            Json::Num(n) if n.is_finite() => write!(f, "{n}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(members) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, why: &str) -> TraceError {
+        TraceError::Malformed(format!("{why} at offset {}", self.pos))
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), TraceError> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, TraceError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, TraceError> {
+        match self.bytes.get(self.pos) {
+            Some(b'n') => self.lit("null", Json::Null),
+            Some(b't') => self.lit("true", Json::Bool(true)),
+            Some(b'f') => self.lit("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("unexpected byte")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TraceError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let byte = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| self.err("unterminated string"))?;
+            self.pos += 1;
+            match byte {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed for our own
+                            // output; map lone surrogates to U+FFFD.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode UTF-8 from the raw bytes.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len() && self.bytes[end] & 0xc0 == 0x80 {
+                        end += 1;
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, TraceError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| self.err("bad number"))
+        } else {
+            text.parse::<i128>()
+                .map(Json::Int)
+                .map_err(|_| self.err("bad number"))
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, TraceError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.ws();
+            items.push(self.value()?);
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, TraceError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.ws();
+            self.eat(b':')?;
+            self.ws();
+            members.push((key, self.value()?));
+            self.ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ helpers
+
+/// Builds an object from `(key, value)` pairs.
+pub fn obj(members: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        members
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// A required object member, with a path in the error.
+pub fn want<'a>(v: &'a Json, key: &str) -> Result<&'a Json, TraceError> {
+    v.get(key)
+        .ok_or_else(|| TraceError::Malformed(format!("missing key {key:?}")))
+}
+
+/// A required `u64` member.
+pub fn want_u64(v: &Json, key: &str) -> Result<u64, TraceError> {
+    want(v, key)?
+        .as_u64()
+        .ok_or_else(|| TraceError::Malformed(format!("key {key:?} is not a u64")))
+}
+
+/// A required string member.
+pub fn want_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, TraceError> {
+    want(v, key)?
+        .as_str()
+        .ok_or_else(|| TraceError::Malformed(format!("key {key:?} is not a string")))
+}
+
+/// A required array member.
+pub fn want_arr<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], TraceError> {
+    want(v, key)?
+        .as_arr()
+        .ok_or_else(|| TraceError::Malformed(format!("key {key:?} is not an array")))
+}
+
+fn reason_str(reason: SwitchReason) -> &'static str {
+    match reason {
+        SwitchReason::Preempted => "preempted",
+        SwitchReason::Yielded => "yielded",
+        SwitchReason::Blocked => "blocked",
+        SwitchReason::Exited => "exited",
+    }
+}
+
+fn reason_from(s: &str) -> Result<SwitchReason, TraceError> {
+    match s {
+        "preempted" => Ok(SwitchReason::Preempted),
+        "yielded" => Ok(SwitchReason::Yielded),
+        "blocked" => Ok(SwitchReason::Blocked),
+        "exited" => Ok(SwitchReason::Exited),
+        _ => Err(TraceError::Malformed(format!(
+            "unknown switch reason {s:?}"
+        ))),
+    }
+}
+
+fn migrate_str(kind: MigrateKind) -> &'static str {
+    match kind {
+        MigrateKind::Steal => "steal",
+        MigrateKind::Rebalance => "rebalance",
+        MigrateKind::Wake => "wake",
+    }
+}
+
+fn migrate_from(s: &str) -> Result<MigrateKind, TraceError> {
+    match s {
+        "steal" => Ok(MigrateKind::Steal),
+        "rebalance" => Ok(MigrateKind::Rebalance),
+        "wake" => Ok(MigrateKind::Wake),
+        _ => Err(TraceError::Malformed(format!("unknown migrate kind {s:?}"))),
+    }
+}
+
+fn track_to_json(track: CounterTrack) -> Json {
+    match track {
+        CounterTrack::VirtualTime => Json::Str("v".into()),
+        CounterTrack::Runnable => Json::Str("runnable".into()),
+        CounterTrack::MaxRunSurplus => Json::Str("max_surplus".into()),
+        CounterTrack::MinRunPhi => Json::Str("min_phi".into()),
+        CounterTrack::LockWaitNs => Json::Str("lock_wait_ns".into()),
+        CounterTrack::TenantService(t) => obj(vec![("tenant_service", Json::Int(i128::from(t.0)))]),
+    }
+}
+
+fn track_from_json(v: &Json) -> Result<CounterTrack, TraceError> {
+    if let Some(s) = v.as_str() {
+        return match s {
+            "v" => Ok(CounterTrack::VirtualTime),
+            "runnable" => Ok(CounterTrack::Runnable),
+            "max_surplus" => Ok(CounterTrack::MaxRunSurplus),
+            "min_phi" => Ok(CounterTrack::MinRunPhi),
+            "lock_wait_ns" => Ok(CounterTrack::LockWaitNs),
+            _ => Err(TraceError::Malformed(format!(
+                "unknown counter track {s:?}"
+            ))),
+        };
+    }
+    let t = want_u64(v, "tenant_service")?;
+    let t = u32::try_from(t).map_err(|_| TraceError::Malformed("tenant id overflow".into()))?;
+    Ok(CounterTrack::TenantService(TenantId(t)))
+}
+
+fn task_json(id: TaskId) -> Json {
+    Json::Int(i128::from(id.0))
+}
+
+fn event_to_json(ev: &TraceEvent) -> Json {
+    let t = |t: u64| Json::Int(i128::from(t));
+    match *ev {
+        TraceEvent::SliceBegin { t: ts, cpu, task } => obj(vec![
+            ("ev", Json::Str("slice_begin".into())),
+            ("t", t(ts)),
+            ("cpu", Json::Int(i128::from(cpu))),
+            ("task", task_json(task)),
+        ]),
+        TraceEvent::SliceEnd {
+            t: ts,
+            cpu,
+            task,
+            reason,
+        } => obj(vec![
+            ("ev", Json::Str("slice_end".into())),
+            ("t", t(ts)),
+            ("cpu", Json::Int(i128::from(cpu))),
+            ("task", task_json(task)),
+            ("reason", Json::Str(reason_str(reason).into())),
+        ]),
+        TraceEvent::CtxSwitch {
+            t: ts,
+            cpu,
+            from,
+            to,
+        } => obj(vec![
+            ("ev", Json::Str("ctx_switch".into())),
+            ("t", t(ts)),
+            ("cpu", Json::Int(i128::from(cpu))),
+            ("from", from.map_or(Json::Null, task_json)),
+            ("to", task_json(to)),
+        ]),
+        TraceEvent::Wake { t: ts, task } => obj(vec![
+            ("ev", Json::Str("wake".into())),
+            ("t", t(ts)),
+            ("task", task_json(task)),
+        ]),
+        TraceEvent::PreemptEvict {
+            t: ts,
+            cpu,
+            victim,
+            by,
+        } => obj(vec![
+            ("ev", Json::Str("preempt".into())),
+            ("t", t(ts)),
+            ("cpu", Json::Int(i128::from(cpu))),
+            ("victim", task_json(victim)),
+            ("by", task_json(by)),
+        ]),
+        TraceEvent::Migrate {
+            t: ts,
+            task,
+            from_shard,
+            to_shard,
+            kind,
+        } => obj(vec![
+            ("ev", Json::Str("migrate".into())),
+            ("t", t(ts)),
+            ("task", task_json(task)),
+            ("from_shard", Json::Int(i128::from(from_shard))),
+            ("to_shard", Json::Int(i128::from(to_shard))),
+            ("kind", Json::Str(migrate_str(kind).into())),
+        ]),
+        TraceEvent::Readjust {
+            t: ts,
+            calls,
+            clamped,
+        } => obj(vec![
+            ("ev", Json::Str("readjust".into())),
+            ("t", t(ts)),
+            ("calls", Json::Int(i128::from(calls))),
+            ("clamped", Json::Int(i128::from(clamped))),
+        ]),
+        TraceEvent::Counter {
+            t: ts,
+            track,
+            value,
+        } => obj(vec![
+            ("ev", Json::Str("counter".into())),
+            ("t", t(ts)),
+            ("track", track_to_json(track)),
+            ("value", Json::Num(value)),
+        ]),
+    }
+}
+
+fn event_from_json(v: &Json) -> Result<TraceEvent, TraceError> {
+    let cpu = |v: &Json| -> Result<u32, TraceError> {
+        u32::try_from(want_u64(v, "cpu")?)
+            .map_err(|_| TraceError::Malformed("cpu index overflow".into()))
+    };
+    let ts = want_u64(v, "t")?;
+    match want_str(v, "ev")? {
+        "slice_begin" => Ok(TraceEvent::SliceBegin {
+            t: ts,
+            cpu: cpu(v)?,
+            task: TaskId(want_u64(v, "task")?),
+        }),
+        "slice_end" => Ok(TraceEvent::SliceEnd {
+            t: ts,
+            cpu: cpu(v)?,
+            task: TaskId(want_u64(v, "task")?),
+            reason: reason_from(want_str(v, "reason")?)?,
+        }),
+        "ctx_switch" => {
+            let from = match want(v, "from")? {
+                Json::Null => None,
+                other => Some(TaskId(other.as_u64().ok_or_else(|| {
+                    TraceError::Malformed("ctx_switch 'from' is not a task id".into())
+                })?)),
+            };
+            Ok(TraceEvent::CtxSwitch {
+                t: ts,
+                cpu: cpu(v)?,
+                from,
+                to: TaskId(want_u64(v, "to")?),
+            })
+        }
+        "wake" => Ok(TraceEvent::Wake {
+            t: ts,
+            task: TaskId(want_u64(v, "task")?),
+        }),
+        "preempt" => Ok(TraceEvent::PreemptEvict {
+            t: ts,
+            cpu: cpu(v)?,
+            victim: TaskId(want_u64(v, "victim")?),
+            by: TaskId(want_u64(v, "by")?),
+        }),
+        "migrate" => Ok(TraceEvent::Migrate {
+            t: ts,
+            task: TaskId(want_u64(v, "task")?),
+            from_shard: u32::try_from(want_u64(v, "from_shard")?)
+                .map_err(|_| TraceError::Malformed("shard index overflow".into()))?,
+            to_shard: u32::try_from(want_u64(v, "to_shard")?)
+                .map_err(|_| TraceError::Malformed("shard index overflow".into()))?,
+            kind: migrate_from(want_str(v, "kind")?)?,
+        }),
+        "readjust" => Ok(TraceEvent::Readjust {
+            t: ts,
+            calls: want_u64(v, "calls")?,
+            clamped: want_u64(v, "clamped")?,
+        }),
+        "counter" => Ok(TraceEvent::Counter {
+            t: ts,
+            track: track_from_json(want(v, "track")?)?,
+            value: want(v, "value")?
+                .as_f64()
+                .ok_or_else(|| TraceError::Malformed("counter value is not a number".into()))?,
+        }),
+        other => Err(TraceError::Malformed(format!(
+            "unknown event type {other:?}"
+        ))),
+    }
+}
+
+impl EventTrace {
+    /// Serializes the whole trace (metadata, registry, events) to JSON.
+    pub fn to_json(&self) -> Json {
+        let meta = obj(vec![
+            ("substrate", Json::Str(self.meta.substrate.clone())),
+            ("scenario", Json::Str(self.meta.scenario.clone())),
+            ("policy", Json::Str(self.meta.policy.clone())),
+            ("cpus", Json::Int(i128::from(self.meta.cpus))),
+            (
+                "tenants",
+                Json::Arr(
+                    self.meta
+                        .tenants
+                        .iter()
+                        .map(|t| Json::Str(t.clone()))
+                        .collect(),
+                ),
+            ),
+        ]);
+        let tasks = Json::Arr(
+            self.tasks
+                .iter()
+                .map(|t| {
+                    obj(vec![
+                        ("id", Json::Int(i128::from(t.id.0))),
+                        ("name", Json::Str(t.name.clone())),
+                        ("weight", Json::Int(i128::from(t.weight))),
+                        (
+                            "tenant",
+                            t.tenant.map_or(Json::Null, |x| Json::Int(i128::from(x.0))),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        let events = Json::Arr(self.events.iter().map(event_to_json).collect());
+        obj(vec![("meta", meta), ("tasks", tasks), ("events", events)])
+    }
+
+    /// Rebuilds a trace from [`EventTrace::to_json`] output.
+    pub fn from_json(v: &Json) -> Result<EventTrace, TraceError> {
+        let m = want(v, "meta")?;
+        let meta = TraceMeta {
+            substrate: want_str(m, "substrate")?.to_string(),
+            scenario: want_str(m, "scenario")?.to_string(),
+            policy: want_str(m, "policy")?.to_string(),
+            cpus: u32::try_from(want_u64(m, "cpus")?)
+                .map_err(|_| TraceError::Malformed("cpu count overflow".into()))?,
+            tenants: want_arr(m, "tenants")?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| TraceError::Malformed("tenant name is not a string".into()))
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        };
+        let tasks = want_arr(v, "tasks")?
+            .iter()
+            .map(|t| {
+                let tenant = match want(t, "tenant")? {
+                    Json::Null => None,
+                    other => Some(TenantId(
+                        u32::try_from(other.as_u64().ok_or_else(|| {
+                            TraceError::Malformed("tenant id is not a u32".into())
+                        })?)
+                        .map_err(|_| TraceError::Malformed("tenant id overflow".into()))?,
+                    )),
+                };
+                Ok(TaskMeta {
+                    id: TaskId(want_u64(t, "id")?),
+                    name: want_str(t, "name")?.to_string(),
+                    weight: want_u64(t, "weight")?,
+                    tenant,
+                })
+            })
+            .collect::<Result<Vec<_>, TraceError>>()?;
+        let events = want_arr(v, "events")?
+            .iter()
+            .map(event_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EventTrace {
+            meta,
+            tasks,
+            events,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_through_text() {
+        let v = obj(vec![
+            ("big", Json::Int(18_446_744_073_709_551_615)),
+            ("neg", Json::Int(-7)),
+            ("pi", Json::Num(3.25)),
+            ("s", Json::Str("a \"b\"\n\\".into())),
+            ("arr", Json::Arr(vec![Json::Null, Json::Bool(true)])),
+        ]);
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+        assert_eq!(
+            Json::parse(&text).unwrap().get("big").unwrap().as_u64(),
+            Some(u64::MAX)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("123 456").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn traces_round_trip_through_json() {
+        let mut trace = EventTrace::new(TraceMeta {
+            substrate: "rt".into(),
+            scenario: "s".into(),
+            policy: "sfs:quantum=25ms".into(),
+            cpus: 2,
+            tenants: vec!["acme".into()],
+        });
+        trace.tasks.push(TaskMeta {
+            id: TaskId(3),
+            name: "worker".into(),
+            weight: 5,
+            tenant: Some(TenantId(0)),
+        });
+        trace.events = vec![
+            TraceEvent::Wake {
+                t: 1,
+                task: TaskId(3),
+            },
+            TraceEvent::CtxSwitch {
+                t: 2,
+                cpu: 1,
+                from: None,
+                to: TaskId(3),
+            },
+            TraceEvent::SliceBegin {
+                t: 2,
+                cpu: 1,
+                task: TaskId(3),
+            },
+            TraceEvent::Counter {
+                t: 3,
+                track: CounterTrack::TenantService(TenantId(0)),
+                value: 0.125,
+            },
+            TraceEvent::Migrate {
+                t: 4,
+                task: TaskId(3),
+                from_shard: 0,
+                to_shard: 1,
+                kind: MigrateKind::Steal,
+            },
+            TraceEvent::SliceEnd {
+                t: 5,
+                cpu: 1,
+                task: TaskId(3),
+                reason: SwitchReason::Exited,
+            },
+            TraceEvent::Readjust {
+                t: 6,
+                calls: 2,
+                clamped: 1,
+            },
+        ];
+        let text = trace.to_json().to_string();
+        let back = EventTrace::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, trace);
+    }
+}

@@ -18,6 +18,10 @@
 //!   substrates: run a [`Scenario`](sim::Scenario) under any
 //!   [`PolicySpec`](core::policy::PolicySpec), or compare a whole
 //!   policy matrix in one call.
+//! * [`trace`] (`sfs-trace`) — one structured event vocabulary emitted
+//!   by both substrates: Perfetto export (open runs in
+//!   <https://ui.perfetto.dev>), trace validation, and the JSON layer
+//!   behind deterministic capture/replay.
 //! * [`workloads`] (`sfs-workloads`) — the paper's application models
 //!   (Inf, Interact, mpeg_play, gcc, disksim, dhrystone, short jobs).
 //! * [`metrics`] (`sfs-metrics`) — time series, statistics, fairness
@@ -85,16 +89,18 @@ pub use sfs_experiment as experiment;
 pub use sfs_metrics as metrics;
 pub use sfs_rt as rt;
 pub use sfs_sim as sim;
+pub use sfs_trace as trace;
 pub use sfs_workloads as workloads;
 
 /// The most commonly used items across the workspace.
 pub mod prelude {
     pub use sfs_core::prelude::*;
     pub use sfs_experiment::{
-        ComparisonReport, Experiment, ExperimentError, RtSubstrate, RunReport, SimSubstrate,
-        Substrate, TaskOutcome,
+        Capture, ComparisonReport, Experiment, ExperimentError, ReplayReport, RtSubstrate,
+        RunReport, SimSubstrate, Substrate, TaskOutcome,
     };
     pub use sfs_rt::{Executor, RtConfig, TaskCtx};
     pub use sfs_sim::{Scenario, ScenarioError, SimConfig, SimReport, StreamSpec, TaskSpec};
+    pub use sfs_trace::{EventTrace, TraceEvent, TraceRecorder};
     pub use sfs_workloads::{Behavior, BehaviorSpec, Phase};
 }
