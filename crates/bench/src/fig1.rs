@@ -28,6 +28,7 @@ fn scenario(effort: Effort) -> Scenario {
         sample_every: Duration::from_millis(10),
         track_gms: false,
         seed: 1,
+        lean: false,
     };
     Scenario::new("fig1", cfg)
         .task(TaskSpec::new("T1", 1, BehaviorSpec::Inf))

@@ -34,6 +34,7 @@ fn scenario(effort: Effort) -> (Scenario, Fig4Times) {
         sample_every: (duration / 100).max(Duration::from_millis(20)),
         track_gms: false,
         seed: 4,
+        lean: false,
     };
     let scenario = Scenario::new("fig4", cfg)
         .task(TaskSpec::new("T1", 1, BehaviorSpec::Inf))

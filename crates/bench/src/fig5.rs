@@ -48,6 +48,7 @@ fn scenario(effort: Effort, q_full_ms: u64) -> (Scenario, Duration) {
         sample_every: (duration / 150).max(Duration::from_millis(20)),
         track_gms: false,
         seed: 5,
+        lean: false,
     };
     let scenario = Scenario::new("fig5", cfg)
         .task(TaskSpec::new("T1", 20, BehaviorSpec::Inf))

@@ -28,6 +28,7 @@ fn base_cfg(effort: Effort, full_secs: u64, seed: u64) -> SimConfig {
         sample_every: (duration / 50).max(Duration::from_millis(50)),
         track_gms: false,
         seed,
+        lean: false,
     }
 }
 

@@ -13,6 +13,7 @@
 //! | [`overheads`] | Figure 7 and Table 1 (scheduling overheads) |
 //! | [`overhead`] | Per-decision cost sweep, 10²–10⁵ threads (beyond the paper: bucket-queue pick path) |
 //! | [`churn`] | Per-event cost sweep, 10²–10⁵ threads (beyond the paper: indexed-queue event path) |
+//! | [`mega`] | Whole-engine cost sweep, 10⁴–10⁶ tasks in one run (beyond the paper: timing-wheel engine) |
 //! | [`scale`] | Shard-scaling sweep: decisions/s + lock costs vs shard count, sharded-vs-global fairness (beyond the paper: §5 per-CPU run queues) |
 //! | [`tenants`] | Multi-tenant sweep: misbehaving-tenant isolation, decision cost at 10²–10⁴ tenants (beyond the paper: §6 hierarchical SFS) |
 //! | [`trace`] | Trace subsystem smoke: Perfetto export validity on sim + rt, capture→replay determinism, recording overhead (beyond the paper: observability) |
@@ -29,6 +30,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod helpers;
+pub mod mega;
 pub mod overhead;
 pub mod overheads;
 pub mod scale;
@@ -41,7 +43,7 @@ use common::{Effort, ExpResult};
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
-        "churn", "scale", "tenants", "trace",
+        "churn", "mega", "scale", "tenants", "trace",
     ]
 }
 
@@ -63,6 +65,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "table1" => overheads::run_table1(effort),
         "overhead" => overhead::run(effort),
         "churn" => churn::run(effort),
+        "mega" => mega::run(effort),
         "scale" => scale::run(effort),
         "tenants" => tenants::run(effort),
         "trace" => trace::run(effort),

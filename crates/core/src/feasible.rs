@@ -144,6 +144,27 @@ impl FeasibleWeights {
         self.run()
     }
 
+    /// Adds a whole batch of tasks and readjusts **once**. The final
+    /// clamp set, cap, and change report are identical to one
+    /// [`FeasibleWeights::insert`] per task: the readjustment is a pure
+    /// function of the resulting weight classes, and the change report
+    /// is diffed against the clamp state from before the batch, so it
+    /// covers every task whose `φ` differs from that baseline. Returns
+    /// `true` if any task's instantaneous weight changed.
+    pub fn insert_many(&mut self, batch: &[(TaskId, Weight)]) -> bool {
+        if batch.is_empty() {
+            return false;
+        }
+        for &(id, w) in batch {
+            self.walk_steps += self.map_steps();
+            let fresh = self.classes.entry(w.get()).or_default().insert(id);
+            debug_assert!(fresh, "task {id} already tracked");
+            self.len += 1;
+            self.total += w.get() as u128;
+        }
+        self.run()
+    }
+
     /// Removes a task from the runnable set (block/exit) and readjusts.
     /// Returns `true` if any remaining task's instantaneous weight changed.
     ///

@@ -440,6 +440,25 @@ impl Scheduler for HierSfs {
         }
     }
 
+    /// Bulk wake with one group-level §2.1 readjustment, the wake-side
+    /// twin of [`HierSfs::attach_batch`]: each wake does only its
+    /// per-group work (child wake, group queueing) and the global
+    /// capacity-aware walk runs once at the end.
+    fn wake_batch(&mut self, ids: &[TaskId], now: Time) {
+        if ids.is_empty() {
+            return;
+        }
+        for &id in ids {
+            let gi = *self.task_group.get(&id).expect("waking unknown task");
+            let was_idle = self.groups[gi].runnable() == 0;
+            self.groups[gi].sched.wake(id, now);
+            if was_idle {
+                self.enqueue_group_raw(gi);
+            }
+        }
+        self.readjust_groups();
+    }
+
     fn pick_next(&mut self, cpu: CpuId, now: Time) -> Option<TaskId> {
         if self.buckets.is_empty() {
             return None;

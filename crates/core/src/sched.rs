@@ -188,6 +188,25 @@ pub trait Scheduler: Send {
         }
     }
 
+    /// [`Scheduler::attach_batch`] under the name event substrates use
+    /// for a run of same-tick arrival events. Kept separate so a
+    /// substrate can batch arrivals without implying anything about
+    /// wakeups; the default forwards to `attach_batch`.
+    fn arrive_batch(&mut self, batch: &[(TaskId, Weight, Option<TenantId>)], now: Time) {
+        self.attach_batch(batch, now);
+    }
+
+    /// Makes a batch of blocked tasks runnable at once, in slice order.
+    /// Equivalent to one [`Scheduler::wake`] call per entry (the
+    /// default); policies whose wake path does per-event work global to
+    /// the runnable set — weight readjustment, group re-enqueue —
+    /// override this to run that work once per batch.
+    fn wake_batch(&mut self, ids: &[TaskId], now: Time) {
+        for &id in ids {
+            self.wake(id, now);
+        }
+    }
+
     /// The tenant group a task was attached under, if the policy
     /// tracks one.
     fn tenant_of(&self, _id: TaskId) -> Option<TenantId> {

@@ -62,7 +62,7 @@ use crate::feasible::FeasibleWeights;
 use crate::fixed::{Fixed, SCALE};
 use crate::sched::{SchedStats, Scheduler, SwitchReason};
 use crate::shard::{PhiSnapshot, SnapshotCell};
-use crate::task::{CpuId, TagTask, TaskId, TaskState, Weight};
+use crate::task::{CpuId, TagTask, TaskId, TaskState, TenantId, Weight};
 use crate::time::{Duration, Time};
 
 /// A CPU-time duration on the fixed-point surplus scale.
@@ -537,6 +537,49 @@ impl Scheduler for Sfs {
         self.apply_phi_changes();
     }
 
+    /// One readjustment for the whole batch. Event-equivalent to
+    /// per-item [`Sfs::attach`]: every arrival takes `S_i = v` and
+    /// inserting at the queue-minimum start tag leaves `v` itself
+    /// unchanged, so all tags match the sequential ones; the final
+    /// clamp set is a pure function of the resulting weight classes;
+    /// and [`FeasibleWeights::insert_many`] reports `φ` changes against
+    /// the pre-batch clamp state, so `apply_phi_changes` converges
+    /// every previously-runnable task to the same `φ` the sequential
+    /// path would leave it with.
+    fn attach_batch(&mut self, batch: &[(TaskId, Weight, Option<TenantId>)], now: Time) {
+        if batch.len() <= 1 {
+            for &(id, w, tenant) in batch {
+                self.attach_tenant(id, w, tenant, now);
+            }
+            return;
+        }
+        self.refresh_snapshot();
+        self.stats.events += batch.len() as u64;
+        let v = self.current_v();
+        let mut weights = Vec::with_capacity(batch.len());
+        for &(id, w, _) in batch {
+            assert!(!self.tasks.contains_key(&id), "task {id} attached twice");
+            let mut task = TagTask::new(id, w, v);
+            task.dispatched_at = now;
+            self.tasks.insert(
+                id,
+                Entry {
+                    task,
+                    last_cpu: None,
+                },
+            );
+            weights.push((id, w));
+        }
+        self.feas.insert_many(&weights);
+        // Link after the readjustment so each new task's recorded φ is
+        // already final; `apply_phi_changes` then only migrates
+        // previously-runnable tasks whose clamp state moved.
+        for &(id, _) in &weights {
+            self.link_runnable(id);
+        }
+        self.apply_phi_changes();
+    }
+
     fn detach(&mut self, id: TaskId, _now: Time) {
         self.refresh_snapshot();
         self.stats.events += 1;
@@ -614,6 +657,45 @@ impl Scheduler for Sfs {
         let w = self.tasks[&id].task.weight;
         self.feas.insert(id, w);
         self.link_runnable(id);
+        self.apply_phi_changes();
+    }
+
+    /// One readjustment for the whole batch. Event-equivalent to
+    /// per-item [`Sfs::wake`]: each wake reads the virtual time at its
+    /// own position in the slice (`current_v()` is O(1)), so the
+    /// `S_i = max(F_i, v)` tags are bit-identical to sequential
+    /// application — earlier wakes in the batch can only move `v` by
+    /// filling an empty queue, which the per-item read observes. Tasks
+    /// are linked with their pre-batch `φ` and converged by one
+    /// `apply_phi_changes` after the single readjustment, which leaves
+    /// the same final `φ` state as per-item wakes (see
+    /// [`Sfs::attach_batch`]).
+    fn wake_batch(&mut self, ids: &[TaskId], now: Time) {
+        if ids.len() <= 1 {
+            for &id in ids {
+                self.wake(id, now);
+            }
+            return;
+        }
+        self.refresh_snapshot();
+        self.stats.events += ids.len() as u64;
+        let mut weights = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let v_now = self.current_v();
+            let w = {
+                let e = self.tasks.get_mut(&id).expect("waking unknown task");
+                assert!(
+                    matches!(e.task.state, TaskState::Blocked),
+                    "waking non-blocked task {id}"
+                );
+                e.task.start_tag = e.task.finish_tag.max(v_now);
+                e.task.state = TaskState::Ready;
+                e.task.weight
+            };
+            self.link_runnable(id);
+            weights.push((id, w));
+        }
+        self.feas.insert_many(&weights);
         self.apply_phi_changes();
     }
 

@@ -172,6 +172,7 @@ fn config_json(c: &SimConfig) -> Json {
         ("sample_every", dur_json(c.sample_every)),
         ("track_gms", Json::Bool(c.track_gms)),
         ("seed", Json::Int(i128::from(c.seed))),
+        ("lean", Json::Bool(c.lean)),
     ])
 }
 
@@ -187,6 +188,11 @@ fn config_from_json(v: &Json) -> Result<SimConfig, String> {
             .as_bool()
             .ok_or("track_gms must be a bool")?,
         seed: want_u64(v, "seed").map_err(|e| e.to_string())?,
+        // Absent in captures taken before lean mode existed.
+        lean: want(v, "lean")
+            .ok()
+            .and_then(Json::as_bool)
+            .unwrap_or(false),
     })
 }
 

@@ -846,6 +846,8 @@ impl Executor {
             let tracing = inner.trace.on();
             let mut runnable = 0usize;
             let mut readjust = (0u64, 0u64);
+            let mut max_surplus: Option<f64> = None;
+            let mut min_phi: Option<f64> = None;
             let mut expired: Vec<Arc<RtTask>> = Vec::new();
             for (si, shard) in inner.shards.iter().enumerate() {
                 {
@@ -874,7 +876,22 @@ impl Executor {
                     }
                     for slot in &core.cpus {
                         let Some(id) = slot.current else { continue };
-                        if Duration::from_std(slot.dispatched_at.elapsed()) >= slot.slice {
+                        let ran = Duration::from_std(slot.dispatched_at.elapsed());
+                        if tracing {
+                            // Worst running surplus / smallest running φ
+                            // across every shard's occupied slots, the
+                            // same §2.2 picture the simulator samples.
+                            let rt_now = inner.now();
+                            if let Some(s) = core.sched.charged_surplus(id, ran, rt_now) {
+                                let s = s.to_f64();
+                                max_surplus = Some(max_surplus.map_or(s, |m| m.max(s)));
+                            }
+                            if let Some(phi) = core.sched.adjusted_weight_of(id) {
+                                let phi = phi.to_f64();
+                                min_phi = Some(min_phi.map_or(phi, |m| m.min(phi)));
+                            }
+                        }
+                        if ran >= slot.slice {
                             expired.push(Arc::clone(core.task(id)));
                         }
                     }
@@ -891,6 +908,20 @@ impl Executor {
                     track: CounterTrack::Runnable,
                     value: runnable as f64,
                 });
+                if let Some(value) = max_surplus {
+                    inner.trace.emit(TraceEvent::Counter {
+                        t,
+                        track: CounterTrack::MaxRunSurplus,
+                        value,
+                    });
+                }
+                if let Some(value) = min_phi {
+                    inner.trace.emit(TraceEvent::Counter {
+                        t,
+                        track: CounterTrack::MinRunPhi,
+                        value,
+                    });
+                }
                 if readjust != last_readjust {
                     inner.trace.emit(TraceEvent::Readjust {
                         t,

@@ -13,9 +13,25 @@
 //! configuration. A context-switch overhead (default 5 µs) is charged
 //! whenever a CPU switches between different tasks; the quantum starts
 //! after the switch completes.
-
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+//!
+//! ## Mega-scale internals
+//!
+//! Three structural choices keep the engine O(1)-ish per event at
+//! 10⁶–10⁷ tasks (the `repro mega` sweep):
+//!
+//! * the event queue is a hierarchical [`TimingWheel`], not a binary
+//!   heap — O(1) amortized push/pop with the identical `(time, seq)`
+//!   total order (pinned by `tests/wheel_differential.rs`);
+//! * per-task state lives in a struct-of-arrays `TaskArena` indexed
+//!   by dense [`TaskId`]s, so the hot handlers touch one flat `Vec`
+//!   lane per field instead of chasing a `HashMap` entry;
+//! * all arrival/wake events sharing a tick are drained as one batch
+//!   and applied through [`Scheduler::arrive_batch`] /
+//!   [`Scheduler::wake_batch`] — consecutive same-operation runs are
+//!   grouped (never reordered across a detach or across an op change,
+//!   which keeps the scheduler-call order event-equivalent to per-item
+//!   application), and the batch pays one dispatch sweep instead of one
+//!   per event.
 
 use sfs_core::gms::FluidGms;
 use sfs_core::sched::{select_preemption_victim, Scheduler, SwitchReason};
@@ -24,7 +40,14 @@ use sfs_core::time::{Duration, Time};
 use sfs_trace::{CounterTrack, TraceEvent, TraceRecorder};
 use sfs_workloads::{Behavior, BehaviorSpec, Phase};
 
-use crate::trace::{SimReport, Trace};
+use crate::trace::{SimReport, TaskLabel, Trace};
+use crate::wheel::TimingWheel;
+
+/// Recording runs flush the local event buffer to the shared recorder
+/// whenever it reaches this many events, so a streaming sink can write
+/// chunks to disk while the run is still in flight (and a mega-scale
+/// traced run never holds the whole event stream in one buffer).
+const TRACE_FLUSH_EVENTS: usize = 32 * 1024;
 
 /// Simulator configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +64,10 @@ pub struct SimConfig {
     pub track_gms: bool,
     /// Base seed for workload randomness.
     pub seed: u64,
+    /// Lean mode: skip per-task service curves and response vectors and
+    /// report aggregate totals only ([`crate::trace::LeanSummary`]).
+    /// The memory floor for 10⁶-task runs.
+    pub lean: bool,
 }
 
 impl Default for SimConfig {
@@ -52,6 +79,7 @@ impl Default for SimConfig {
             sample_every: Duration::from_millis(500),
             track_gms: false,
             seed: 42,
+            lean: false,
         }
     }
 }
@@ -65,25 +93,6 @@ enum EvKind {
     Sample,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct Ev {
-    at: Time,
-    seq: u64,
-    kind: EvKind,
-}
-
-impl Ord for Ev {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-impl PartialOrd for Ev {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum TState {
     Ready,
@@ -92,21 +101,72 @@ enum TState {
     Exited,
 }
 
-struct SimTask {
-    weight: Weight,
-    behavior: Box<dyn Behavior>,
-    attached: bool,
-    state: TState,
+/// Struct-of-arrays task storage, indexed by `TaskId − 1` (ids are
+/// allocated densely from 1). Hot per-event fields (`state`,
+/// `remaining`, …) are flat `Copy` lanes; the boxed behavior state
+/// machine is the one cold, pointer-sized lane.
+struct TaskArena {
+    weight: Vec<Weight>,
+    state: Vec<TState>,
     /// Remaining CPU demand of the current compute phase.
-    remaining: Duration,
+    remaining: Vec<Duration>,
     /// When the task last became runnable (for response times).
-    last_wake: Time,
+    last_wake: Vec<Time>,
     /// A response sample is pending for the current compute phase.
-    awaiting_response: bool,
+    awaiting_response: Vec<bool>,
+    attached: Vec<bool>,
     /// Sequential-stream membership (next job spawns on exit).
-    stream: Option<usize>,
+    stream: Vec<Option<usize>>,
     /// Tenant group the task attaches under, for hierarchical policies.
-    tenant: Option<TenantId>,
+    tenant: Vec<Option<TenantId>>,
+    behavior: Vec<Box<dyn Behavior>>,
+}
+
+impl TaskArena {
+    fn new() -> TaskArena {
+        TaskArena {
+            weight: Vec::new(),
+            state: Vec::new(),
+            remaining: Vec::new(),
+            last_wake: Vec::new(),
+            awaiting_response: Vec::new(),
+            attached: Vec::new(),
+            stream: Vec::new(),
+            tenant: Vec::new(),
+            behavior: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn idx(id: TaskId) -> usize {
+        id.0 as usize - 1
+    }
+
+    fn len(&self) -> usize {
+        self.behavior.len()
+    }
+
+    /// Adds a task in the initial (sleeping, unattached) state and
+    /// returns its dense id.
+    fn push(
+        &mut self,
+        weight: Weight,
+        tenant: Option<TenantId>,
+        stream: Option<usize>,
+        behavior: Box<dyn Behavior>,
+        now: Time,
+    ) -> TaskId {
+        self.weight.push(weight);
+        self.state.push(TState::Sleeping);
+        self.remaining.push(Duration::ZERO);
+        self.last_wake.push(now);
+        self.awaiting_response.push(false);
+        self.attached.push(false);
+        self.stream.push(stream);
+        self.tenant.push(tenant);
+        self.behavior.push(behavior);
+        TaskId(self.behavior.len() as u64)
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -134,7 +194,7 @@ impl Cpu {
 }
 
 struct PendingArrival {
-    name: String,
+    label: TaskLabel,
     weight: Weight,
     spec: BehaviorSpec,
     seed: u64,
@@ -145,7 +205,8 @@ struct PendingArrival {
 
 /// A sequential job stream: when one job exits, the next arrives.
 struct StreamState {
-    prefix: String,
+    /// Interned base name; job `k` renders as `"{base}#{k}"`.
+    sym: u32,
     weight: Weight,
     spec: BehaviorSpec,
     gap: Duration,
@@ -158,21 +219,23 @@ pub struct Simulator {
     cfg: SimConfig,
     sched: Box<dyn Scheduler>,
     now: Time,
-    events: BinaryHeap<Reverse<Ev>>,
+    events: TimingWheel<EvKind>,
     seq: u64,
     cpus: Vec<Cpu>,
-    tasks: HashMap<TaskId, SimTask>,
+    tasks: TaskArena,
     arrivals: Vec<PendingArrival>,
     streams: Vec<StreamState>,
-    next_id: u64,
     trace: Trace,
     gms: Option<FluidGms>,
     gms_last: Time,
     ctx_switches: u64,
+    events_processed: u64,
     rec: TraceRecorder,
     /// Locally buffered trace events: the simulator is single-threaded,
     /// so events accumulate in a plain `Vec` (one push per event, no
-    /// lock) and flush into the shared recorder in bulk at end of run.
+    /// lock) and flush into the shared recorder in [`TRACE_FLUSH_EVENTS`]
+    /// chunks — incrementally, so streaming sinks see completed chunks
+    /// while the run is in flight.
     trace_buf: Vec<TraceEvent>,
     /// True once any arrived task carries a tenant — lets the slice-end
     /// recording hook skip the per-event tenant lookup in the common
@@ -196,21 +259,26 @@ impl Simulator {
             "scheduler configured for a different machine"
         );
         let gms = cfg.track_gms.then(|| FluidGms::new(cfg.cpus));
+        let trace = if cfg.lean {
+            Trace::new_lean()
+        } else {
+            Trace::default()
+        };
         let mut sim = Simulator {
             cpus: vec![Cpu::idle(); cfg.cpus as usize],
             cfg,
             sched,
             now: Time::ZERO,
-            events: BinaryHeap::new(),
+            events: TimingWheel::new(),
             seq: 0,
-            tasks: HashMap::new(),
+            tasks: TaskArena::new(),
             arrivals: Vec::new(),
             streams: Vec::new(),
-            next_id: 1,
-            trace: Trace::default(),
+            trace,
             gms,
             gms_last: Time::ZERO,
             ctx_switches: 0,
+            events_processed: 0,
             rec: TraceRecorder::off(),
             trace_buf: Vec::new(),
             tenants_present: false,
@@ -230,7 +298,7 @@ impl Simulator {
         if rec.on() {
             // One generous up-front allocation keeps buffer growth (and
             // its page-fault bursts) out of the recorded hot path.
-            self.trace_buf.reserve(32 * 1024);
+            self.trace_buf.reserve(TRACE_FLUSH_EVENTS);
         }
         self.rec = rec;
         self
@@ -245,7 +313,8 @@ impl Simulator {
         weight: Weight,
         spec: BehaviorSpec,
     ) -> usize {
-        self.schedule_arrival_inner(at, name.to_string(), weight, spec, None, None)
+        let sym = self.trace.intern(name);
+        self.schedule_arrival_inner(at, TaskLabel { sym, replica: 0 }, weight, spec, None, None)
     }
 
     /// Schedules a task arrival bound to a tenant group. The task
@@ -260,13 +329,43 @@ impl Simulator {
         spec: BehaviorSpec,
         tenant: Option<TenantId>,
     ) -> usize {
-        self.schedule_arrival_inner(at, name.to_string(), weight, spec, tenant, None)
+        let sym = self.trace.intern(name);
+        self.schedule_arrival_inner(
+            at,
+            TaskLabel { sym, replica: 0 },
+            weight,
+            spec,
+            tenant,
+            None,
+        )
+    }
+
+    /// Interns a base name for replica arrivals
+    /// ([`Simulator::schedule_arrival_replica`]).
+    pub(crate) fn intern_name(&mut self, name: &str) -> u32 {
+        self.trace.intern(name)
+    }
+
+    /// Schedules one replica of a counted task spec: names render as
+    /// `"{base}#{replica}"` (or the bare base for replica 0) without
+    /// ever building the string — a 10⁶-replica scenario allocates one
+    /// interned base name, not 10⁶ `String`s.
+    pub(crate) fn schedule_arrival_replica(
+        &mut self,
+        at: Time,
+        sym: u32,
+        replica: u32,
+        weight: Weight,
+        spec: BehaviorSpec,
+        tenant: Option<TenantId>,
+    ) -> usize {
+        self.schedule_arrival_inner(at, TaskLabel { sym, replica }, weight, spec, tenant, None)
     }
 
     fn schedule_arrival_inner(
         &mut self,
         at: Time,
-        name: String,
+        label: TaskLabel,
         weight: Weight,
         spec: BehaviorSpec,
         tenant: Option<TenantId>,
@@ -279,7 +378,7 @@ impl Simulator {
             .wrapping_mul(1_000_003)
             .wrapping_add(idx as u64);
         self.arrivals.push(PendingArrival {
-            name,
+            label,
             weight,
             spec,
             seed,
@@ -309,25 +408,22 @@ impl Simulator {
         until: Time,
     ) {
         let sidx = self.streams.len();
+        let sym = self.trace.intern(prefix);
         self.streams.push(StreamState {
-            prefix: prefix.to_string(),
+            sym,
             weight,
             spec: spec.clone(),
             gap,
             until,
             spawned: 1,
         });
-        let name = format!("{prefix}#1");
-        self.schedule_arrival_inner(first, name, weight, spec, None, Some(sidx));
+        let label = TaskLabel { sym, replica: 1 };
+        self.schedule_arrival_inner(first, label, weight, spec, None, Some(sidx));
     }
 
     fn post(&mut self, at: Time, kind: EvKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev {
-            at,
-            seq: self.seq,
-            kind,
-        }));
+        self.events.push(at.as_nanos(), self.seq, kind);
     }
 
     fn gms_advance(&mut self) {
@@ -339,19 +435,48 @@ impl Simulator {
 
     /// Runs to the configured duration and produces the report.
     pub fn run(mut self) -> SimReport {
-        while let Some(Reverse(ev)) = self.events.pop() {
-            if ev.at.as_nanos() > self.cfg.duration.as_nanos() {
+        let dur_ns = self.cfg.duration.as_nanos();
+        let mut batch: Vec<EvKind> = Vec::new();
+        while let Some((at, _seq, kind)) = self.events.pop() {
+            if at > dur_ns {
                 break;
             }
-            debug_assert!(ev.at >= self.now, "time went backwards");
-            self.now = ev.at;
+            debug_assert!(at >= self.now.as_nanos(), "time went backwards");
+            self.now = Time(at);
+            self.events_processed += 1;
             self.gms_advance();
-            match ev.kind {
-                EvKind::Arrive(idx) => self.on_arrive(idx),
+            match kind {
+                EvKind::Arrive(_) | EvKind::Wake(_) => {
+                    // Drain the maximal run of same-tick arrival/wake
+                    // events and apply it as one batch. Kills, timers
+                    // and samples break the run: they are handled
+                    // per-item, in event order, by the outer loop.
+                    batch.clear();
+                    batch.push(kind);
+                    while let Some((t2, _, k2)) = self.events.peek() {
+                        if t2 != at || !matches!(k2, EvKind::Arrive(_) | EvKind::Wake(_)) {
+                            break;
+                        }
+                        let (_, _, k2) = self.events.pop().expect("peeked");
+                        self.events_processed += 1;
+                        batch.push(k2);
+                    }
+                    if batch.len() == 1 {
+                        match batch[0].clone() {
+                            EvKind::Arrive(idx) => self.on_arrive(idx),
+                            EvKind::Wake(id) => self.on_wake(id),
+                            _ => unreachable!(),
+                        }
+                    } else {
+                        self.on_tick_batch(&batch);
+                    }
+                }
                 EvKind::Kill(idx) => self.on_kill(idx),
-                EvKind::Wake(id) => self.on_wake(id),
                 EvKind::CpuTimer { cpu, token } => self.on_cpu_timer(cpu, token),
                 EvKind::Sample => self.on_sample(),
+            }
+            if self.trace_buf.len() >= TRACE_FLUSH_EVENTS {
+                self.rec.emit_many(std::mem::take(&mut self.trace_buf));
             }
         }
         // Wind down at the end-of-run instant.
@@ -372,6 +497,7 @@ impl Simulator {
             self.cfg.duration,
             self.sched.stats(),
             self.ctx_switches,
+            self.events_processed,
         );
         if let Some(g) = &self.gms {
             for t in &mut report.tasks {
@@ -389,46 +515,150 @@ impl Simulator {
 
     // ---- event handlers -------------------------------------------------
 
-    fn on_arrive(&mut self, idx: usize) {
-        let a = &mut self.arrivals[idx];
-        let id = TaskId(self.next_id);
-        self.next_id += 1;
-        a.spawned = Some(id);
-        let behavior = a.spec.build(a.seed);
+    /// Creates the task for arrival `idx` (registering it with the
+    /// trace) without resolving its first phase.
+    fn spawn_arrival(&mut self, idx: usize) -> TaskId {
+        let (label, weight, stream, tenant, behavior) = {
+            let a = &self.arrivals[idx];
+            (a.label, a.weight, a.stream, a.tenant, a.spec.build(a.seed))
+        };
         let iteration_cost = behavior.iteration_cost();
-        let name = a.name.clone();
-        let weight = a.weight;
-        let stream = a.stream;
-        let tenant = a.tenant;
+        let id = self.tasks.push(weight, tenant, stream, behavior, self.now);
+        self.arrivals[idx].spawned = Some(id);
         self.tenants_present |= tenant.is_some();
         self.trace
-            .register(id, &name, weight.get(), tenant, iteration_cost, self.now);
-        self.rec.register_task(id, &name, weight.get(), tenant);
-        self.tasks.insert(
-            id,
-            SimTask {
-                weight,
-                behavior,
-                attached: false,
-                state: TState::Sleeping,
-                remaining: Duration::ZERO,
-                last_wake: self.now,
-                awaiting_response: false,
-                stream,
-                tenant,
-            },
-        );
+            .register_label(id, label, weight.get(), tenant, iteration_cost, self.now);
+        if self.rec.on() {
+            let name = self.trace.render(label);
+            self.rec.register_task(id, &name, weight.get(), tenant);
+        }
+        id
+    }
+
+    fn on_arrive(&mut self, idx: usize) {
+        let id = self.spawn_arrival(idx);
         self.continue_task(id);
+    }
+
+    /// Applies a same-tick run of arrival/wake events as one batch:
+    /// each event resolves its task's next phase in event order, with
+    /// the scheduler insertions deferred and grouped into maximal
+    /// consecutive same-operation runs ([`Scheduler::arrive_batch`] /
+    /// [`Scheduler::wake_batch`]). A detach (a task exiting mid-batch)
+    /// flushes the pending run first, so the scheduler observes every
+    /// mutation in exact event order — only *consecutive identical*
+    /// operations are fused. One dispatch sweep runs after the batch,
+    /// then wake preemption is checked per made-runnable task in event
+    /// order.
+    fn on_tick_batch(&mut self, batch: &[EvKind]) {
+        let mut made_runnable: Vec<TaskId> = Vec::with_capacity(batch.len());
+        let mut attaches: Vec<(TaskId, Weight, Option<TenantId>)> = Vec::new();
+        let mut wakes: Vec<TaskId> = Vec::new();
+        for ev in batch {
+            match *ev {
+                EvKind::Arrive(idx) => {
+                    let id = self.spawn_arrival(idx);
+                    self.resolve_batched(id, &mut attaches, &mut wakes, &mut made_runnable);
+                }
+                EvKind::Wake(id) => {
+                    if self.tasks.state[TaskArena::idx(id)] != TState::Sleeping {
+                        continue; // killed or already woken
+                    }
+                    self.resolve_batched(id, &mut attaches, &mut wakes, &mut made_runnable);
+                }
+                _ => unreachable!("only arrivals and wakes batch"),
+            }
+        }
+        self.flush_attaches(&mut attaches);
+        self.flush_wakes(&mut wakes);
+        self.dispatch_all();
+        for id in made_runnable {
+            self.preempt_check(id);
+        }
+    }
+
+    fn flush_attaches(&mut self, buf: &mut Vec<(TaskId, Weight, Option<TenantId>)>) {
+        if buf.is_empty() {
+            return;
+        }
+        self.sched.arrive_batch(buf, self.now);
+        buf.clear();
+    }
+
+    fn flush_wakes(&mut self, buf: &mut Vec<TaskId>) {
+        if buf.is_empty() {
+            return;
+        }
+        self.sched.wake_batch(buf, self.now);
+        buf.clear();
+    }
+
+    /// The batched counterpart of [`Simulator::continue_task`]: resolves
+    /// the task's next phase and, if it becomes runnable, queues the
+    /// scheduler insertion in the pending same-operation run (flushing
+    /// the *other* operation's run first, so at most one is ever
+    /// pending and the scheduler-call order is preserved).
+    fn resolve_batched(
+        &mut self,
+        id: TaskId,
+        attaches: &mut Vec<(TaskId, Weight, Option<TenantId>)>,
+        wakes: &mut Vec<TaskId>,
+        made_runnable: &mut Vec<TaskId>,
+    ) {
+        let i = TaskArena::idx(id);
+        match self.resolve_next_phase(id) {
+            Resolved::Compute(d) => {
+                self.tasks.remaining[i] = d;
+                self.tasks.last_wake[i] = self.now;
+                self.tasks.awaiting_response[i] = true;
+                if self.tasks.attached[i] {
+                    self.flush_attaches(attaches);
+                    wakes.push(id);
+                    if let Some(g) = &mut self.gms {
+                        g.set_runnable(id, true);
+                    }
+                } else {
+                    self.flush_wakes(wakes);
+                    let weight = self.tasks.weight[i];
+                    let tenant = self.tasks.tenant[i];
+                    attaches.push((id, weight, tenant));
+                    self.tasks.attached[i] = true;
+                    if let Some(g) = &mut self.gms {
+                        g.add(id, weight, true);
+                    }
+                }
+                self.tasks.state[i] = TState::Ready;
+                if self.rec.on() {
+                    self.trace_buf.push(TraceEvent::Wake {
+                        t: self.now.as_nanos(),
+                        task: id,
+                    });
+                }
+                made_runnable.push(id);
+            }
+            Resolved::Sleep(until) => {
+                self.tasks.state[i] = TState::Sleeping;
+                self.post(until, EvKind::Wake(id));
+            }
+            Resolved::Exit => {
+                if self.tasks.attached[i] {
+                    // The detach must hit the scheduler at its exact
+                    // position in the event order.
+                    self.flush_attaches(attaches);
+                    self.flush_wakes(wakes);
+                    self.sched.detach(id, self.now);
+                }
+                self.finish_task(id);
+            }
+        }
     }
 
     fn on_kill(&mut self, idx: usize) {
         let Some(id) = self.arrivals[idx].spawned else {
             return;
         };
-        let Some(task) = self.tasks.get(&id) else {
-            return;
-        };
-        match task.state {
+        let i = TaskArena::idx(id);
+        match self.tasks.state[i] {
             TState::Exited => {}
             TState::Running(cpu) => {
                 self.stop_running(cpu, SwitchReason::Exited);
@@ -440,7 +670,7 @@ impl Simulator {
                 self.finish_task(id);
             }
             TState::Sleeping => {
-                if task.attached {
+                if self.tasks.attached[i] {
                     self.sched.detach(id, self.now);
                 }
                 self.finish_task(id);
@@ -449,10 +679,7 @@ impl Simulator {
     }
 
     fn on_wake(&mut self, id: TaskId) {
-        let Some(task) = self.tasks.get(&id) else {
-            return;
-        };
-        if task.state != TState::Sleeping {
+        if self.tasks.state[TaskArena::idx(id)] != TState::Sleeping {
             return; // killed or already woken
         }
         self.continue_task(id);
@@ -464,27 +691,26 @@ impl Simulator {
         }
         let id = self.cpus[cpu_idx].current.expect("timer fired on idle CPU");
         self.charge_compute(cpu_idx);
-        let task = self.tasks.get_mut(&id).unwrap();
-        if !task.remaining.is_zero() {
+        let i = TaskArena::idx(id);
+        if !self.tasks.remaining[i].is_zero() {
             // Quantum expired mid-phase.
             self.stop_running(cpu_idx, SwitchReason::Preempted);
-            self.tasks.get_mut(&id).unwrap().state = TState::Ready;
+            self.tasks.state[i] = TState::Ready;
             self.dispatch(cpu_idx);
             return;
         }
         // The compute phase completed.
-        let response = if task.awaiting_response {
-            task.awaiting_response = false;
-            Some(self.now.since(task.last_wake))
+        let response = if self.tasks.awaiting_response[i] {
+            self.tasks.awaiting_response[i] = false;
+            Some(self.now.since(self.tasks.last_wake[i]))
         } else {
             None
         };
         self.trace.complete(id, response);
         match self.resolve_next_phase(id) {
             Resolved::Compute(d) => {
+                self.tasks.remaining[i] = d;
                 let cpu = &mut self.cpus[cpu_idx];
-                let task = self.tasks.get_mut(&id).unwrap();
-                task.remaining = d;
                 if self.now < cpu.quantum_deadline {
                     // Keep running within the same quantum.
                     cpu.token += 1;
@@ -499,13 +725,13 @@ impl Simulator {
                     );
                 } else {
                     self.stop_running(cpu_idx, SwitchReason::Preempted);
-                    self.tasks.get_mut(&id).unwrap().state = TState::Ready;
+                    self.tasks.state[i] = TState::Ready;
                     self.dispatch(cpu_idx);
                 }
             }
             Resolved::Sleep(until) => {
                 self.stop_running(cpu_idx, SwitchReason::Blocked);
-                self.tasks.get_mut(&id).unwrap().state = TState::Sleeping;
+                self.tasks.state[i] = TState::Sleeping;
                 if let Some(g) = &mut self.gms {
                     g.set_runnable(id, false);
                 }
@@ -521,24 +747,24 @@ impl Simulator {
     }
 
     fn on_sample(&mut self) {
-        let in_flight: Vec<(TaskId, Duration)> = self
-            .cpus
-            .iter()
-            .filter_map(|c| c.current.map(|id| (id, self.now.since(c.dispatched_at))))
-            .collect();
-        let ids: Vec<TaskId> = self
-            .tasks
-            .iter()
-            .filter(|(_, t)| t.state != TState::Exited)
-            .map(|(&id, _)| id)
-            .collect();
-        for id in ids {
-            let extra = in_flight
+        if !self.cfg.lean {
+            let in_flight: Vec<(TaskId, Duration)> = self
+                .cpus
                 .iter()
-                .find(|(i, _)| *i == id)
-                .map(|(_, d)| *d)
-                .unwrap_or(Duration::ZERO);
-            self.trace.sample(id, self.now, extra);
+                .filter_map(|c| c.current.map(|id| (id, self.now.since(c.dispatched_at))))
+                .collect();
+            for i in 0..self.tasks.len() {
+                if self.tasks.state[i] == TState::Exited {
+                    continue;
+                }
+                let id = TaskId(i as u64 + 1);
+                let extra = in_flight
+                    .iter()
+                    .find(|(other, _)| *other == id)
+                    .map(|(_, d)| *d)
+                    .unwrap_or(Duration::ZERO);
+                self.trace.sample(id, self.now, extra);
+            }
         }
         self.record_counters();
         let next = self.now + self.cfg.sample_every;
@@ -548,9 +774,11 @@ impl Simulator {
     }
 
     fn final_sample(&mut self) {
-        let ids: Vec<TaskId> = self.tasks.keys().copied().collect();
-        for id in ids {
-            self.trace.sample(id, self.now, Duration::ZERO);
+        if !self.cfg.lean {
+            for i in 0..self.tasks.len() {
+                self.trace
+                    .sample(TaskId(i as u64 + 1), self.now, Duration::ZERO);
+            }
         }
         self.record_counters();
     }
@@ -560,21 +788,20 @@ impl Simulator {
     /// Pulls the task's next phase(s) after an arrival or wakeup and
     /// moves it into the right state.
     fn continue_task(&mut self, id: TaskId) {
+        let i = TaskArena::idx(id);
         match self.resolve_next_phase(id) {
             Resolved::Compute(d) => {
-                let task = self.tasks.get_mut(&id).unwrap();
-                task.remaining = d;
-                task.last_wake = self.now;
-                task.awaiting_response = true;
+                self.tasks.remaining[i] = d;
+                self.tasks.last_wake[i] = self.now;
+                self.tasks.awaiting_response[i] = true;
                 self.make_runnable(id);
             }
             Resolved::Sleep(until) => {
-                self.tasks.get_mut(&id).unwrap().state = TState::Sleeping;
+                self.tasks.state[i] = TState::Sleeping;
                 self.post(until, EvKind::Wake(id));
             }
             Resolved::Exit => {
-                let task = &self.tasks[&id];
-                if task.attached {
+                if self.tasks.attached[i] {
                     self.sched.detach(id, self.now);
                 }
                 self.finish_task(id);
@@ -585,10 +812,10 @@ impl Simulator {
     /// Resolves behaviour output to a definite next step, skipping
     /// zero-cost computes and past deadlines.
     fn resolve_next_phase(&mut self, id: TaskId) -> Resolved {
+        let i = TaskArena::idx(id);
         for _ in 0..10_000 {
             let now = self.now;
-            let task = self.tasks.get_mut(&id).unwrap();
-            match task.behavior.next(now) {
+            match self.tasks.behavior[i].next(now) {
                 Phase::Compute(d) if !d.is_zero() => return Resolved::Compute(d),
                 Phase::Compute(_) => {
                     self.trace.complete(id, None);
@@ -606,24 +833,22 @@ impl Simulator {
     }
 
     fn make_runnable(&mut self, id: TaskId) {
-        {
-            let task = self.tasks.get_mut(&id).unwrap();
-            let weight = task.weight;
-            let tenant = task.tenant;
-            if task.attached {
-                self.sched.wake(id, self.now);
-                if let Some(g) = &mut self.gms {
-                    g.set_runnable(id, true);
-                }
-            } else {
-                self.sched.attach_tenant(id, weight, tenant, self.now);
-                task.attached = true;
-                if let Some(g) = &mut self.gms {
-                    g.add(id, weight, true);
-                }
+        let i = TaskArena::idx(id);
+        let weight = self.tasks.weight[i];
+        let tenant = self.tasks.tenant[i];
+        if self.tasks.attached[i] {
+            self.sched.wake(id, self.now);
+            if let Some(g) = &mut self.gms {
+                g.set_runnable(id, true);
             }
-            self.tasks.get_mut(&id).unwrap().state = TState::Ready;
+        } else {
+            self.sched.attach_tenant(id, weight, tenant, self.now);
+            self.tasks.attached[i] = true;
+            if let Some(g) = &mut self.gms {
+                g.add(id, weight, true);
+            }
         }
+        self.tasks.state[i] = TState::Ready;
         if self.rec.on() {
             self.trace_buf.push(TraceEvent::Wake {
                 t: self.now.as_nanos(),
@@ -635,12 +860,12 @@ impl Simulator {
     }
 
     fn finish_task(&mut self, id: TaskId) {
-        let task = self.tasks.get_mut(&id).unwrap();
-        task.state = TState::Exited;
-        let stream = task.stream;
+        let i = TaskArena::idx(id);
+        self.tasks.state[i] = TState::Exited;
+        let stream = self.tasks.stream[i];
         self.trace.exited(id, self.now);
         if let Some(g) = &mut self.gms {
-            if task.attached {
+            if self.tasks.attached[i] {
                 g.remove(id);
             }
         }
@@ -649,9 +874,12 @@ impl Simulator {
             let s = &mut self.streams[sidx];
             if next_at < s.until {
                 s.spawned += 1;
-                let name = format!("{}#{}", s.prefix, s.spawned);
+                let label = TaskLabel {
+                    sym: s.sym,
+                    replica: s.spawned as u32,
+                };
                 let (weight, spec) = (s.weight, s.spec.clone());
-                self.schedule_arrival_inner(next_at, name, weight, spec, None, Some(sidx));
+                self.schedule_arrival_inner(next_at, label, weight, spec, None, Some(sidx));
             }
         }
     }
@@ -697,10 +925,14 @@ impl Simulator {
             Duration::ZERO
         };
         let slice = self.sched.time_slice(next);
-        let task = self.tasks.get_mut(&next).unwrap();
-        debug_assert_eq!(task.state, TState::Ready, "dispatching non-ready task");
-        task.state = TState::Running(cpu_idx);
-        let remaining = task.remaining;
+        let i = TaskArena::idx(next);
+        debug_assert_eq!(
+            self.tasks.state[i],
+            TState::Ready,
+            "dispatching non-ready task"
+        );
+        self.tasks.state[i] = TState::Running(cpu_idx);
+        let remaining = self.tasks.remaining[i];
         let cpu = &mut self.cpus[cpu_idx];
         cpu.current = Some(next);
         cpu.dispatched_at = self.now;
@@ -724,8 +956,8 @@ impl Simulator {
         let id = cpu.current.expect("charging idle CPU");
         let elapsed = self.now.since(cpu.last_charge);
         cpu.last_charge = self.now.max(cpu.last_charge);
-        let task = self.tasks.get_mut(&id).unwrap();
-        task.remaining = task.remaining.saturating_sub(elapsed);
+        let i = TaskArena::idx(id);
+        self.tasks.remaining[i] = self.tasks.remaining[i].saturating_sub(elapsed);
     }
 
     /// Removes the current task from a CPU, reporting actual usage to
@@ -748,7 +980,7 @@ impl Simulator {
                 reason,
             });
             if self.tenants_present {
-                if let Some(tenant) = self.tasks.get(&id).and_then(|task| task.tenant) {
+                if let Some(tenant) = self.tasks.tenant[TaskArena::idx(id)] {
                     self.rec.add_tenant_service(t, tenant, q.as_nanos());
                 }
             }
@@ -756,7 +988,7 @@ impl Simulator {
     }
 
     fn preempt_check(&mut self, woken: TaskId) {
-        if self.tasks.get(&woken).map(|t| t.state) != Some(TState::Ready) {
+        if self.tasks.state[TaskArena::idx(woken)] != TState::Ready {
             return;
         }
         let candidates: Vec<(usize, TaskId, Duration)> = self
@@ -782,7 +1014,7 @@ impl Simulator {
             });
         }
         self.stop_running(i, SwitchReason::Preempted);
-        self.tasks.get_mut(&running).unwrap().state = TState::Ready;
+        self.tasks.state[TaskArena::idx(running)] = TState::Ready;
         self.dispatch(i);
     }
 
@@ -1137,5 +1369,83 @@ mod tests {
                 assert!(w[1].1 >= w[0].1 - 1e-9, "{} not monotone", t.name);
             }
         }
+    }
+
+    #[test]
+    fn engine_counts_events() {
+        let mut sim = Simulator::new(quick_cfg(1, 2), sfs(1));
+        sim.schedule_arrival(Time::ZERO, "a", weight(1), BehaviorSpec::Inf);
+        sim.schedule_arrival(Time::ZERO, "b", weight(1), BehaviorSpec::Inf);
+        let rep = sim.run();
+        // At least the arrivals, the samples, and one timer per quantum.
+        assert!(rep.engine_events > 100, "{}", rep.engine_events);
+    }
+
+    #[test]
+    fn lean_mode_matches_full_mode_service_totals() {
+        let run = |lean: bool| {
+            let cfg = SimConfig {
+                lean,
+                ..quick_cfg(2, 5)
+            };
+            let mut sim = Simulator::new(cfg, sfs(2));
+            sim.schedule_arrival(Time::ZERO, "a", weight(3), BehaviorSpec::Inf);
+            sim.schedule_arrival(
+                Time::ZERO,
+                "b",
+                weight(1),
+                BehaviorSpec::Finite(Duration::from_millis(500)),
+            );
+            sim.schedule_arrival(
+                Time::from_millis(100),
+                "c",
+                weight(1),
+                BehaviorSpec::Interact {
+                    think: Duration::from_millis(50),
+                    burst: Duration::from_millis(5),
+                },
+            );
+            sim.run()
+        };
+        let full = run(false);
+        let lean = run(true);
+        // Lean mode changes what is *recorded*, never what happens.
+        assert_eq!(lean.total_service(), full.total_service());
+        assert_eq!(lean.ctx_switches, full.ctx_switches);
+        assert_eq!(lean.engine_events, full.engine_events);
+        let s = lean.summary.expect("lean summary");
+        assert!(lean.tasks.is_empty());
+        assert_eq!(s.tasks, full.tasks.len() as u64);
+        let full_completions: u64 = full.tasks.iter().map(|t| t.completions).sum();
+        assert_eq!(s.completions, full_completions);
+        assert_eq!(
+            s.exited,
+            full.tasks.iter().filter(|t| t.exited.is_some()).count() as u64
+        );
+    }
+
+    #[test]
+    fn same_tick_arrival_burst_is_fair_and_deterministic() {
+        // 64 tasks arriving at the same instant exercise the batched
+        // arrive path end to end (one arrive_batch, one dispatch sweep).
+        let run = || {
+            let mut sim = Simulator::new(quick_cfg(2, 3), sfs(2));
+            for k in 0..64 {
+                sim.schedule_arrival(Time::ZERO, &format!("t{k}"), weight(1), BehaviorSpec::Inf);
+            }
+            sim.run()
+        };
+        let rep = run();
+        let shares = rep.shares();
+        for (i, s) in shares.iter().enumerate() {
+            assert!(
+                (s - 1.0 / 64.0).abs() < 0.2 / 64.0,
+                "task {i} share {s} far from 1/64"
+            );
+        }
+        let again = run();
+        let a: Vec<_> = rep.tasks.iter().map(|t| t.service).collect();
+        let b: Vec<_> = again.tasks.iter().map(|t| t.service).collect();
+        assert_eq!(a, b, "batched runs must stay deterministic");
     }
 }

@@ -42,6 +42,7 @@
 pub mod engine;
 pub mod scenario;
 pub mod trace;
+pub mod wheel;
 
 pub use engine::{SimConfig, Simulator};
 pub use scenario::{Scenario, ScenarioError, StreamSpec, TaskSpec};

@@ -340,15 +340,16 @@ impl Scenario {
         let mut sim = Simulator::new(self.config.clone(), sched).with_recorder(rec);
         for (spec, tenant) in self.tasks.iter().zip(bindings) {
             let weight = Weight::new(spec.weight).expect("validated non-zero");
+            // One interned base name per spec: replicas render as
+            // "{base}#{k}" at report time, so a 10⁶-replica spec never
+            // allocates per-task name strings.
+            let sym = sim.intern_name(&spec.name);
             for k in 0..spec.count.max(1) {
-                let name = if spec.count > 1 {
-                    format!("{}#{}", spec.name, k + 1)
-                } else {
-                    spec.name.clone()
-                };
-                let idx = sim.schedule_arrival_tenant(
+                let replica = if spec.count > 1 { (k + 1) as u32 } else { 0 };
+                let idx = sim.schedule_arrival_replica(
                     spec.arrive,
-                    &name,
+                    sym,
+                    replica,
                     weight,
                     spec.behavior.clone(),
                     tenant,

@@ -449,7 +449,7 @@ fn task_json(id: TaskId) -> Json {
     Json::Int(i128::from(id.0))
 }
 
-fn event_to_json(ev: &TraceEvent) -> Json {
+pub(crate) fn event_to_json(ev: &TraceEvent) -> Json {
     let t = |t: u64| Json::Int(i128::from(t));
     match *ev {
         TraceEvent::SliceBegin { t: ts, cpu, task } => obj(vec![
@@ -536,7 +536,7 @@ fn event_to_json(ev: &TraceEvent) -> Json {
     }
 }
 
-fn event_from_json(v: &Json) -> Result<TraceEvent, TraceError> {
+pub(crate) fn event_from_json(v: &Json) -> Result<TraceEvent, TraceError> {
     let cpu = |v: &Json| -> Result<u32, TraceError> {
         u32::try_from(want_u64(v, "cpu")?)
             .map_err(|_| TraceError::Malformed("cpu index overflow".into()))
@@ -605,82 +605,84 @@ fn event_from_json(v: &Json) -> Result<TraceEvent, TraceError> {
     }
 }
 
+pub(crate) fn meta_to_json(m: &TraceMeta) -> Json {
+    obj(vec![
+        ("substrate", Json::Str(m.substrate.clone())),
+        ("scenario", Json::Str(m.scenario.clone())),
+        ("policy", Json::Str(m.policy.clone())),
+        ("cpus", Json::Int(i128::from(m.cpus))),
+        (
+            "tenants",
+            Json::Arr(m.tenants.iter().map(|t| Json::Str(t.clone())).collect()),
+        ),
+    ])
+}
+
+pub(crate) fn meta_from_json(m: &Json) -> Result<TraceMeta, TraceError> {
+    Ok(TraceMeta {
+        substrate: want_str(m, "substrate")?.to_string(),
+        scenario: want_str(m, "scenario")?.to_string(),
+        policy: want_str(m, "policy")?.to_string(),
+        cpus: u32::try_from(want_u64(m, "cpus")?)
+            .map_err(|_| TraceError::Malformed("cpu count overflow".into()))?,
+        tenants: want_arr(m, "tenants")?
+            .iter()
+            .map(|t| {
+                t.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| TraceError::Malformed("tenant name is not a string".into()))
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+pub(crate) fn task_meta_to_json(t: &TaskMeta) -> Json {
+    obj(vec![
+        ("id", Json::Int(i128::from(t.id.0))),
+        ("name", Json::Str(t.name.clone())),
+        ("weight", Json::Int(i128::from(t.weight))),
+        (
+            "tenant",
+            t.tenant.map_or(Json::Null, |x| Json::Int(i128::from(x.0))),
+        ),
+    ])
+}
+
+pub(crate) fn task_meta_from_json(t: &Json) -> Result<TaskMeta, TraceError> {
+    let tenant = match want(t, "tenant")? {
+        Json::Null => None,
+        other => Some(TenantId(
+            u32::try_from(
+                other
+                    .as_u64()
+                    .ok_or_else(|| TraceError::Malformed("tenant id is not a u32".into()))?,
+            )
+            .map_err(|_| TraceError::Malformed("tenant id overflow".into()))?,
+        )),
+    };
+    Ok(TaskMeta {
+        id: TaskId(want_u64(t, "id")?),
+        name: want_str(t, "name")?.to_string(),
+        weight: want_u64(t, "weight")?,
+        tenant,
+    })
+}
+
 impl EventTrace {
     /// Serializes the whole trace (metadata, registry, events) to JSON.
     pub fn to_json(&self) -> Json {
-        let meta = obj(vec![
-            ("substrate", Json::Str(self.meta.substrate.clone())),
-            ("scenario", Json::Str(self.meta.scenario.clone())),
-            ("policy", Json::Str(self.meta.policy.clone())),
-            ("cpus", Json::Int(i128::from(self.meta.cpus))),
-            (
-                "tenants",
-                Json::Arr(
-                    self.meta
-                        .tenants
-                        .iter()
-                        .map(|t| Json::Str(t.clone()))
-                        .collect(),
-                ),
-            ),
-        ]);
-        let tasks = Json::Arr(
-            self.tasks
-                .iter()
-                .map(|t| {
-                    obj(vec![
-                        ("id", Json::Int(i128::from(t.id.0))),
-                        ("name", Json::Str(t.name.clone())),
-                        ("weight", Json::Int(i128::from(t.weight))),
-                        (
-                            "tenant",
-                            t.tenant.map_or(Json::Null, |x| Json::Int(i128::from(x.0))),
-                        ),
-                    ])
-                })
-                .collect(),
-        );
+        let meta = meta_to_json(&self.meta);
+        let tasks = Json::Arr(self.tasks.iter().map(task_meta_to_json).collect());
         let events = Json::Arr(self.events.iter().map(event_to_json).collect());
         obj(vec![("meta", meta), ("tasks", tasks), ("events", events)])
     }
 
     /// Rebuilds a trace from [`EventTrace::to_json`] output.
     pub fn from_json(v: &Json) -> Result<EventTrace, TraceError> {
-        let m = want(v, "meta")?;
-        let meta = TraceMeta {
-            substrate: want_str(m, "substrate")?.to_string(),
-            scenario: want_str(m, "scenario")?.to_string(),
-            policy: want_str(m, "policy")?.to_string(),
-            cpus: u32::try_from(want_u64(m, "cpus")?)
-                .map_err(|_| TraceError::Malformed("cpu count overflow".into()))?,
-            tenants: want_arr(m, "tenants")?
-                .iter()
-                .map(|t| {
-                    t.as_str()
-                        .map(str::to_string)
-                        .ok_or_else(|| TraceError::Malformed("tenant name is not a string".into()))
-                })
-                .collect::<Result<Vec<_>, _>>()?,
-        };
+        let meta = meta_from_json(want(v, "meta")?)?;
         let tasks = want_arr(v, "tasks")?
             .iter()
-            .map(|t| {
-                let tenant = match want(t, "tenant")? {
-                    Json::Null => None,
-                    other => Some(TenantId(
-                        u32::try_from(other.as_u64().ok_or_else(|| {
-                            TraceError::Malformed("tenant id is not a u32".into())
-                        })?)
-                        .map_err(|_| TraceError::Malformed("tenant id overflow".into()))?,
-                    )),
-                };
-                Ok(TaskMeta {
-                    id: TaskId(want_u64(t, "id")?),
-                    name: want_str(t, "name")?.to_string(),
-                    weight: want_u64(t, "weight")?,
-                    tenant,
-                })
-            })
+            .map(task_meta_from_json)
             .collect::<Result<Vec<_>, TraceError>>()?;
         let events = want_arr(v, "events")?
             .iter()

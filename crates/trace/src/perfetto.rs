@@ -32,9 +32,11 @@
 //!
 //! The output opens directly in <https://ui.perfetto.dev>.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeSet, HashMap};
 
-use crate::event::{CounterTrack, EventTrace, TraceError, TraceEvent};
+use sfs_core::task::TaskId;
+
+use crate::event::{CounterTrack, EventTrace, TaskMeta, TraceError, TraceEvent, TraceMeta};
 
 const WIRE_VARINT: u64 = 0;
 const WIRE_FIXED64: u64 = 1;
@@ -141,52 +143,84 @@ fn counter_track_key(track: CounterTrack) -> u64 {
     }
 }
 
-/// Encodes a trace as a Perfetto `Trace` protobuf, ready to be written
-/// to a `.perfetto-trace` file and opened in the Perfetto UI.
-pub fn encode(trace: &EventTrace) -> Vec<u8> {
-    let mut out = Vec::new();
-    let mut packet = |pkt: &[u8]| {
-        put_len_field(&mut out, 1, pkt);
-    };
+/// An incremental Perfetto encoder: feed it task registrations and
+/// event chunks as they complete and it appends self-contained packets.
+/// Concatenating the chunk outputs yields exactly one valid `Trace`
+/// protobuf — length-delimited packets are concatenable, so a streaming
+/// writer ([`crate::stream::PerfettoStream`]) can flush each chunk to
+/// disk while a run is still in flight.
+///
+/// Track descriptors are emitted lazily: the fixed tracks (CPUs, sched
+/// events) go out with the first chunk, and each counter track's
+/// descriptor precedes its first sample. Whole-trace
+/// [`encode`] is a one-chunk wrapper over this type.
+pub struct Encoder {
+    meta: TraceMeta,
+    names: HashMap<TaskId, String>,
+    counters_declared: BTreeSet<u64>,
+    header_done: bool,
+}
 
-    for cpu in 0..trace.meta.cpus.max(1) {
-        packet(&track_descriptor_packet(
-            CPU_TRACK_BASE + u64::from(cpu),
-            &format!("cpu {cpu} ({})", trace.meta.substrate),
-            false,
-        ));
-    }
-    packet(&track_descriptor_packet(
-        EVENTS_TRACK,
-        "sched events",
-        false,
-    ));
-
-    // One descriptor per counter series that actually has samples.
-    let mut counter_tracks: BTreeMap<u64, CounterTrack> = BTreeMap::new();
-    for ev in &trace.events {
-        if let TraceEvent::Counter { track, .. } = *ev {
-            counter_tracks
-                .entry(counter_track_key(track))
-                .or_insert(track);
+impl Encoder {
+    /// A fresh encoder for one trace.
+    pub fn new(meta: TraceMeta) -> Encoder {
+        Encoder {
+            meta,
+            names: HashMap::new(),
+            counters_declared: BTreeSet::new(),
+            header_done: false,
         }
     }
-    for (key, track) in &counter_tracks {
-        packet(&track_descriptor_packet(
-            COUNTER_TRACK_BASE + key,
-            &track.label(&trace.meta),
-            true,
-        ));
+
+    /// Registers tasks; call before encoding any chunk referencing
+    /// them, so slices and instants can be named.
+    pub fn add_tasks(&mut self, tasks: &[TaskMeta]) {
+        for t in tasks {
+            self.names.insert(t.id, t.name.clone());
+        }
     }
 
-    let name_of = |id| trace.task_name(id).unwrap_or("<unregistered>");
-    for ev in &trace.events {
+    fn name_of(&self, id: TaskId) -> &str {
+        self.names.get(&id).map_or("<unregistered>", String::as_str)
+    }
+
+    /// Appends the packets for one chunk of events to `out`. The first
+    /// call also emits the fixed track descriptors.
+    pub fn encode_chunk(&mut self, events: &[TraceEvent], out: &mut Vec<u8>) {
+        if !self.header_done {
+            self.header_done = true;
+            for cpu in 0..self.meta.cpus.max(1) {
+                put_len_field(
+                    out,
+                    1,
+                    &track_descriptor_packet(
+                        CPU_TRACK_BASE + u64::from(cpu),
+                        &format!("cpu {cpu} ({})", self.meta.substrate),
+                        false,
+                    ),
+                );
+            }
+            put_len_field(
+                out,
+                1,
+                &track_descriptor_packet(EVENTS_TRACK, "sched events", false),
+            );
+        }
+        for ev in events {
+            self.encode_event(ev, out);
+        }
+    }
+
+    fn encode_event(&mut self, ev: &TraceEvent, out: &mut Vec<u8>) {
+        let mut packet = |pkt: &[u8]| {
+            put_len_field(out, 1, pkt);
+        };
         match *ev {
             TraceEvent::SliceBegin { t, cpu, task } => {
                 packet(&track_event_packet(t, |tev| {
                     put_varint_field(tev, TEV_TYPE, TYPE_SLICE_BEGIN);
                     put_varint_field(tev, TEV_TRACK_UUID, CPU_TRACK_BASE + u64::from(cpu));
-                    put_string_field(tev, TEV_NAME, name_of(task));
+                    put_string_field(tev, TEV_NAME, self.name_of(task));
                 }));
             }
             TraceEvent::SliceEnd { t, cpu, .. } => {
@@ -196,30 +230,34 @@ pub fn encode(trace: &EventTrace) -> Vec<u8> {
                 }));
             }
             TraceEvent::Counter { t, track, value } => {
+                let key = counter_track_key(track);
+                if self.counters_declared.insert(key) {
+                    packet(&track_descriptor_packet(
+                        COUNTER_TRACK_BASE + key,
+                        &track.label(&self.meta),
+                        true,
+                    ));
+                }
                 packet(&track_event_packet(t, |tev| {
                     put_varint_field(tev, TEV_TYPE, TYPE_COUNTER);
-                    put_varint_field(
-                        tev,
-                        TEV_TRACK_UUID,
-                        COUNTER_TRACK_BASE + counter_track_key(track),
-                    );
+                    put_varint_field(tev, TEV_TRACK_UUID, COUNTER_TRACK_BASE + key);
                     put_double_field(tev, TEV_DOUBLE_COUNTER, value);
                 }));
             }
             ref instant => {
                 let label = match *instant {
                     TraceEvent::CtxSwitch { cpu, from, to, .. } => {
-                        let from = from.map_or("idle", &name_of);
-                        format!("switch cpu{cpu}: {from} -> {}", name_of(to))
+                        let from = from.map_or("idle", |id| self.name_of(id));
+                        format!("switch cpu{cpu}: {from} -> {}", self.name_of(to))
                     }
-                    TraceEvent::Wake { task, .. } => format!("wake {}", name_of(task)),
+                    TraceEvent::Wake { task, .. } => format!("wake {}", self.name_of(task)),
                     TraceEvent::PreemptEvict {
                         cpu, victim, by, ..
                     } => {
                         format!(
                             "preempt cpu{cpu}: {} evicts {}",
-                            name_of(by),
-                            name_of(victim)
+                            self.name_of(by),
+                            self.name_of(victim)
                         )
                     }
                     TraceEvent::Migrate {
@@ -231,7 +269,7 @@ pub fn encode(trace: &EventTrace) -> Vec<u8> {
                     } => {
                         format!(
                             "{kind:?} {}: shard {from_shard} -> {to_shard}",
-                            name_of(task)
+                            self.name_of(task)
                         )
                     }
                     TraceEvent::Readjust { calls, clamped, .. } => {
@@ -247,6 +285,15 @@ pub fn encode(trace: &EventTrace) -> Vec<u8> {
             }
         }
     }
+}
+
+/// Encodes a trace as a Perfetto `Trace` protobuf, ready to be written
+/// to a `.perfetto-trace` file and opened in the Perfetto UI.
+pub fn encode(trace: &EventTrace) -> Vec<u8> {
+    let mut enc = Encoder::new(trace.meta.clone());
+    enc.add_tasks(&trace.tasks);
+    let mut out = Vec::new();
+    enc.encode_chunk(&trace.events, &mut out);
     out
 }
 

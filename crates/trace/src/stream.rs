@@ -1,0 +1,311 @@
+//! Streaming trace export.
+//!
+//! A whole-run [`EventTrace`] of a mega-scale run does not fit in
+//! memory comfortably, and batch export means no output until the run
+//! ends. This module defines [`ChunkSink`] — a consumer of *completed
+//! event chunks* — and two sinks that write well-formed output
+//! incrementally:
+//!
+//! * [`PerfettoStream`] appends protobuf packets per chunk (the Trace
+//!   message is a plain sequence of length-delimited packets, so chunk
+//!   outputs concatenate into one valid `.perfetto-trace` file);
+//! * [`JsonlStream`] writes JSON Lines: one `meta` line, then one line
+//!   per task registration and per event, reassembled by
+//!   [`read_jsonl`].
+//!
+//! A [`crate::TraceRecorder`] created with
+//! [`crate::TraceRecorder::streaming`] forwards every flushed buffer to
+//! its sink and drops it from memory, so resident trace state stays
+//! bounded by the emitters' flush interval regardless of run length.
+
+use std::io::{self, Write};
+
+use crate::event::{EventTrace, TaskMeta, TraceError, TraceEvent, TraceMeta};
+use crate::json::{
+    self, event_from_json, event_to_json, meta_from_json, meta_to_json, task_meta_from_json,
+    task_meta_to_json, Json,
+};
+use crate::perfetto::Encoder;
+
+/// A consumer of completed event chunks from an in-flight recording.
+///
+/// `chunk` receives the tasks registered since the previous call and
+/// the next run of events, in emission order; `finish` is called
+/// exactly once after the last chunk. Implementations must produce
+/// output whose concatenation over all calls is a complete export of
+/// the whole trace.
+pub trait ChunkSink: Send {
+    /// Consumes newly registered tasks and the next run of events.
+    fn chunk(&mut self, new_tasks: &[TaskMeta], events: &[TraceEvent]) -> io::Result<()>;
+
+    /// Flushes any trailing output. Called once, after the last chunk.
+    fn finish(&mut self) -> io::Result<()>;
+}
+
+/// Streams Perfetto protobuf packets to a writer, chunk by chunk.
+pub struct PerfettoStream<W: Write + Send> {
+    enc: Encoder,
+    out: W,
+    buf: Vec<u8>,
+}
+
+impl<W: Write + Send> PerfettoStream<W> {
+    /// A stream writing one `.perfetto-trace` byte sequence to `out`.
+    pub fn new(meta: TraceMeta, out: W) -> PerfettoStream<W> {
+        PerfettoStream {
+            enc: Encoder::new(meta),
+            out,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Consumes the stream, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write + Send> ChunkSink for PerfettoStream<W> {
+    fn chunk(&mut self, new_tasks: &[TaskMeta], events: &[TraceEvent]) -> io::Result<()> {
+        self.enc.add_tasks(new_tasks);
+        self.buf.clear();
+        self.enc.encode_chunk(events, &mut self.buf);
+        self.out.write_all(&self.buf)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        // An empty chunk still forces the fixed track descriptors out,
+        // so even an event-less recording yields a valid trace file.
+        self.buf.clear();
+        self.enc.encode_chunk(&[], &mut self.buf);
+        self.out.write_all(&self.buf)?;
+        self.out.flush()
+    }
+}
+
+/// Streams JSON Lines to a writer: a `meta` line first, then one line
+/// per task registration and per event, in arrival order.
+pub struct JsonlStream<W: Write + Send> {
+    out: W,
+    meta: Option<TraceMeta>,
+}
+
+impl<W: Write + Send> JsonlStream<W> {
+    /// A stream writing JSON Lines to `out`.
+    pub fn new(meta: TraceMeta, out: W) -> JsonlStream<W> {
+        JsonlStream {
+            out,
+            meta: Some(meta),
+        }
+    }
+
+    /// Consumes the stream, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    fn write_line(&mut self, kind: &str, v: Json) -> io::Result<()> {
+        let line = json::obj(vec![("k", Json::Str(kind.into())), ("v", v)]);
+        writeln!(self.out, "{line}")
+    }
+
+    fn header(&mut self) -> io::Result<()> {
+        if let Some(meta) = self.meta.take() {
+            self.write_line("meta", meta_to_json(&meta))?;
+        }
+        Ok(())
+    }
+}
+
+impl<W: Write + Send> ChunkSink for JsonlStream<W> {
+    fn chunk(&mut self, new_tasks: &[TaskMeta], events: &[TraceEvent]) -> io::Result<()> {
+        self.header()?;
+        for t in new_tasks {
+            self.write_line("task", task_meta_to_json(t))?;
+        }
+        for ev in events {
+            self.write_line("event", event_to_json(ev))?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.header()?;
+        self.out.flush()
+    }
+}
+
+/// Reassembles an [`EventTrace`] from [`JsonlStream`] output.
+pub fn read_jsonl(text: &str) -> Result<EventTrace, TraceError> {
+    let mut trace: Option<EventTrace> = None;
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = Json::parse(line)?;
+        let kind = json::want_str(&v, "k")?;
+        let body = json::want(&v, "v")?;
+        match kind {
+            "meta" if trace.is_none() => {
+                trace = Some(EventTrace::new(meta_from_json(body)?));
+            }
+            "meta" => {
+                return Err(TraceError::Malformed(format!(
+                    "line {}: duplicate meta line",
+                    n + 1
+                )))
+            }
+            _ => {
+                let trace = trace.as_mut().ok_or_else(|| {
+                    TraceError::Malformed(format!("line {}: {kind} before meta", n + 1))
+                })?;
+                match kind {
+                    "task" => trace.tasks.push(task_meta_from_json(body)?),
+                    "event" => trace.events.push(event_from_json(body)?),
+                    other => {
+                        return Err(TraceError::Malformed(format!(
+                            "line {}: unknown line kind {other:?}",
+                            n + 1
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    trace.ok_or_else(|| TraceError::Malformed("empty jsonl trace".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use sfs_core::sched::SwitchReason;
+    use sfs_core::task::{TaskId, TenantId};
+
+    use super::*;
+    use crate::event::CounterTrack;
+    use crate::perfetto::{encode, validate_encoded};
+
+    fn sample_trace() -> EventTrace {
+        let mut trace = EventTrace::new(TraceMeta {
+            substrate: "sim".into(),
+            scenario: "stream".into(),
+            policy: "sfs".into(),
+            cpus: 2,
+            tenants: vec!["acme".into()],
+        });
+        for i in 1..=3u64 {
+            trace.tasks.push(TaskMeta {
+                id: TaskId(i),
+                name: format!("T{i}"),
+                weight: i,
+                tenant: (i == 1).then_some(TenantId(0)),
+            });
+        }
+        for k in 0..50u64 {
+            let task = TaskId(k % 3 + 1);
+            trace.events.push(TraceEvent::Wake { t: 10 * k, task });
+            trace.events.push(TraceEvent::SliceBegin {
+                t: 10 * k + 1,
+                cpu: (k % 2) as u32,
+                task,
+            });
+            trace.events.push(TraceEvent::Counter {
+                t: 10 * k + 2,
+                track: CounterTrack::Runnable,
+                value: k as f64,
+            });
+            trace.events.push(TraceEvent::SliceEnd {
+                t: 10 * k + 9,
+                cpu: (k % 2) as u32,
+                task,
+                reason: SwitchReason::Preempted,
+            });
+        }
+        trace
+    }
+
+    /// Feeds a trace through a sink in uneven chunks, registering each
+    /// task just before its first referencing event would stream.
+    fn drive<S: ChunkSink>(trace: &EventTrace, sink: &mut S) {
+        let mut sent_tasks = 0;
+        let mut i = 0;
+        let mut step = 1;
+        while i < trace.events.len() {
+            let end = (i + step).min(trace.events.len());
+            // Hand over any tasks not yet sent before the first chunk,
+            // then the rest midway, mimicking incremental registration.
+            let tasks = if sent_tasks < trace.tasks.len() {
+                let n = if i == 0 {
+                    1
+                } else {
+                    trace.tasks.len() - sent_tasks
+                };
+                let s = &trace.tasks[sent_tasks..sent_tasks + n];
+                sent_tasks += n;
+                s
+            } else {
+                &[]
+            };
+            sink.chunk(tasks, &trace.events[i..end]).unwrap();
+            i = end;
+            step = step * 2 + 1;
+        }
+        sink.finish().unwrap();
+    }
+
+    #[test]
+    fn streamed_perfetto_bytes_are_structurally_valid() {
+        let trace = sample_trace();
+        let mut sink = PerfettoStream::new(trace.meta.clone(), Vec::new());
+        drive(&trace, &mut sink);
+        let streamed = sink.into_inner();
+        let streamed_stats = validate_encoded(&streamed).expect("streamed bytes valid");
+        let batch_stats = validate_encoded(&encode(&trace)).expect("batch bytes valid");
+        // Chunking must not change what is exported, only when.
+        assert_eq!(streamed_stats, batch_stats);
+    }
+
+    #[test]
+    fn single_chunk_stream_equals_batch_encode() {
+        let trace = sample_trace();
+        let mut sink = PerfettoStream::new(trace.meta.clone(), Vec::new());
+        sink.chunk(&trace.tasks, &trace.events).unwrap();
+        sink.finish().unwrap();
+        assert_eq!(sink.into_inner(), encode(&trace));
+    }
+
+    #[test]
+    fn empty_stream_still_emits_descriptors() {
+        let trace = EventTrace::new(TraceMeta::default());
+        let mut sink = PerfettoStream::new(trace.meta.clone(), Vec::new());
+        sink.finish().unwrap();
+        let stats = validate_encoded(&sink.into_inner()).unwrap();
+        assert!(stats.track_descriptors > 0);
+        assert_eq!(stats.track_events, 0);
+    }
+
+    #[test]
+    fn jsonl_round_trips_chunked() {
+        let trace = sample_trace();
+        let mut sink = JsonlStream::new(trace.meta.clone(), Vec::new());
+        drive(&trace, &mut sink);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let back = read_jsonl(&text).expect("jsonl parses");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn jsonl_rejects_malformed_streams() {
+        assert!(read_jsonl("").is_err());
+        assert!(
+            read_jsonl("{\"k\":\"task\",\"v\":{}}").is_err(),
+            "task before meta"
+        );
+        let trace = EventTrace::new(TraceMeta::default());
+        let mut sink = JsonlStream::new(trace.meta.clone(), Vec::new());
+        sink.finish().unwrap();
+        let mut text = String::from_utf8(sink.into_inner()).unwrap();
+        let copy = text.clone();
+        text.push_str(&copy);
+        assert!(read_jsonl(&text).is_err(), "duplicate meta");
+    }
+}

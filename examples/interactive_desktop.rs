@@ -16,6 +16,7 @@ fn response_ms(policy: &str, batch: usize) -> f64 {
         sample_every: Duration::from_millis(500),
         track_gms: false,
         seed: 13,
+        lean: false,
     };
     let mut s = Scenario::new("desktop", cfg).task(TaskSpec::new(
         "editor",

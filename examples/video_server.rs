@@ -15,6 +15,7 @@ fn run(policy: &str, jobs: usize) -> (f64, String) {
         sample_every: Duration::from_millis(250),
         track_gms: false,
         seed: 11,
+        lean: false,
     };
     let mut s = Scenario::new("video_server", cfg).task(TaskSpec::new(
         "decoder",

@@ -64,6 +64,7 @@ fn run(with_abuse: bool, policy: &str) -> SimReport {
         sample_every: Duration::from_millis(250),
         track_gms: false,
         seed: 7,
+        lean: false,
     };
     let mut s = Scenario::new("web_hosting", cfg);
     s = domain(s, "gold", 4, 0);

@@ -169,6 +169,7 @@ fn deterministic_across_runs() {
             sample_every: Duration::from_millis(100),
             track_gms: false,
             seed: 99,
+            lean: false,
         };
         Scenario::new("det", cfg)
             .task(TaskSpec::new("a", 3, BehaviorSpec::Inf))

@@ -17,6 +17,7 @@ fn cfg(secs: u64) -> SimConfig {
         sample_every: Duration::from_millis(20),
         track_gms: false,
         seed: 1,
+        lean: false,
     }
 }
 
@@ -88,6 +89,7 @@ fn example2_scenario() -> Scenario {
         sample_every: Duration::from_millis(100),
         track_gms: false,
         seed: 2,
+        lean: false,
     };
     Scenario::new("example2", cfg)
         .task(TaskSpec::new("heavy", 100, BehaviorSpec::Inf))

@@ -18,6 +18,7 @@ fn run_cpu_bound(cpus: u32, weights: &[u64], secs: u64) -> SimReport {
         sample_every: Duration::from_millis(500),
         track_gms: true,
         seed: 3,
+        lean: false,
     };
     let mut s = Scenario::new("fairness", cfg);
     for (i, &w) in weights.iter().enumerate() {
@@ -102,6 +103,7 @@ fn work_conservation_under_blocking_mix() {
         sample_every: Duration::from_millis(500),
         track_gms: false,
         seed: 9,
+        lean: false,
     };
     let rep = Scenario::new("mix", cfg)
         .task(TaskSpec::new("inf", 1, BehaviorSpec::Inf).replicated(3))
@@ -132,6 +134,7 @@ fn weighted_interactive_tasks_receive_priority_service() {
         sample_every: Duration::from_millis(500),
         track_gms: false,
         seed: 17,
+        lean: false,
     };
     let rep = Scenario::new("interactive-weights", cfg)
         .task(TaskSpec::new(

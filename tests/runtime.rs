@@ -131,6 +131,7 @@ fn substrate_parity_sim_vs_rt() {
         sample_every: Duration::from_millis(100),
         track_gms: false,
         seed: 21,
+        lean: false,
     };
     let scenario = Scenario::new("parity", cfg)
         .task(TaskSpec::new("a", 3, BehaviorSpec::Inf))

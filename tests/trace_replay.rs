@@ -4,7 +4,7 @@
 
 use sfs::experiment::{Capture, Experiment, RtSubstrate};
 use sfs::prelude::*;
-use sfs::trace::perfetto;
+use sfs::trace::{perfetto, CounterTrack, TraceEvent};
 
 /// A 1-CPU scenario where exactly one task ever runs: under the shared
 /// definition (a dispatch granting the CPU to a different task than it
@@ -107,6 +107,32 @@ fn rt_capture_replays_identically_on_the_simulator() {
         replay.first_divergence(),
         replay.captured,
         replay.replayed,
+    );
+}
+
+/// The rt timer thread samples per-task scheduling state through the
+/// live scheduler: the worst charged surplus and the smallest adjusted
+/// weight among running tasks, on the same counter tracks the simulator
+/// uses — so both substrates' traces answer "how unfair did it get"
+/// directly in the Perfetto UI.
+#[test]
+fn rt_timer_samples_running_surplus_and_phi() {
+    let exp = Experiment::on(sequential_scenario(), RtSubstrate::default());
+    let (_, capture) = exp.capture("sfs:quantum=5ms").unwrap();
+    let has = |want: CounterTrack| {
+        capture
+            .trace
+            .events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Counter { track, .. } if *track == want))
+    };
+    assert!(
+        has(CounterTrack::MaxRunSurplus),
+        "no surplus samples from the timer thread"
+    );
+    assert!(
+        has(CounterTrack::MinRunPhi),
+        "no adjusted-weight samples from the timer thread"
     );
 }
 
