@@ -49,6 +49,8 @@ mod tests {
             arrived: Time::ZERO,
             exited: None,
             gms_error: None,
+            rejected: false,
+            reaped: false,
         }
     }
 

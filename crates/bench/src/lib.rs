@@ -17,11 +17,13 @@
 //! | [`scale`] | Shard-scaling sweep: decisions/s + lock costs vs shard count, sharded-vs-global fairness (beyond the paper: §5 per-CPU run queues) |
 //! | [`tenants`] | Multi-tenant sweep: misbehaving-tenant isolation, decision cost at 10²–10⁴ tenants (beyond the paper: §6 hierarchical SFS) |
 //! | [`trace`] | Trace subsystem smoke: Perfetto export validity on sim + rt, capture→replay determinism, recording overhead (beyond the paper: observability) |
+//! | [`chaos`] | Overload armor: admission control vs a flooding tenant, seeded fault-injection recovery, chaos replay determinism (beyond the paper: robustness) |
 //!
 //! The `repro` binary drives them all and writes reports to
 //! `results/`; the `figures`/`overheads` bench targets run them in
 //! quick mode under `cargo bench`.
 
+pub mod chaos;
 pub mod churn;
 pub mod common;
 pub mod fig1;
@@ -43,7 +45,7 @@ use common::{Effort, ExpResult};
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
-        "churn", "mega", "scale", "tenants", "trace",
+        "churn", "mega", "scale", "tenants", "trace", "chaos",
     ]
 }
 
@@ -69,6 +71,7 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "scale" => scale::run(effort),
         "tenants" => tenants::run(effort),
         "trace" => trace::run(effort),
+        "chaos" => chaos::run(effort),
         other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
     }
 }

@@ -30,6 +30,10 @@
 //!   fair queueing, with optional readjustment — Figs. 4/5),
 //!   [`timeshare`] (the Linux 2.2 epoch/goodness scheduler — Figs. 6/7,
 //!   Table 1), and [`stride`], [`bvt`], [`wfq`], [`rr`].
+//! * Overload armor: [`admit`] — admission control and per-tenant
+//!   rate limits (`admit(max=...,rate=.../s)` on any spec), and
+//!   [`fault`] — deterministic fault-injection plans the substrates
+//!   replay bit-for-bit.
 //!
 //! Schedulers are pure run-queue policies behind the [`sched::Scheduler`]
 //! trait; the `sfs-sim` crate drives them in a discrete-event simulator
@@ -56,8 +60,10 @@
 //! sched.put_prev(first, Duration::from_millis(10), SwitchReason::Preempted, later);
 //! ```
 
+pub mod admit;
 pub mod buckets;
 pub mod bvt;
+pub mod fault;
 pub mod feasible;
 pub mod fixed;
 pub mod gms;
@@ -80,7 +86,9 @@ pub mod wfq;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
+    pub use crate::admit::{AdmissionControl, AdmissionPolicy, RejectReason};
     pub use crate::bvt::{Bvt, BvtConfig};
+    pub use crate::fault::{FaultEvent, FaultKind, FaultPlan};
     pub use crate::fixed::Fixed;
     pub use crate::gms::FluidGms;
     pub use crate::hier::HierSfs;

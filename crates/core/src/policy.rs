@@ -19,12 +19,16 @@
 //! or a bare flag. Options are validated against the kind — `ts:readjust`
 //! is a parse error, not a silent no-op — and [`fmt::Display`] prints a
 //! canonical form, so `parse ∘ to_string` is the identity on every
-//! constructible spec.
+//! constructible spec. Top-level options may also be separated by `:`
+//! (an accepted alternate spelling, convenient for clause-shaped
+//! options: `sfs:groups(a=sfs,b=sfs):admit(max=1000,rate=500/s)`);
+//! `Display` always emits commas.
 
 use core::fmt;
 use core::str::FromStr;
 use std::sync::Arc;
 
+use crate::admit::{AdmissionPolicy, ParseAdmitError};
 use crate::bvt::{Bvt, BvtConfig};
 use crate::hier::HierSfs;
 use crate::rr::RoundRobin;
@@ -159,6 +163,10 @@ impl GroupSpec {
             "group policies cannot be sharded: {policy}"
         );
         assert!(policy.groups.is_empty(), "groups cannot nest: {policy}");
+        assert!(
+            policy.admission.is_none(),
+            "admission control applies to the whole spec, not a group: {policy}"
+        );
         GroupSpec {
             name: name.to_string(),
             share: 1,
@@ -247,6 +255,7 @@ pub struct PolicySpec {
     shards: Option<u32>,
     rebalance: Option<Duration>,
     groups: Vec<GroupSpec>,
+    admission: Option<AdmissionPolicy>,
 }
 
 impl PolicySpec {
@@ -264,6 +273,7 @@ impl PolicySpec {
             shards: None,
             rebalance: None,
             groups: Vec::new(),
+            admission: None,
         }
     }
 
@@ -543,6 +553,31 @@ impl PolicySpec {
         self
     }
 
+    /// Attaches an admission-control policy (`admit(...)` in the
+    /// string form). Admission is enforced by the *substrate* — sim or
+    /// rt — before an arrival ever reaches the scheduler, so it
+    /// composes with any kind, flat or hierarchical; the policy itself
+    /// never sees rejected tasks. Rejections surface as typed
+    /// outcomes, not silent drops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy has no limit set.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> PolicySpec {
+        assert!(
+            !admission.is_none(),
+            "admission policy must set at least one limit"
+        );
+        self.admission = Some(admission);
+        self
+    }
+
+    /// The attached admission-control policy, if any.
+    pub fn admission(&self) -> Option<&AdmissionPolicy> {
+        self.admission.as_ref()
+    }
+
     /// The configured shard count (1 when unsharded).
     pub fn shard_count(&self) -> u32 {
         self.shards.unwrap_or(1)
@@ -699,6 +734,9 @@ impl fmt::Display for PolicySpec {
                 .join(",");
             emit(f, format_args!("groups({inner})"))?;
         }
+        if let Some(a) = &self.admission {
+            emit(f, format_args!("admit({a})"))?;
+        }
         if let Some(n) = self.shards {
             emit(f, format_args!("shards={n}"))?;
         }
@@ -757,7 +795,7 @@ impl FromStr for PolicySpec {
         if opts.is_empty() {
             return Err(ParsePolicyError::new("trailing `:` with no options"));
         }
-        for opt in split_top_level(opts) {
+        for opt in split_options(opts) {
             let opt = opt.trim();
             // `groups(...)` carries a nested spec list whose commas and
             // `=` belong to the sub-specs, so it is handled before the
@@ -775,6 +813,19 @@ impl FromStr for PolicySpec {
                     return Err(ParsePolicyError::new("`groups` given twice"));
                 }
                 spec.groups = parse_groups(inner)?;
+                continue;
+            }
+            // `admit(...)` likewise carries its own key=value list.
+            if let Some(rest) = opt.strip_prefix("admit(") {
+                let inner = rest
+                    .strip_suffix(')')
+                    .ok_or_else(|| ParsePolicyError::new("unclosed `admit(` (missing `)`)"))?;
+                if spec.admission.is_some() {
+                    return Err(ParsePolicyError::new("`admit` given twice"));
+                }
+                spec.admission = Some(inner.parse().map_err(|e: ParseAdmitError| {
+                    ParsePolicyError::new(format!("in admit(...): {}", e.0))
+                })?);
                 continue;
             }
             let (key, value) = match opt.split_once('=') {
@@ -881,6 +932,23 @@ fn split_top_level(s: &str) -> impl Iterator<Item = &str> {
     })
 }
 
+/// Splits a spec's *top-level option list*, where `:` is accepted as
+/// an alternate separator alongside `,` (outside parentheses), so
+/// clause chains like `groups(...):admit(...)` parse. Group entries
+/// keep using [`split_top_level`] — a group's `name=kind:opt` embeds a
+/// `:` that belongs to the sub-spec.
+fn split_options(s: &str) -> impl Iterator<Item = &str> {
+    let mut depth = 0usize;
+    s.split(move |c: char| {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+        (c == ',' || c == ':') && depth == 0
+    })
+}
+
 /// Parses the inside of a `groups(...)` clause: comma-separated
 /// `name[*share]=policy` entries.
 fn parse_groups(inner: &str) -> Result<Vec<GroupSpec>, ParsePolicyError> {
@@ -931,6 +999,11 @@ fn parse_groups(inner: &str) -> Result<Vec<GroupSpec>, ParsePolicyError> {
         if !policy.groups.is_empty() {
             return Err(ParsePolicyError::new(format!(
                 "group {name:?}: groups cannot nest"
+            )));
+        }
+        if policy.admission.is_some() {
+            return Err(ParsePolicyError::new(format!(
+                "group {name:?}: admission control applies to the whole spec, not a group"
             )));
         }
         groups.push(GroupSpec {
@@ -1200,6 +1273,80 @@ mod tests {
         ] {
             assert!(bad.parse::<PolicySpec>().is_err(), "{bad:?} parsed");
         }
+    }
+
+    #[test]
+    fn admission_specs_round_trip() {
+        let specs = [
+            PolicySpec::sfs().with_admission(AdmissionPolicy::none().with_max_live(1000)),
+            PolicySpec::sfs()
+                .with_quantum(Duration::from_millis(5))
+                .with_admission(
+                    AdmissionPolicy::none()
+                        .with_max_live(1000)
+                        .with_rate(500)
+                        .with_burst(750)
+                        .with_shed_above(100_000),
+                )
+                .with_shards(2),
+            PolicySpec::sfs_over([
+                GroupSpec::new("a", PolicySpec::sfs()),
+                GroupSpec::new("b", PolicySpec::sfq()).with_share(3),
+            ])
+            .with_admission(AdmissionPolicy::none().with_rate(500)),
+            PolicySpec::round_robin().with_admission(AdmissionPolicy::none().with_shed_above(64)),
+        ];
+        for spec in specs {
+            let s = spec.to_string();
+            assert_eq!(s.parse::<PolicySpec>().unwrap(), spec, "{s}");
+        }
+    }
+
+    #[test]
+    fn admission_grammar_examples() {
+        // The issue's literal colon-chained spelling parses...
+        let spec: PolicySpec =
+            "sfs:groups(batch=sfq,frontend=sfs:heuristic=4):admit(max=1000,rate=500/s)"
+                .parse()
+                .unwrap();
+        let admit = spec.admission().expect("admission parsed");
+        assert_eq!(admit.max_live, Some(1000));
+        assert_eq!(admit.rate_per_sec, Some(500));
+        assert_eq!(spec.groups().len(), 2);
+        // ...and Display emits the canonical comma form, which parses
+        // back to the same spec (exact parse ∘ Display round-trip).
+        assert_eq!(
+            spec.to_string(),
+            "sfs:groups(batch=sfq,frontend=sfs:heuristic=4),admit(max=1000,rate=500/s)"
+        );
+        assert_eq!(spec.to_string().parse::<PolicySpec>().unwrap(), spec);
+        // Colons also separate plain options.
+        assert_eq!(
+            "sfs:quantum=5ms:shards=2".parse::<PolicySpec>().unwrap(),
+            "sfs:quantum=5ms,shards=2".parse::<PolicySpec>().unwrap()
+        );
+    }
+
+    #[test]
+    fn admission_grammar_rejects_nonsense() {
+        for bad in [
+            "sfs:admit()",
+            "sfs:admit(",
+            "sfs:admit(burst=5)",
+            "sfs:admit(max=abc)",
+            "sfs:admit(rate=0/s)",
+            "sfs:admit(max=1),admit(max=2)",
+            "sfs:admit(frobnicate=1)",
+            "sfs:groups(a=(sfs:admit(max=1)))",
+        ] {
+            assert!(bad.parse::<PolicySpec>().is_err(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one limit")]
+    fn builder_rejects_empty_admission() {
+        let _ = PolicySpec::sfs().with_admission(AdmissionPolicy::none());
     }
 
     #[test]

@@ -218,6 +218,21 @@ pub trait Scheduler: Send {
     /// [`SwitchReason::Exited`].
     fn detach(&mut self, id: TaskId, now: Time);
 
+    /// Forcibly removes a task on an abnormal exit (a panic, a kill, a
+    /// watchdog recovery) — the detach-with-release path. The task may
+    /// be ready or blocked, but not running (stop it via
+    /// [`Scheduler::put_prev`] with [`SwitchReason::Exited`] first).
+    ///
+    /// Semantically identical to [`Scheduler::detach`] — the weight is
+    /// released and the §2.1 readjustment re-run so surviving tasks'
+    /// shares stay exact — but kept as a separate entry point so
+    /// substrates can route *every* forced-exit path through one
+    /// method and policies can instrument reaps distinctly if they
+    /// need to. The default forwards to `detach`.
+    fn reap(&mut self, id: TaskId, now: Time) {
+        self.detach(id, now);
+    }
+
     /// Changes a task's weight on the fly (the `setweight` syscall, §3.1).
     fn set_weight(&mut self, id: TaskId, w: Weight, now: Time);
 

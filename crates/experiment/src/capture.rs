@@ -11,6 +11,7 @@
 
 use std::path::Path;
 
+use sfs_core::fault::FaultPlan;
 use sfs_core::policy::PolicySpec;
 use sfs_core::time::{Duration, Time};
 use sfs_sim::{Scenario, SimConfig, StreamSpec, TaskSpec};
@@ -209,6 +210,12 @@ fn scenario_json(s: &Scenario) -> Json {
             "tenants",
             Json::Arr(s.tenants.iter().map(|t| Json::Str(t.clone())).collect()),
         ),
+        (
+            "faults",
+            s.faults
+                .as_ref()
+                .map_or(Json::Null, |p| Json::Str(p.to_string())),
+        ),
     ])
 }
 
@@ -225,12 +232,23 @@ fn scenario_from_json(v: &Json) -> Result<Scenario, String> {
     for t in want_arr(v, "tenants").map_err(|e| e.to_string())? {
         tenants.push(t.as_str().ok_or("tenants must be strings")?.to_string());
     }
+    // Absent in captures taken before fault injection existed.
+    let faults = match want(v, "faults").ok() {
+        None | Some(Json::Null) => None,
+        Some(f) => Some(
+            f.as_str()
+                .ok_or("faults must be a fault-plan string")?
+                .parse::<FaultPlan>()
+                .map_err(|e| e.to_string())?,
+        ),
+    };
     Ok(Scenario {
         name: want_str(v, "name").map_err(|e| e.to_string())?.to_string(),
         config: config_from_json(want(v, "config").map_err(|e| e.to_string())?)?,
         tasks,
         streams,
         tenants,
+        faults,
     })
 }
 
@@ -339,6 +357,20 @@ mod tests {
             )
             .until(Time::from_millis(80)),
         )
+        .with_faults(
+            FaultPlan::new()
+                .with(
+                    Time::from_millis(10),
+                    sfs_core::fault::FaultKind::Panic { task: 1 },
+                )
+                .with(
+                    Time::from_millis(20),
+                    sfs_core::fault::FaultKind::Stall {
+                        cpu: 0,
+                        dur: Duration::from_millis(2),
+                    },
+                ),
+        )
     }
 
     #[test]
@@ -361,6 +393,7 @@ mod tests {
         assert_eq!(back.scenario.tasks, cap.scenario.tasks);
         assert_eq!(back.scenario.streams, cap.scenario.streams);
         assert_eq!(back.scenario.tenants, cap.scenario.tenants);
+        assert_eq!(back.scenario.faults, cap.scenario.faults);
         assert_eq!(back.policy, cap.policy);
         assert_eq!(back.trace.meta.scenario, "roundtrip");
         // The 64-bit seed survives exactly (integers are not parsed

@@ -59,7 +59,7 @@ use sfs_sim::{Scenario, ScenarioError};
 use sfs_trace::{EventTrace, TraceMeta, TraceRecorder};
 
 pub use capture::Capture;
-pub use report::{ComparisonReport, Fairness, FairnessDelta, RunReport, TaskOutcome};
+pub use report::{ComparisonReport, Fairness, FairnessDelta, RunReport, TaskFate, TaskOutcome};
 pub use substrate::{RtSubstrate, SimSubstrate, Substrate};
 
 /// Why an experiment could not run.

@@ -5,7 +5,20 @@ use sfs_core::sched::SchedStats;
 use sfs_core::task::TenantId;
 use sfs_core::time::{Duration, Time};
 use sfs_metrics::{fairness, Summary, Table};
-use sfs_sim::SimReport;
+use sfs_sim::{RunHealth, SimReport};
+
+/// How a task's run ended, beyond its service numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TaskFate {
+    /// Admitted and ran to the scenario's end (or its own exit).
+    #[default]
+    Ran,
+    /// Refused by admission control: never attached, zero service.
+    Rejected,
+    /// Forcibly reaped after a panic or injected fault; its service up
+    /// to the reap is real.
+    Reaped,
+}
 
 /// Final measurements for one task, common to both substrates.
 #[derive(Debug, Clone)]
@@ -28,6 +41,9 @@ pub struct TaskOutcome {
     pub arrived: Time,
     /// Exit time, if the task finished before the run ended.
     pub exited: Option<Time>,
+    /// Whether the task ran normally, was rejected by admission
+    /// control, or was forcibly reaped.
+    pub fate: TaskFate,
 }
 
 /// Fairness indices of one run, computed against the GMS-capped ideal
@@ -70,6 +86,10 @@ pub struct RunReport {
     /// Where the run's Perfetto trace was written, when the run was
     /// made via [`crate::Experiment::run_with_trace`].
     pub trace_path: Option<std::path::PathBuf>,
+    /// Robustness counters: admission rejections, faults injected and
+    /// recovered, invariant-audit failures. All zero for runs without
+    /// an admission policy or fault plan.
+    pub health: RunHealth,
 }
 
 impl RunReport {
@@ -87,8 +107,16 @@ impl RunReport {
                 responses: t.responses.clone(),
                 arrived: t.arrived,
                 exited: t.exited,
+                fate: if t.rejected {
+                    TaskFate::Rejected
+                } else if t.reaped {
+                    TaskFate::Reaped
+                } else {
+                    TaskFate::Ran
+                },
             })
             .collect();
+        let health = rep.health;
         RunReport {
             scenario: scenario.to_string(),
             substrate: "sim",
@@ -101,6 +129,7 @@ impl RunReport {
             ctx_switches: rep.ctx_switches,
             sim: Some(rep),
             trace_path: None,
+            health,
         }
     }
 
@@ -205,9 +234,18 @@ impl RunReport {
     /// whole run; for scenarios with mid-run arrivals or departures,
     /// window the services yourself (the sampled curves are in
     /// [`RunReport::sim_report`]) or compare starvation gaps instead.
+    ///
+    /// Tasks rejected by admission control are excluded entirely: they
+    /// never held a weight, so they have no entitlement and their zero
+    /// service is not a fairness failure.
     pub fn fairness(&self) -> Fairness {
-        let services: Vec<f64> = self.tasks.iter().map(|t| t.service.as_secs_f64()).collect();
-        let weights: Vec<f64> = self.tasks.iter().map(|t| t.weight as f64).collect();
+        let ran: Vec<&TaskOutcome> = self
+            .tasks
+            .iter()
+            .filter(|t| t.fate != TaskFate::Rejected)
+            .collect();
+        let services: Vec<f64> = ran.iter().map(|t| t.service.as_secs_f64()).collect();
+        let weights: Vec<f64> = ran.iter().map(|t| t.weight as f64).collect();
         let total: f64 = services.iter().sum();
         let ideal = fairness::ideal_shares(&weights, self.cpus);
         let ratios: Vec<f64> = services
@@ -359,6 +397,7 @@ mod tests {
             responses: None,
             arrived: Time::ZERO,
             exited: None,
+            fate: TaskFate::Ran,
         }
     }
 
@@ -375,6 +414,7 @@ mod tests {
             ctx_switches: 0,
             sim: None,
             trace_path: None,
+            health: RunHealth::default(),
         }
     }
 
@@ -419,6 +459,18 @@ mod tests {
 
         // A flat policy has no tenant fairness.
         assert_eq!(rep.tenant_fairness(), None);
+    }
+
+    #[test]
+    fn rejected_tasks_are_excluded_from_fairness() {
+        // A rejected heavy task never held a weight: its zero service
+        // must not register as a share error for the run.
+        let mut rej = outcome("rej", 5, 0);
+        rej.fate = TaskFate::Rejected;
+        let rep = report(vec![outcome("a", 2, 600), outcome("b", 1, 300), rej]);
+        let f = rep.fairness();
+        assert!((f.jain - 1.0).abs() < 1e-9, "{f:?}");
+        assert!(f.max_share_error < 1e-9, "{f:?}");
     }
 
     #[test]

@@ -16,15 +16,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
+use sfs_core::fault::FaultKind;
 use sfs_core::policy::PolicySpec;
 use sfs_core::task::{TenantId, Weight};
 use sfs_core::time::{Duration, Time};
 use sfs_metrics::Summary;
 use sfs_rt::{drive_recording_until, DriveRecord, Executor, RtConfig};
-use sfs_sim::{Scenario, StreamSpec, TaskSpec};
+use sfs_sim::{RunHealth, Scenario, StreamSpec, TaskSpec};
 use sfs_trace::TraceRecorder;
 
-use crate::report::{RunReport, TaskOutcome};
+use crate::report::{RunReport, TaskFate, TaskOutcome};
 use crate::ExperimentError;
 
 /// An execution environment for scenarios.
@@ -86,7 +87,13 @@ impl Substrate for SimSubstrate {
         // zero-CPU machine, and that must be a typed error, not a panic.
         scenario.validate()?;
         check_tenants(scenario, policy)?;
-        let rep = scenario.try_run_traced(policy.build(scenario.config.cpus), rec)?;
+        // The policy's `admit(...)` clause (if any) gates arrivals; the
+        // scenario's fault plan (if any) rides inside `try_run_*`.
+        let rep = scenario.try_run_traced_admitted(
+            policy.build(scenario.config.cpus),
+            rec,
+            policy.admission().copied(),
+        )?;
         Ok(RunReport::from_sim(&scenario.name, policy.clone(), rep))
     }
 }
@@ -120,6 +127,11 @@ fn sleep_until(epoch: Instant, t: Time) {
 
 /// Spawns one executor task driving `spec`'s behaviour (bounded by
 /// `stop_at`, if any), waits for it to finish, and returns its outcome.
+///
+/// `panic_at` wires an injected [`FaultKind::Panic`]: the body behaves
+/// normally until that instant, then panics — the executor's reap path
+/// must recover. A spawn refused by the policy's admission control
+/// yields a zero-service [`TaskFate::Rejected`] outcome.
 #[allow(clippy::too_many_arguments)]
 fn run_rt_task(
     ex: &Executor,
@@ -130,22 +142,51 @@ fn run_rt_task(
     tenant: Option<TenantId>,
     seed: u64,
     arrived: Time,
+    panic_at: Option<Time>,
 ) -> TaskOutcome {
     let (tx, rx) = mpsc::channel::<(DriveRecord, Time)>();
     let behavior_spec = spec.behavior.clone();
     let stop_at = spec.stop_at;
-    let handle = ex.spawn_in_tenant(name, weight, tenant, move |ctx| {
+    let spawned = ex.try_spawn_in_tenant(name, weight, tenant, move |ctx| {
         let behavior = behavior_spec.build(seed);
         // `stop_at` becomes a drive deadline: the phase in flight is
         // aborted without counting a completion, matching the
-        // simulator's kill event.
-        let rec = drive_recording_until(ctx, behavior, epoch, stop_at);
+        // simulator's kill event. An injected panic caps the drive the
+        // same way, then unwinds instead of exiting.
+        let deadline = match panic_at {
+            Some(at) => Some(stop_at.map_or(at, |s| s.min(at))),
+            None => stop_at,
+        };
+        let rec = drive_recording_until(ctx, behavior, epoch, deadline);
+        if let Some(at) = panic_at {
+            if now_time(epoch) >= at {
+                // Dropping `tx` tells the waiter the body unwound.
+                panic!("injected fault: panic at {}ns", at.as_nanos());
+            }
+        }
         let _ = tx.send((rec, now_time(epoch)));
     });
+    let handle = match spawned {
+        Ok(h) => h,
+        Err(_reason) => {
+            return TaskOutcome {
+                name: name.to_string(),
+                weight: weight.get(),
+                tenant,
+                service: Duration::ZERO,
+                completions: 0,
+                responses: None,
+                arrived,
+                exited: Some(arrived),
+                fate: TaskFate::Rejected,
+            }
+        }
+    };
     // A panicking body drops the sender; fall back to an empty record.
-    let (rec, ended) = rx
-        .recv()
-        .unwrap_or_else(|_| (DriveRecord::default(), now_time(epoch)));
+    let (rec, ended, reaped) = match rx.recv() {
+        Ok((rec, ended)) => (rec, ended, false),
+        Err(_) => (DriveRecord::default(), now_time(epoch), true),
+    };
     let service = handle.join_service();
     TaskOutcome {
         name: name.to_string(),
@@ -160,8 +201,13 @@ fn run_rt_task(
         },
         arrived,
         // Killed tasks record their kill time as the exit, like the
-        // simulator does.
-        exited: (rec.finished || rec.deadline_hit).then_some(ended),
+        // simulator does; reaped tasks exit at the reap.
+        exited: (rec.finished || rec.deadline_hit || reaped).then_some(ended),
+        fate: if reaped {
+            TaskFate::Reaped
+        } else {
+            TaskFate::Ran
+        },
     }
 }
 
@@ -201,6 +247,7 @@ fn run_rt_stream(
             None,
             seeds.fetch_add(1, Ordering::Relaxed),
             arrived,
+            None,
         );
         outcomes.lock().expect("outcome lock").push(outcome);
         next = now_time(epoch) + stream.gap;
@@ -239,7 +286,32 @@ impl Substrate for RtSubstrate {
         let seeds = AtomicU64::new(scenario.config.seed);
         let outcomes: Mutex<Vec<TaskOutcome>> = Mutex::new(Vec::new());
 
+        // Map the scenario's fault plan onto real-thread analogues:
+        // `Panic{task}` wraps the body of the task at that spawn-order
+        // index; `Stall`/`Jitter` delay the executor's timer thread (a
+        // stalled quantum scan is the observable effect of either);
+        // `WakeDrop` has no rt analogue — swallowing a real condvar
+        // notify would deadlock an OS thread — and is skipped.
+        let mut panic_ats: std::collections::HashMap<u64, Time> = std::collections::HashMap::new();
+        let mut faults_wired = 0u64;
+        if let Some(plan) = &scenario.faults {
+            for ev in plan.sorted() {
+                if ev.at > horizon {
+                    continue;
+                }
+                match ev.kind {
+                    FaultKind::Panic { task } => {
+                        panic_ats.entry(task).or_insert(ev.at);
+                        faults_wired += 1;
+                    }
+                    FaultKind::Stall { .. } | FaultKind::Jitter { .. } => faults_wired += 1,
+                    FaultKind::WakeDrop { .. } => {}
+                }
+            }
+        }
+
         std::thread::scope(|s| {
+            let mut flat_index = 0u64;
             for spec in &scenario.tasks {
                 let weight = Weight::new(spec.weight).expect("validated non-zero");
                 // Like the simulator substrate: tenant names the policy
@@ -253,6 +325,8 @@ impl Substrate for RtSubstrate {
                         spec.name.clone()
                     };
                     let seed = seeds.fetch_add(1, Ordering::Relaxed);
+                    let panic_at = panic_ats.get(&flat_index).copied();
+                    flat_index += 1;
                     let (ex, outcomes) = (&ex, &outcomes);
                     s.spawn(move || {
                         // The simulator still processes an arrival landing
@@ -262,8 +336,17 @@ impl Substrate for RtSubstrate {
                             return;
                         }
                         sleep_until(epoch, spec.arrive);
-                        let outcome =
-                            run_rt_task(ex, epoch, &name, weight, spec, tenant, seed, spec.arrive);
+                        let outcome = run_rt_task(
+                            ex,
+                            epoch,
+                            &name,
+                            weight,
+                            spec,
+                            tenant,
+                            seed,
+                            spec.arrive,
+                            panic_at,
+                        );
                         outcomes.lock().expect("outcome lock").push(outcome);
                     });
                 }
@@ -271,6 +354,24 @@ impl Substrate for RtSubstrate {
             for stream in &scenario.streams {
                 let (ex, outcomes, seeds) = (&ex, &outcomes, &seeds);
                 s.spawn(move || run_rt_stream(ex, epoch, stream, horizon, seeds, outcomes));
+            }
+            if let Some(plan) = &scenario.faults {
+                let faults = plan.sorted();
+                let ex = &ex;
+                s.spawn(move || {
+                    for ev in faults {
+                        if ev.at > horizon {
+                            break;
+                        }
+                        sleep_until(epoch, ev.at);
+                        match ev.kind {
+                            FaultKind::Stall { dur, .. } | FaultKind::Jitter { dur, .. } => {
+                                ex.inject_timer_jitter(dur);
+                            }
+                            FaultKind::Panic { .. } | FaultKind::WakeDrop { .. } => {}
+                        }
+                    }
+                });
             }
             // The experiment clock: let the scenario play out, then stop
             // every cooperative loop.
@@ -282,6 +383,16 @@ impl Substrate for RtSubstrate {
         let mut tasks = outcomes.into_inner().expect("outcome lock");
         tasks.sort_by(|a, b| a.arrived.cmp(&b.arrived).then_with(|| a.name.cmp(&b.name)));
         let sched_stats = ex.sched_stats();
+        // Recovery is operational on this substrate: `ex.wait()`
+        // returned, so every wired fault was survived — panics were
+        // reaped, late timers caught up. A wedged executor would never
+        // get here.
+        let health = RunHealth {
+            rejected: ex.rejected(),
+            faults_injected: faults_wired,
+            faults_recovered: faults_wired,
+            invariant_violations: ex.invariant_violations(),
+        };
         Ok(RunReport {
             scenario: scenario.name.clone(),
             substrate: self.name(),
@@ -294,6 +405,7 @@ impl Substrate for RtSubstrate {
             ctx_switches: ex.switches(),
             sim: None,
             trace_path: None,
+            health,
         })
     }
 }
@@ -301,6 +413,7 @@ impl Substrate for RtSubstrate {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sfs_core::fault::FaultPlan;
     use sfs_sim::SimConfig;
     use sfs_workloads::BehaviorSpec;
 
@@ -413,5 +526,68 @@ mod tests {
             let j1 = rep.task("job#1").unwrap();
             assert!(j2.arrived >= j1.arrived);
         }
+    }
+
+    #[test]
+    fn sim_substrate_applies_admission_and_faults() {
+        let scenario = Scenario::new("armor", quick_cfg(1, 400))
+            .task(TaskSpec::new("a", 1, BehaviorSpec::Inf).replicated(4))
+            .with_faults(
+                FaultPlan::new().with(Time::from_millis(100), FaultKind::Panic { task: 0 }),
+            );
+        let policy: PolicySpec = "sfs:quantum=2ms,admit(max=2)".parse().unwrap();
+        let rep = SimSubstrate.run(&scenario, &policy).unwrap();
+        assert_eq!(rep.health.rejected, 2, "{:?}", rep.health);
+        assert_eq!(rep.health.faults_injected, 1);
+        assert_eq!(rep.health.faults_recovered, 1);
+        assert_eq!(rep.health.invariant_violations, 0);
+        let rejected = rep
+            .tasks
+            .iter()
+            .filter(|t| t.fate == TaskFate::Rejected)
+            .count();
+        assert_eq!(rejected, 2);
+        assert!(
+            rep.tasks.iter().any(|t| t.fate == TaskFate::Reaped),
+            "panic fault must reap its target"
+        );
+        // Rejected tasks got exactly nothing.
+        for t in &rep.tasks {
+            if t.fate == TaskFate::Rejected {
+                assert_eq!(t.service, Duration::ZERO, "{}", t.name);
+            }
+        }
+    }
+
+    #[test]
+    fn rt_substrate_wires_fault_plans() {
+        let scenario = Scenario::new("rt-chaos", quick_cfg(1, 300))
+            .task(TaskSpec::new("victim", 1, BehaviorSpec::Inf))
+            .task(TaskSpec::new("survivor", 1, BehaviorSpec::Inf))
+            .with_faults(
+                FaultPlan::new()
+                    .with(Time::from_millis(80), FaultKind::Panic { task: 0 })
+                    .with(
+                        Time::from_millis(120),
+                        FaultKind::Jitter {
+                            cpu: 0,
+                            dur: Duration::from_millis(5),
+                        },
+                    ),
+            );
+        let policy: PolicySpec = "sfs:quantum=2ms".parse().unwrap();
+        let rep = RtSubstrate::default().run(&scenario, &policy).unwrap();
+        assert_eq!(rep.task("victim").unwrap().fate, TaskFate::Reaped);
+        assert_eq!(rep.task("survivor").unwrap().fate, TaskFate::Ran);
+        assert_eq!(rep.health.faults_injected, 2);
+        assert_eq!(rep.health.faults_recovered, 2);
+        assert_eq!(rep.health.invariant_violations, 0);
+        // The survivor inherits the whole CPU after the reap.
+        assert!(
+            rep.task("survivor").unwrap().service > rep.task("victim").unwrap().service,
+            "survivor {:?} vs victim {:?}",
+            rep.task("survivor").unwrap().service,
+            rep.task("victim").unwrap().service
+        );
     }
 }

@@ -40,6 +40,7 @@ use std::thread;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
+use sfs_core::admit::{AdmissionControl, AdmissionPolicy, RejectReason};
 use sfs_core::policy::PolicySpec;
 use sfs_core::sched::{select_preemption_victim, SchedStats, Scheduler, SwitchReason};
 use sfs_core::shard::{Balancer, ShardLayout, ShardedScheduler};
@@ -79,6 +80,11 @@ struct CpuSlot {
 struct RtTask {
     id: TaskId,
     name: String,
+    /// Tenant group the task attached under (admission buckets and
+    /// hierarchical accounting).
+    tenant: Option<TenantId>,
+    /// The task holds an admission slot that must be released on exit.
+    admitted: bool,
     /// The shard this task currently belongs to. Running and blocked
     /// tasks are never migrated, so a task reading its own index while
     /// it holds (or is about to re-check) a CPU sees a stable value;
@@ -117,6 +123,8 @@ impl RtTask {
 /// One run-queue shard: a policy instance over a contiguous CPU range,
 /// behind its own mutex.
 struct ShardCore {
+    /// This shard's index (for heartbeat and watchdog accounting).
+    index: usize,
     sched: Box<dyn Scheduler>,
     /// Local CPU slots; machine CPU id = `cpu_base + local index`.
     cpus: Vec<CpuSlot>,
@@ -152,6 +160,9 @@ struct Global {
     registry: HashMap<TaskId, Arc<RtTask>>,
     next_id: u64,
     live: usize,
+    /// Admission control state (a spec's `admit(...)` clause), or
+    /// `None` to admit everything.
+    admit: Option<AdmissionControl>,
 }
 
 struct Inner {
@@ -167,6 +178,19 @@ struct Inner {
     steals: AtomicU64,
     rebalances: AtomicU64,
     wake_migrations: AtomicU64,
+    /// Per-shard scheduler-progress counters (bumped on every grant and
+    /// every stop): the watchdog's heartbeat. A shard whose heartbeat
+    /// does not move while work is waiting is stalled.
+    heartbeats: Vec<AtomicU64>,
+    /// Injected extra delay (ns) consumed by the timer thread's next
+    /// tick — deterministic timer-jitter fault injection.
+    timer_jitter: AtomicU64,
+    /// Task bodies that panicked and were forcibly reaped.
+    reaped: AtomicU64,
+    /// Watchdog activations (stalled-shard recoveries).
+    watchdogs: AtomicU64,
+    /// Scheduler invariant checks that failed during panic recovery.
+    invariant_violations: AtomicU64,
     /// Event recorder; off by default, so every hook below is a single
     /// relaxed atomic load on the hot path.
     trace: TraceRecorder,
@@ -248,6 +272,7 @@ impl Inner {
                 slice,
                 last_task: Some(next),
             };
+            self.heartbeats[core.index].fetch_add(1, Ordering::Relaxed);
             let task = core.task(next).clone();
             task.preempt.store(false, Ordering::Release);
             task.grant();
@@ -271,6 +296,7 @@ impl Inner {
         }
         let now = self.now();
         core.sched.put_prev(id, used, reason, now);
+        self.heartbeats[core.index].fetch_add(1, Ordering::Relaxed);
         if self.trace.on() {
             let t = now.as_nanos();
             self.trace.emit(TraceEvent::SliceEnd {
@@ -718,7 +744,7 @@ impl Executor {
     pub fn new_traced(cfg: RtConfig, sched: Box<dyn Scheduler>, rec: TraceRecorder) -> Executor {
         assert_eq!(sched.cpus(), cfg.cpus, "scheduler/machine mismatch");
         let layout = ShardLayout::new(cfg.cpus, 1);
-        Executor::from_parts(cfg, layout, vec![sched], None, None, rec)
+        Executor::from_parts(cfg, layout, vec![sched], None, None, None, rec)
     }
 
     /// Creates an executor from a policy spec, honouring its `shards=N`
@@ -733,11 +759,15 @@ impl Executor {
     /// [`Executor::from_spec`] with an event recorder (see
     /// [`Executor::new_traced`]).
     pub fn from_spec_traced(cfg: RtConfig, spec: &PolicySpec, rec: TraceRecorder) -> Executor {
+        let admit = spec.admission().copied();
         if spec.shard_count() <= 1 {
             // `spec.build` keeps the scheduler identical to the sim
             // substrate's — for `shards=1` that is the one-shard
             // wrapper (named e.g. "SFS(sharded)"), behind one lock.
-            return Executor::new_traced(cfg.clone(), spec.build(cfg.cpus), rec);
+            let sched = spec.build(cfg.cpus);
+            assert_eq!(sched.cpus(), cfg.cpus, "scheduler/machine mismatch");
+            let layout = ShardLayout::new(cfg.cpus, 1);
+            return Executor::from_parts(cfg, layout, vec![sched], None, None, admit, rec);
         }
         let rebalance = spec.rebalance_every();
         let sharded = ShardedScheduler::build(
@@ -747,7 +777,7 @@ impl Executor {
             rebalance,
         );
         let (layout, shards, bal) = sharded.into_parts();
-        Executor::from_parts(cfg, layout, shards, Some(bal), rebalance, rec)
+        Executor::from_parts(cfg, layout, shards, Some(bal), rebalance, admit, rec)
     }
 
     fn from_parts(
@@ -756,9 +786,11 @@ impl Executor {
         shards: Vec<Box<dyn Scheduler>>,
         bal: Option<Balancer>,
         rebalance: Option<Duration>,
+        admit: Option<AdmissionPolicy>,
         trace: TraceRecorder,
     ) -> Executor {
         let mut cpu_base = 0u32;
+        let shard_count = shards.len();
         let cores: Vec<Mutex<ShardCore>> = shards
             .into_iter()
             .enumerate()
@@ -766,6 +798,7 @@ impl Executor {
                 let base = cpu_base;
                 cpu_base += layout.shard_cpus(s);
                 Mutex::new(ShardCore {
+                    index: s,
                     sched,
                     cpus: vec![
                         CpuSlot {
@@ -791,6 +824,7 @@ impl Executor {
                 registry: HashMap::new(),
                 next_id: 1,
                 live: 0,
+                admit: admit.map(AdmissionControl::new),
             }),
             rebalance_every: rebalance.unwrap_or(ShardedScheduler::DEFAULT_REBALANCE),
             idle_cv: Condvar::new(),
@@ -800,6 +834,11 @@ impl Executor {
             steals: AtomicU64::new(0),
             rebalances: AtomicU64::new(0),
             wake_migrations: AtomicU64::new(0),
+            heartbeats: (0..shard_count).map(|_| AtomicU64::new(0)).collect(),
+            timer_jitter: AtomicU64::new(0),
+            reaped: AtomicU64::new(0),
+            watchdogs: AtomicU64::new(0),
+            invariant_violations: AtomicU64::new(0),
             trace,
         });
         let timer = {
@@ -833,10 +872,21 @@ impl Executor {
         let mut next = Instant::now() + interval;
         let mut next_rebalance = Instant::now() + rebalance_every;
         let mut last_readjust = (0u64, 0u64);
+        // Watchdog state: the heartbeat value last seen per shard, and
+        // how many consecutive ticks it has sat still with work waiting.
+        let mut wd_seen: Vec<u64> = vec![0; inner.shards.len()];
+        let mut wd_stale: Vec<u32> = vec![0; inner.shards.len()];
         while !inner.shutdown.load(Ordering::Acquire) {
             let now = Instant::now();
             if next > now {
                 thread::sleep(next - now);
+            }
+            // Injected timer jitter: delay this tick (and only this
+            // tick) by the injected amount, so quantum expiry is
+            // observed late — the fault the watchdog must survive.
+            let jitter = inner.timer_jitter.swap(0, Ordering::AcqRel);
+            if jitter > 0 {
+                thread::sleep(std::time::Duration::from_nanos(jitter));
             }
             next += interval;
             let now = Instant::now();
@@ -850,9 +900,13 @@ impl Executor {
             let mut min_phi: Option<f64> = None;
             let mut expired: Vec<Arc<RtTask>> = Vec::new();
             for (si, shard) in inner.shards.iter().enumerate() {
+                let occupied;
+                let waiting;
                 {
                     let wait_start = Instant::now();
                     let core = shard.lock();
+                    occupied = core.cpus.iter().filter(|c| c.current.is_some()).count();
+                    waiting = core.sched.nr_runnable() > 0;
                     if tracing {
                         let t = inner.now().as_nanos();
                         inner.trace.emit(TraceEvent::Counter {
@@ -897,8 +951,46 @@ impl Executor {
                     }
                 }
                 // Shard lock released: raise the flags outside it.
+                let expired_count = expired.len();
                 for t in expired.drain(..) {
                     t.preempt.store(true, Ordering::Release);
+                }
+                // Watchdog: a shard is stalled when every occupied slot
+                // has overshot its quantum, other tasks are waiting, and
+                // the dispatch heartbeat has not moved since the last
+                // tick — i.e. preemption flags are being raised but
+                // nothing is yielding. After `WATCHDOG_TICKS` such ticks
+                // we re-raise every flag and force a rebalance so the
+                // stalled work can be pulled elsewhere.
+                const WATCHDOG_TICKS: u32 = 8;
+                let hb = inner.heartbeats[si].load(Ordering::Relaxed);
+                let stalled =
+                    occupied > 0 && expired_count == occupied && waiting && hb == wd_seen[si];
+                wd_seen[si] = hb;
+                wd_stale[si] = if stalled { wd_stale[si] + 1 } else { 0 };
+                if wd_stale[si] >= WATCHDOG_TICKS {
+                    wd_stale[si] = 0;
+                    inner.watchdogs.fetch_add(1, Ordering::Relaxed);
+                    if tracing {
+                        inner.trace.emit(TraceEvent::WatchdogFired {
+                            t: inner.now().as_nanos(),
+                            shard: si as u32,
+                        });
+                    }
+                    let flagged: Vec<Arc<RtTask>> = {
+                        let core = shard.lock();
+                        core.cpus
+                            .iter()
+                            .filter_map(|c| c.current)
+                            .map(|id| Arc::clone(core.task(id)))
+                            .collect()
+                    };
+                    for t in flagged {
+                        t.preempt.store(true, Ordering::Release);
+                    }
+                    if inner.sharded() {
+                        inner.rebalance();
+                    }
                 }
             }
             if tracing {
@@ -969,10 +1061,65 @@ impl Executor {
     where
         F: FnOnce(&TaskCtx) + Send + 'static,
     {
+        match self.try_spawn_in_tenant(name, weight, tenant, body) {
+            Ok(handle) => handle,
+            Err(reason) => panic!(
+                "task {name:?} rejected by admission control ({reason}); \
+                 use try_spawn_in_tenant to handle rejection"
+            ),
+        }
+    }
+
+    /// [`Executor::spawn_in_tenant`], but admission-checked: when the
+    /// executor was built from a policy with an `admit(...)` clause the
+    /// task may be refused (tenant cap, rate limit, or global load
+    /// shed). A rejected task never attaches, never starts a thread,
+    /// and consumes no weight; the caller gets the typed
+    /// [`RejectReason`]. Without an admission policy this always
+    /// succeeds.
+    pub fn try_spawn_in_tenant<F>(
+        &self,
+        name: &str,
+        weight: Weight,
+        tenant: Option<TenantId>,
+        body: F,
+    ) -> Result<TaskHandle, RejectReason>
+    where
+        F: FnOnce(&TaskCtx) + Send + 'static,
+    {
         let (task, ctx) = {
             let mut global = self.inner.global.lock();
             let id = TaskId(global.next_id);
             global.next_id += 1;
+            let mut admitted = false;
+            if global.admit.is_some() {
+                // Ready-but-waiting depth across every shard feeds the
+                // load-shed watermark (lock order: global, then shards
+                // ascending).
+                let runnable: usize = self
+                    .inner
+                    .shards
+                    .iter()
+                    .map(|s| s.lock().sched.nr_runnable())
+                    .sum();
+                let now = self.inner.now();
+                let ctrl = global.admit.as_mut().expect("checked above");
+                match ctrl.admit(tenant, now, runnable as u64) {
+                    Ok(()) => admitted = true,
+                    Err(reason) => {
+                        if self.inner.trace.on() {
+                            self.inner
+                                .trace
+                                .register_task(id, name, weight.get(), tenant);
+                            self.inner.trace.emit(TraceEvent::TaskRejected {
+                                t: now.as_nanos(),
+                                task: id,
+                            });
+                        }
+                        return Err(reason);
+                    }
+                }
+            }
             global.live += 1;
             let shard = match global.bal.as_mut() {
                 Some(bal) => bal.attach_tenant(id, weight, tenant),
@@ -981,6 +1128,8 @@ impl Executor {
             let task = Arc::new(RtTask {
                 id,
                 name: name.to_string(),
+                tenant,
+                admitted,
                 shard: AtomicUsize::new(shard),
                 preempt: AtomicBool::new(false),
                 service_ns: AtomicU64::new(0),
@@ -1017,6 +1166,7 @@ impl Executor {
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     body(&ctx);
                 }));
+                let panicked = result.is_err();
                 {
                     let mut global = inner.global.lock();
                     let (_, mut core) = inner.lock_own_shard(&task2);
@@ -1028,7 +1178,31 @@ impl Executor {
                         // block woke it but before it was granted —
                         // cannot happen for well-formed bodies, but a
                         // panicking body may unwind from anywhere).
-                        core.sched.detach(task2.id, inner.now());
+                        core.sched.reap(task2.id, inner.now());
+                    }
+                    if panicked {
+                        // A panicking body is forcibly reaped: record
+                        // it, and audit the scheduler's books right away
+                        // so a weight leak is caught at the fault, not
+                        // at some later unrelated assertion.
+                        inner.reaped.fetch_add(1, Ordering::Relaxed);
+                        if inner.trace.on() {
+                            inner.trace.emit(TraceEvent::TaskReaped {
+                                t: inner.now().as_nanos(),
+                                task: task2.id,
+                            });
+                        }
+                        let audit = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            core.sched.check_invariants();
+                        }));
+                        if audit.is_err() {
+                            inner.invariant_violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    if task2.admitted {
+                        if let Some(admit) = global.admit.as_mut() {
+                            admit.release(task2.tenant);
+                        }
                     }
                     if let Some(bal) = global.bal.as_mut() {
                         bal.remove(task2.id);
@@ -1053,11 +1227,11 @@ impl Executor {
                 }
             })
             .expect("spawning task thread");
-        TaskHandle {
+        Ok(TaskHandle {
             id: task.id,
             task,
             thread: Some(thread),
-        }
+        })
     }
 
     /// Asks all cooperative loops to stop (see [`TaskCtx::stopped`]).
@@ -1142,6 +1316,43 @@ impl Executor {
     pub fn with_scheduler<R>(&self, f: impl FnOnce(&dyn Scheduler) -> R) -> R {
         let core = self.inner.shards[0].lock();
         f(core.sched.as_ref())
+    }
+
+    /// Spawn attempts refused by admission control so far. Zero when
+    /// the executor has no admission policy.
+    pub fn rejected(&self) -> u64 {
+        self.inner
+            .global
+            .lock()
+            .admit
+            .as_ref()
+            .map_or(0, sfs_core::admit::AdmissionControl::rejected)
+    }
+
+    /// Task bodies that panicked and were forcibly reaped.
+    pub fn reaped(&self) -> u64 {
+        self.inner.reaped.load(Ordering::Relaxed)
+    }
+
+    /// Times the timer-thread watchdog declared a shard stalled and
+    /// forced recovery (flag re-raise plus rebalance).
+    pub fn watchdog_fires(&self) -> u64 {
+        self.inner.watchdogs.load(Ordering::Relaxed)
+    }
+
+    /// Scheduler-invariant audits that failed after a forced reap.
+    /// Any non-zero value is a bug in the scheduling policy.
+    pub fn invariant_violations(&self) -> u64 {
+        self.inner.invariant_violations.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection: delays the next timer tick by `d`, so quantum
+    /// expiry is observed late. Used by the chaos experiments to
+    /// exercise the watchdog path deterministically.
+    pub fn inject_timer_jitter(&self, d: Duration) {
+        self.inner
+            .timer_jitter
+            .fetch_add(d.as_nanos(), Ordering::AcqRel);
     }
 }
 
@@ -1460,5 +1671,79 @@ mod tests {
         ex.wait();
         assert!(sleeper.service() < Duration::from_millis(100));
         assert!(spinner.service() > Duration::from_millis(100));
+    }
+
+    #[test]
+    fn panicking_task_is_reaped_and_survivors_keep_their_shares() {
+        let ex = Executor::new(
+            RtConfig {
+                cpus: 1,
+                timer_interval: Duration::from_micros(200),
+            },
+            small_sfs(1),
+        );
+        let a = ex.spawn("w1", weight(1), spin);
+        let b = ex.spawn("w3", weight(3), spin);
+        let bomb = ex.spawn("bomb", weight(2), |ctx| {
+            let start = std::time::Instant::now();
+            while start.elapsed() < std::time::Duration::from_millis(50) {
+                std::hint::spin_loop();
+                ctx.checkpoint();
+            }
+            panic!("injected fault");
+        });
+        std::thread::sleep(std::time::Duration::from_millis(450));
+        ex.stop();
+        ex.wait();
+        assert_eq!(ex.reaped(), 1, "panicking body must be counted as reaped");
+        assert_eq!(
+            ex.invariant_violations(),
+            0,
+            "reap must not corrupt the scheduler's books"
+        );
+        bomb.join();
+        // The survivors split the CPU 3:1 after the reap; the bomb's
+        // weight must be fully released (§2.1 readjustment on exit).
+        let (sa, sb) = (a.service().as_nanos() as f64, b.service().as_nanos() as f64);
+        let ratio = sb / sa.max(1.0);
+        assert!(
+            (1.8..4.5).contains(&ratio),
+            "expected ≈3:1 after reap, got {ratio:.2} ({sb} vs {sa})"
+        );
+        a.join();
+        b.join();
+    }
+
+    #[test]
+    fn admission_policy_rejects_over_cap_spawns() {
+        let spec: PolicySpec = "sfs:quantum=2ms,admit(max=2)".parse().unwrap();
+        let ex = Executor::from_spec(
+            RtConfig {
+                cpus: 1,
+                timer_interval: Duration::from_micros(200),
+            },
+            &spec,
+        );
+        let a = ex
+            .try_spawn_in_tenant("a", weight(1), None, spin)
+            .expect("first task admitted");
+        let b = ex
+            .try_spawn_in_tenant("b", weight(1), None, spin)
+            .expect("second task admitted");
+        let err = match ex.try_spawn_in_tenant("c", weight(1), None, spin) {
+            Ok(_) => panic!("third task must hit the cap"),
+            Err(reason) => reason,
+        };
+        assert_eq!(err, sfs_core::admit::RejectReason::TenantCap);
+        assert_eq!(ex.rejected(), 1);
+        ex.stop();
+        ex.wait();
+        a.join();
+        b.join();
+        // Exits release slots: a fresh spawn is admitted again.
+        let c = ex
+            .try_spawn_in_tenant("c2", weight(1), None, |_ctx| {})
+            .expect("slot released after exit");
+        c.join();
     }
 }

@@ -33,6 +33,8 @@
 //!   application), and the batch pays one dispatch sweep instead of one
 //!   per event.
 
+use sfs_core::admit::{AdmissionControl, AdmissionPolicy};
+use sfs_core::fault::{FaultKind, FaultPlan};
 use sfs_core::gms::FluidGms;
 use sfs_core::sched::{select_preemption_victim, Scheduler, SwitchReason};
 use sfs_core::task::{CpuId, TaskId, TenantId, Weight};
@@ -40,7 +42,7 @@ use sfs_core::time::{Duration, Time};
 use sfs_trace::{CounterTrack, TraceEvent, TraceRecorder};
 use sfs_workloads::{Behavior, BehaviorSpec, Phase};
 
-use crate::trace::{SimReport, TaskLabel, Trace};
+use crate::trace::{RunHealth, SimReport, TaskLabel, Trace};
 use crate::wheel::TimingWheel;
 
 /// Recording runs flush the local event buffer to the shared recorder
@@ -89,8 +91,13 @@ enum EvKind {
     Arrive(usize),
     Kill(usize),
     Wake(TaskId),
-    CpuTimer { cpu: usize, token: u64 },
+    CpuTimer {
+        cpu: usize,
+        token: u64,
+    },
     Sample,
+    /// An injected fault (index into the simulator's fault list).
+    Fault(usize),
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,6 +126,13 @@ struct TaskArena {
     stream: Vec<Option<usize>>,
     /// Tenant group the task attaches under, for hierarchical policies.
     tenant: Vec<Option<TenantId>>,
+    /// The task passed admission control (and must release its slot on
+    /// exit). Always false when admission is off or the task was
+    /// rejected.
+    admitted: Vec<bool>,
+    /// Pending wake-delay from an injected [`FaultKind::WakeDrop`]:
+    /// the task's next wake event is re-posted this much later.
+    wake_delay: Vec<Duration>,
     behavior: Vec<Box<dyn Behavior>>,
 }
 
@@ -133,6 +147,8 @@ impl TaskArena {
             attached: Vec::new(),
             stream: Vec::new(),
             tenant: Vec::new(),
+            admitted: Vec::new(),
+            wake_delay: Vec::new(),
             behavior: Vec::new(),
         }
     }
@@ -164,6 +180,8 @@ impl TaskArena {
         self.attached.push(false);
         self.stream.push(stream);
         self.tenant.push(tenant);
+        self.admitted.push(false);
+        self.wake_delay.push(Duration::ZERO);
         self.behavior.push(behavior);
         TaskId(self.behavior.len() as u64)
     }
@@ -244,6 +262,14 @@ pub struct Simulator {
     /// (readjust_calls, weights_clamped) at the previous sample, for
     /// per-sample `Readjust` epoch deltas when recording.
     last_readjust: (u64, u64),
+    /// Admission control state, when the run enforces an
+    /// [`AdmissionPolicy`].
+    admission: Option<AdmissionControl>,
+    /// Injected fault kinds, indexed by [`EvKind::Fault`] payloads.
+    fault_kinds: Vec<FaultKind>,
+    faults_injected: u64,
+    faults_recovered: u64,
+    invariant_violations: u64,
 }
 
 impl Simulator {
@@ -283,6 +309,11 @@ impl Simulator {
             trace_buf: Vec::new(),
             tenants_present: false,
             last_readjust: (0, 0),
+            admission: None,
+            fault_kinds: Vec::new(),
+            faults_injected: 0,
+            faults_recovered: 0,
+            invariant_violations: 0,
         };
         let first_sample = sim.cfg.sample_every;
         sim.post(Time::ZERO + first_sample, EvKind::Sample);
@@ -301,6 +332,29 @@ impl Simulator {
             self.trace_buf.reserve(TRACE_FLUSH_EVENTS);
         }
         self.rec = rec;
+        self
+    }
+
+    /// Enforces an admission policy on every arrival (see
+    /// [`sfs_core::admit`]). Rejected arrivals are still materialised —
+    /// they get a task id, a report entry and a `TaskRejected` trace
+    /// event — but never attach to the scheduler.
+    #[must_use]
+    pub fn with_admission(mut self, policy: AdmissionPolicy) -> Simulator {
+        self.admission = Some(AdmissionControl::new(policy));
+        self
+    }
+
+    /// Injects a deterministic fault plan (see [`sfs_core::fault`]):
+    /// each fault becomes an ordinary event at its scheduled time, so
+    /// faulted runs stay pure functions of their configuration.
+    #[must_use]
+    pub fn with_faults(mut self, plan: &FaultPlan) -> Simulator {
+        for ev in plan.sorted() {
+            let idx = self.fault_kinds.len();
+            self.fault_kinds.push(ev.kind);
+            self.post(ev.at, EvKind::Fault(idx));
+        }
         self
     }
 
@@ -474,6 +528,7 @@ impl Simulator {
                 EvKind::Kill(idx) => self.on_kill(idx),
                 EvKind::CpuTimer { cpu, token } => self.on_cpu_timer(cpu, token),
                 EvKind::Sample => self.on_sample(),
+                EvKind::Fault(idx) => self.on_fault(idx),
             }
             if self.trace_buf.len() >= TRACE_FLUSH_EVENTS {
                 self.rec.emit_many(std::mem::take(&mut self.trace_buf));
@@ -510,6 +565,15 @@ impl Simulator {
                 t.gms_error = Some(err);
             }
         }
+        report.health = RunHealth {
+            rejected: self
+                .admission
+                .as_ref()
+                .map_or(0, AdmissionControl::rejected),
+            faults_injected: self.faults_injected,
+            faults_recovered: self.faults_recovered,
+            invariant_violations: self.invariant_violations,
+        };
         report
     }
 
@@ -535,9 +599,41 @@ impl Simulator {
         id
     }
 
-    fn on_arrive(&mut self, idx: usize) {
+    /// Materialises arrival `idx` and runs it through admission
+    /// control. A rejected arrival still gets a task id, a report entry
+    /// and a `TaskRejected` trace event (so replica numbering, trace
+    /// validation and stream continuations all stay intact), but it
+    /// never touches the scheduler.
+    fn admit_arrival(&mut self, idx: usize) -> Option<TaskId> {
         let id = self.spawn_arrival(idx);
-        self.continue_task(id);
+        let Some(ctrl) = &mut self.admission else {
+            return Some(id);
+        };
+        let i = TaskArena::idx(id);
+        let runnable = self.sched.nr_runnable() as u64;
+        match ctrl.admit(self.tasks.tenant[i], self.now, runnable) {
+            Ok(()) => {
+                self.tasks.admitted[i] = true;
+                Some(id)
+            }
+            Err(_) => {
+                self.trace.mark_rejected(id);
+                if self.rec.on() {
+                    self.trace_buf.push(TraceEvent::TaskRejected {
+                        t: self.now.as_nanos(),
+                        task: id,
+                    });
+                }
+                self.finish_task(id);
+                None
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, idx: usize) {
+        if let Some(id) = self.admit_arrival(idx) {
+            self.continue_task(id);
+        }
     }
 
     /// Applies a same-tick run of arrival/wake events as one batch:
@@ -557,12 +653,16 @@ impl Simulator {
         for ev in batch {
             match *ev {
                 EvKind::Arrive(idx) => {
-                    let id = self.spawn_arrival(idx);
-                    self.resolve_batched(id, &mut attaches, &mut wakes, &mut made_runnable);
+                    if let Some(id) = self.admit_arrival(idx) {
+                        self.resolve_batched(id, &mut attaches, &mut wakes, &mut made_runnable);
+                    }
                 }
                 EvKind::Wake(id) => {
                     if self.tasks.state[TaskArena::idx(id)] != TState::Sleeping {
                         continue; // killed or already woken
+                    }
+                    if self.delay_dropped_wake(id) {
+                        continue;
                     }
                     self.resolve_batched(id, &mut attaches, &mut wakes, &mut made_runnable);
                 }
@@ -682,7 +782,145 @@ impl Simulator {
         if self.tasks.state[TaskArena::idx(id)] != TState::Sleeping {
             return; // killed or already woken
         }
+        if self.delay_dropped_wake(id) {
+            return;
+        }
         self.continue_task(id);
+    }
+
+    /// If an injected [`FaultKind::WakeDrop`] is pending for the task,
+    /// consumes it and re-posts the wake that much later, modelling a
+    /// lost-then-retried wakeup. Returns true if the wake was deferred.
+    fn delay_dropped_wake(&mut self, id: TaskId) -> bool {
+        let i = TaskArena::idx(id);
+        let delay = self.tasks.wake_delay[i];
+        if delay.is_zero() {
+            return false;
+        }
+        self.tasks.wake_delay[i] = Duration::ZERO;
+        self.post(self.now + delay, EvKind::Wake(id));
+        true
+    }
+
+    /// Applies injected fault `fidx` and immediately runs its recovery
+    /// action; scheduler invariants are re-checked after any forced
+    /// reap, with failures counted rather than propagated.
+    fn on_fault(&mut self, fidx: usize) {
+        self.faults_injected += 1;
+        match self.fault_kinds[fidx] {
+            FaultKind::Panic { task } => self.fault_panic(task),
+            FaultKind::Stall { cpu, dur } => self.fault_slow(cpu, dur, true),
+            FaultKind::Jitter { cpu, dur } => self.fault_slow(cpu, dur, false),
+            FaultKind::WakeDrop { task, dur } => self.fault_wake_drop(task, dur),
+        }
+        self.faults_recovered += 1;
+    }
+
+    /// Resolves a fault's arrival-order task index to a spawned,
+    /// still-live task id (faults targeting unspawned or exited tasks
+    /// are no-ops — trivially recovered).
+    fn fault_target(&self, task: u64) -> Option<TaskId> {
+        let id = self.arrivals.get(task as usize)?.spawned?;
+        (self.tasks.state[TaskArena::idx(id)] != TState::Exited).then_some(id)
+    }
+
+    /// An injected task panic: the task is forcibly reaped through
+    /// [`Scheduler::reap`] (weight released, §2.1 readjustment applied)
+    /// and marked in the trace, exactly as the real-time executor's
+    /// `catch_unwind` cleanup does for a genuinely panicking body.
+    fn fault_panic(&mut self, task: u64) {
+        let Some(id) = self.fault_target(task) else {
+            return;
+        };
+        let i = TaskArena::idx(id);
+        match self.tasks.state[i] {
+            TState::Exited => unreachable!("fault_target filters exited tasks"),
+            TState::Running(cpu) => {
+                self.stop_running(cpu, SwitchReason::Exited);
+                self.reap_task(id);
+                self.dispatch(cpu);
+            }
+            TState::Ready => {
+                self.sched.reap(id, self.now);
+                self.reap_task(id);
+            }
+            TState::Sleeping => {
+                if self.tasks.attached[i] {
+                    self.sched.reap(id, self.now);
+                }
+                self.reap_task(id);
+            }
+        }
+        // A reap is exactly the surgery that could corrupt a run queue:
+        // re-check the scheduler's structural invariants and count
+        // (rather than abort on) any violation.
+        let ok = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.sched.check_invariants();
+        }))
+        .is_ok();
+        if !ok {
+            self.invariant_violations += 1;
+        }
+    }
+
+    /// Marks a task killed by fault recovery and routes it through the
+    /// normal exit path (the caller has already stopped it and released
+    /// its scheduler weight).
+    fn reap_task(&mut self, id: TaskId) {
+        self.trace.mark_reaped(id);
+        if self.rec.on() {
+            self.trace_buf.push(TraceEvent::TaskReaped {
+                t: self.now.as_nanos(),
+                task: id,
+            });
+        }
+        self.finish_task(id);
+    }
+
+    /// A stalled or jittered CPU: the running task holds the processor
+    /// `dur` longer than it should. A stall also burns `dur` of extra
+    /// demand (the task made no progress while stalled); jitter only
+    /// delays the quantum timer, so expiry is observed late.
+    fn fault_slow(&mut self, cpu: u32, dur: Duration, stall: bool) {
+        let c = cpu as usize;
+        if c >= self.cpus.len() {
+            return;
+        }
+        let Some(id) = self.cpus[c].current else {
+            return; // idle CPU: nothing to disturb
+        };
+        self.charge_compute(c);
+        let i = TaskArena::idx(id);
+        if stall {
+            self.tasks.remaining[i] += dur;
+        }
+        let cpu_s = &mut self.cpus[c];
+        if stall {
+            cpu_s.quantum_deadline += dur;
+        }
+        // Invalidate the pending timer and reschedule. An earlier
+        // jitter fault may have pushed the pending timer past the
+        // quantum deadline; a second fault then sees a deadline in the
+        // past, so clamp to now before rescheduling.
+        cpu_s.token += 1;
+        let fire = (self.now + self.tasks.remaining[i])
+            .min(cpu_s.quantum_deadline)
+            .max(self.now);
+        let fire = if stall { fire } else { fire + dur };
+        let token = cpu_s.token;
+        self.post(fire, EvKind::CpuTimer { cpu: c, token });
+    }
+
+    /// A dropped wakeup: the task's next wake event will be re-posted
+    /// `dur` late (see [`Simulator::delay_dropped_wake`]).
+    fn fault_wake_drop(&mut self, task: u64, dur: Duration) {
+        let Some(id) = self.fault_target(task) else {
+            return;
+        };
+        let i = TaskArena::idx(id);
+        if self.tasks.state[i] == TState::Sleeping {
+            self.tasks.wake_delay[i] += dur;
+        }
     }
 
     fn on_cpu_timer(&mut self, cpu_idx: usize, token: u64) {
@@ -864,6 +1102,13 @@ impl Simulator {
         self.tasks.state[i] = TState::Exited;
         let stream = self.tasks.stream[i];
         self.trace.exited(id, self.now);
+        if self.tasks.admitted[i] {
+            self.tasks.admitted[i] = false;
+            let tenant = self.tasks.tenant[i];
+            if let Some(ctrl) = &mut self.admission {
+                ctrl.release(tenant);
+            }
+        }
         if let Some(g) = &mut self.gms {
             if self.tasks.attached[i] {
                 g.remove(id);
@@ -1422,6 +1667,131 @@ mod tests {
             s.exited,
             full.tasks.iter().filter(|t| t.exited.is_some()).count() as u64
         );
+    }
+
+    #[test]
+    fn admission_cap_rejects_excess_tasks() {
+        use sfs_core::admit::AdmissionPolicy;
+        let mut sim = Simulator::new(quick_cfg(1, 2), sfs(1))
+            .with_admission(AdmissionPolicy::none().with_max_live(2));
+        for k in 0..5 {
+            sim.schedule_arrival(Time::ZERO, &format!("t{k}"), weight(1), BehaviorSpec::Inf);
+        }
+        let rep = sim.run();
+        assert_eq!(rep.health.rejected, 3);
+        let rejected: Vec<_> = rep.tasks.iter().filter(|t| t.rejected).collect();
+        assert_eq!(rejected.len(), 3);
+        for t in &rejected {
+            assert_eq!(t.service, Duration::ZERO, "{} ran after rejection", t.name);
+            assert!(t.exited.is_some(), "{} still live", t.name);
+        }
+        // The two admitted tasks split the CPU.
+        let admitted: Vec<_> = rep.tasks.iter().filter(|t| !t.rejected).collect();
+        assert_eq!(admitted.len(), 2);
+        for t in &admitted {
+            assert!(
+                t.service >= Duration::from_millis(900),
+                "{} got {:?}",
+                t.name,
+                t.service
+            );
+        }
+    }
+
+    #[test]
+    fn admission_releases_slots_on_exit() {
+        use sfs_core::admit::AdmissionPolicy;
+        // Cap 1: the finite job's exit must free the slot for the
+        // later arrival.
+        let mut sim = Simulator::new(quick_cfg(1, 2), sfs(1))
+            .with_admission(AdmissionPolicy::none().with_max_live(1));
+        sim.schedule_arrival(
+            Time::ZERO,
+            "first",
+            weight(1),
+            BehaviorSpec::Finite(Duration::from_millis(100)),
+        );
+        sim.schedule_arrival(Time::from_secs(1), "second", weight(1), BehaviorSpec::Inf);
+        let rep = sim.run();
+        assert_eq!(rep.health.rejected, 0);
+        assert!(!rep.task("second").unwrap().rejected);
+        assert!(rep.task("second").unwrap().service > Duration::from_millis(900));
+    }
+
+    #[test]
+    fn injected_panic_reaps_and_survivors_split_the_cpu() {
+        use sfs_core::fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new().with(Time::from_millis(500), FaultKind::Panic { task: 0 });
+        let mut sim = Simulator::new(quick_cfg(1, 4), sfs(1)).with_faults(&plan);
+        sim.schedule_arrival(Time::ZERO, "victim", weight(1), BehaviorSpec::Inf);
+        sim.schedule_arrival(Time::ZERO, "a", weight(1), BehaviorSpec::Inf);
+        sim.schedule_arrival(Time::ZERO, "b", weight(1), BehaviorSpec::Inf);
+        let rep = sim.run();
+        assert_eq!(rep.health.faults_injected, 1);
+        assert_eq!(rep.health.faults_recovered, 1);
+        assert_eq!(rep.health.invariant_violations, 0);
+        let v = rep.task("victim").unwrap();
+        assert!(v.reaped, "victim not marked reaped");
+        assert!(v.exited.is_some());
+        assert!(v.service <= Duration::from_millis(520), "{:?}", v.service);
+        // Survivors split the remaining 3.5 s 1:1 — the reaped weight
+        // was released, not leaked.
+        let a = rep.task("a").unwrap().service.as_secs_f64();
+        let b = rep.task("b").unwrap().service.as_secs_f64();
+        assert!((a / b - 1.0).abs() < 0.05, "a/b = {}", a / b);
+        assert!(a + b > 3.2, "survivors starved: {}", a + b);
+    }
+
+    #[test]
+    fn stall_jitter_and_wakedrop_recover_deterministically() {
+        use sfs_core::fault::{FaultKind, FaultPlan};
+        let plan = FaultPlan::new()
+            .with(
+                Time::from_millis(200),
+                FaultKind::Stall {
+                    cpu: 0,
+                    dur: Duration::from_millis(30),
+                },
+            )
+            .with(
+                Time::from_millis(900),
+                FaultKind::Jitter {
+                    cpu: 0,
+                    dur: Duration::from_millis(5),
+                },
+            )
+            .with(
+                Time::from_millis(1400),
+                FaultKind::WakeDrop {
+                    task: 1,
+                    dur: Duration::from_millis(40),
+                },
+            );
+        let run = || {
+            let mut sim = Simulator::new(quick_cfg(1, 3), sfs(1)).with_faults(&plan);
+            sim.schedule_arrival(Time::ZERO, "hog", weight(1), BehaviorSpec::Inf);
+            sim.schedule_arrival(
+                Time::ZERO,
+                "sleeper",
+                weight(1),
+                BehaviorSpec::Interact {
+                    think: Duration::from_millis(100),
+                    burst: Duration::from_millis(5),
+                },
+            );
+            sim.run()
+        };
+        let rep = run();
+        assert_eq!(rep.health.faults_injected, 3);
+        assert_eq!(rep.health.faults_recovered, 3);
+        assert_eq!(rep.health.invariant_violations, 0);
+        // Both tasks keep making progress after the faults.
+        assert!(rep.task("hog").unwrap().service > Duration::from_secs(2));
+        assert!(rep.task("sleeper").unwrap().completions > 10);
+        let again = run();
+        let a: Vec<_> = rep.tasks.iter().map(|t| t.service).collect();
+        let b: Vec<_> = again.tasks.iter().map(|t| t.service).collect();
+        assert_eq!(a, b, "faulted runs must stay deterministic");
     }
 
     #[test]

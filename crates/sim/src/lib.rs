@@ -46,4 +46,4 @@ pub mod wheel;
 
 pub use engine::{SimConfig, Simulator};
 pub use scenario::{Scenario, ScenarioError, StreamSpec, TaskSpec};
-pub use trace::{SimReport, TaskReport};
+pub use trace::{RunHealth, SimReport, TaskReport};

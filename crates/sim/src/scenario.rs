@@ -9,6 +9,8 @@
 
 use core::fmt;
 
+use sfs_core::admit::AdmissionPolicy;
+use sfs_core::fault::FaultPlan;
 use sfs_core::sched::Scheduler;
 use sfs_core::task::Weight;
 use sfs_core::time::{Duration, Time};
@@ -202,6 +204,9 @@ pub struct Scenario {
     pub streams: Vec<StreamSpec>,
     /// Tenant groups declared via [`Scenario::tenant`], for validation.
     pub tenants: Vec<String>,
+    /// Deterministic fault plan injected into every run of the
+    /// scenario (see [`sfs_core::fault`]).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Scenario {
@@ -214,6 +219,7 @@ impl Scenario {
             tasks: Vec::new(),
             streams: Vec::new(),
             tenants: Vec::new(),
+            faults: None,
         }
     }
 
@@ -228,6 +234,16 @@ impl Scenario {
     #[must_use]
     pub fn stream(mut self, spec: StreamSpec) -> Scenario {
         self.streams.push(spec);
+        self
+    }
+
+    /// Injects a deterministic fault plan into every run of the
+    /// scenario (see [`sfs_core::fault`]). Faults travel with the
+    /// scenario through capture/replay, so a chaotic run replays
+    /// exactly.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Scenario {
+        self.faults = Some(plan);
         self
     }
 
@@ -327,6 +343,20 @@ impl Scenario {
         sched: Box<dyn Scheduler>,
         rec: sfs_trace::TraceRecorder,
     ) -> Result<SimReport, ScenarioError> {
+        self.try_run_traced_admitted(sched, rec, None)
+    }
+
+    /// Like [`Scenario::try_run_traced`], with an admission policy
+    /// enforced on every arrival. This is the entry point the
+    /// `sfs-experiment` substrates use to honour a policy spec's
+    /// `admit(...)` clause; the scenario's own fault plan (if any) is
+    /// applied in every case.
+    pub fn try_run_traced_admitted(
+        &self,
+        sched: Box<dyn Scheduler>,
+        rec: sfs_trace::TraceRecorder,
+        admission: Option<AdmissionPolicy>,
+    ) -> Result<SimReport, ScenarioError> {
         self.validate()?;
         // Resolve tenant names to scheduler group ids before the
         // scheduler moves into the simulator. Names the policy does not
@@ -338,6 +368,12 @@ impl Scenario {
             .map(|spec| spec.tenant.as_deref().and_then(|g| sched.bind_tenant(g)))
             .collect();
         let mut sim = Simulator::new(self.config.clone(), sched).with_recorder(rec);
+        if let Some(policy) = admission {
+            sim = sim.with_admission(policy);
+        }
+        if let Some(plan) = &self.faults {
+            sim = sim.with_faults(plan);
+        }
         for (spec, tenant) in self.tasks.iter().zip(bindings) {
             let weight = Weight::new(spec.weight).expect("validated non-zero");
             // One interned base name per spec: replicas render as

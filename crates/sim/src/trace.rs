@@ -84,6 +84,8 @@ struct TaskTrace {
     service: Duration,
     arrived: Time,
     exited: Option<Time>,
+    rejected: bool,
+    reaped: bool,
 }
 
 impl Trace {
@@ -168,6 +170,8 @@ impl Trace {
             service: Duration::ZERO,
             arrived: now,
             exited: None,
+            rejected: false,
+            reaped: false,
         });
     }
 
@@ -218,6 +222,23 @@ impl Trace {
         }
     }
 
+    /// Marks a task refused by admission control: it is materialised in
+    /// the report (so replica numbering and stream continuations stay
+    /// intact) but never received service.
+    pub fn mark_rejected(&mut self, id: TaskId) {
+        if let Some(t) = self.slot_mut(id) {
+            t.rejected = true;
+        }
+    }
+
+    /// Marks a task forcibly reaped by fault recovery (an injected
+    /// panic): its weight was released and it will not run again.
+    pub fn mark_reaped(&mut self, id: TaskId) {
+        if let Some(t) = self.slot_mut(id) {
+            t.reaped = true;
+        }
+    }
+
     /// Total service charged to a task so far.
     pub fn service_of(&self, id: TaskId) -> Duration {
         self.tasks
@@ -251,6 +272,9 @@ impl Trace {
                 if t.exited.is_some() {
                     s.exited += 1;
                 }
+                if t.rejected {
+                    s.rejected += 1;
+                }
             }
             summary = Some(s);
         } else {
@@ -280,6 +304,8 @@ impl Trace {
                     arrived: t.arrived,
                     exited: t.exited,
                     gms_error: None,
+                    rejected: t.rejected,
+                    reaped: t.reaped,
                 });
             }
         }
@@ -292,6 +318,7 @@ impl Trace {
             ctx_switches,
             engine_events,
             summary,
+            health: RunHealth::default(),
         }
     }
 }
@@ -308,6 +335,8 @@ pub struct LeanSummary {
     pub service: Duration,
     /// Tasks that exited before the run ended.
     pub exited: u64,
+    /// Arrivals refused by admission control.
+    pub rejected: u64,
 }
 
 /// Final measurements for one task.
@@ -339,6 +368,12 @@ pub struct TaskReport {
     pub exited: Option<Time>,
     /// |service − GMS fluid service|, when GMS co-simulation was on.
     pub gms_error: Option<Duration>,
+    /// The arrival was refused by admission control; the task never
+    /// attached to the scheduler and its service is zero.
+    pub rejected: bool,
+    /// The task was forcibly reaped by fault recovery (an injected
+    /// panic) rather than exiting on its own.
+    pub reaped: bool,
 }
 
 impl TaskReport {
@@ -381,6 +416,22 @@ pub struct SimReport {
     pub engine_events: u64,
     /// Aggregate totals, for lean-mode runs that skip per-task entries.
     pub summary: Option<LeanSummary>,
+    /// Admission and fault-recovery outcomes for the run.
+    pub health: RunHealth,
+}
+
+/// Admission and fault-recovery outcomes of a run. All-zero for runs
+/// with no admission control and no fault plan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunHealth {
+    /// Arrivals refused by admission control.
+    pub rejected: u64,
+    /// Faults the engine injected before the run ended.
+    pub faults_injected: u64,
+    /// Faults whose recovery action completed.
+    pub faults_recovered: u64,
+    /// Scheduler invariant checks that failed during fault recovery.
+    pub invariant_violations: u64,
 }
 
 impl SimReport {

@@ -149,6 +149,32 @@ pub enum TraceEvent {
         /// Sampled value.
         value: f64,
     },
+    /// An arrival was refused by admission control — the task was
+    /// registered (so the rejection is attributable) but never
+    /// scheduled.
+    TaskRejected {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// The rejected task.
+        task: TaskId,
+    },
+    /// A task was forcibly removed after an abnormal exit (panic,
+    /// injected fault, watchdog recovery); its weight was released and
+    /// scheduler state cleaned.
+    TaskReaped {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// The reaped task.
+        task: TaskId,
+    },
+    /// The stall watchdog detected a wedged shard and triggered
+    /// recovery.
+    WatchdogFired {
+        /// Nanoseconds since run start.
+        t: u64,
+        /// The shard found stalled.
+        shard: u32,
+    },
 }
 
 impl TraceEvent {
@@ -162,7 +188,10 @@ impl TraceEvent {
             | TraceEvent::PreemptEvict { t, .. }
             | TraceEvent::Migrate { t, .. }
             | TraceEvent::Readjust { t, .. }
-            | TraceEvent::Counter { t, .. } => t,
+            | TraceEvent::Counter { t, .. }
+            | TraceEvent::TaskRejected { t, .. }
+            | TraceEvent::TaskReaped { t, .. }
+            | TraceEvent::WatchdogFired { t, .. } => t,
         }
     }
 }
@@ -235,6 +264,15 @@ pub enum TraceError {
         /// Index of the offending event.
         index: usize,
     },
+    /// A task was reaped while it still held an open run slice — the
+    /// substrate must close the slice (`SliceEnd`) before emitting
+    /// `TaskReaped`, so begin/end balance holds for reaped tasks too.
+    ReapedWhileRunning {
+        /// The reaped task.
+        id: TaskId,
+        /// Index of the `TaskReaped` event.
+        index: usize,
+    },
     /// A JSON or protobuf payload could not be decoded.
     Malformed(String),
 }
@@ -256,6 +294,13 @@ impl fmt::Display for TraceError {
                 write!(
                     f,
                     "unbalanced slice begin/end on cpu {cpu} at event {index}"
+                )
+            }
+            TraceError::ReapedWhileRunning { id, index } => {
+                write!(
+                    f,
+                    "task {} reaped at event {index} with its run slice still open",
+                    id.0
                 )
             }
             TraceError::Malformed(why) => write!(f, "malformed trace payload: {why}"),
@@ -302,8 +347,10 @@ impl EventTrace {
 
     /// Structural validation: timestamps are monotonic, every referenced
     /// task is registered, every registered task has at least one run
-    /// slice, slice begin/end events pair up per CPU, and at least one
-    /// counter track is non-empty.
+    /// slice (rejected and reaped tasks are exempt), slice begin/end
+    /// events pair up per CPU — including for reaped tasks, whose final
+    /// slice must be closed before the `TaskReaped` event — and at
+    /// least one counter track is non-empty.
     pub fn validate(&self) -> Result<(), TraceError> {
         let registry: HashMap<TaskId, &TaskMeta> = self.tasks.iter().map(|t| (t.id, t)).collect();
         let mut last_t = 0u64;
@@ -352,6 +399,23 @@ impl EventTrace {
                 }
                 TraceEvent::Readjust { .. } => {}
                 TraceEvent::Counter { .. } => counters += 1,
+                TraceEvent::TaskRejected { task, .. } => {
+                    check(task)?;
+                    // A rejected arrival never gets a slice; exempt it
+                    // from the every-task-ran rule.
+                    ran.insert(task, true);
+                }
+                TraceEvent::TaskReaped { task, .. } => {
+                    check(task)?;
+                    // Begin/end balance must hold for reaped tasks too:
+                    // the substrate closes the slice before reaping.
+                    if open.values().any(|&running| running == task) {
+                        return Err(TraceError::ReapedWhileRunning { id: task, index: i });
+                    }
+                    // A task killed before its first dispatch is fine.
+                    ran.insert(task, true);
+                }
+                TraceEvent::WatchdogFired { .. } => {}
             }
         }
         if let Some((&cpu, _)) = open.iter().next() {
@@ -368,5 +432,111 @@ impl EventTrace {
             return Err(TraceError::NoCounters);
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_trace() -> EventTrace {
+        let mut trace = EventTrace::new(TraceMeta {
+            substrate: "sim".into(),
+            scenario: "chaos".into(),
+            policy: "sfs".into(),
+            cpus: 1,
+            tenants: vec![],
+        });
+        for (id, name) in [(1, "A"), (2, "B")] {
+            trace.tasks.push(TaskMeta {
+                id: TaskId(id),
+                name: name.into(),
+                weight: 1,
+                tenant: None,
+            });
+        }
+        trace.events = vec![
+            TraceEvent::SliceBegin {
+                t: 0,
+                cpu: 0,
+                task: TaskId(1),
+            },
+            TraceEvent::Counter {
+                t: 1,
+                track: CounterTrack::Runnable,
+                value: 2.0,
+            },
+            TraceEvent::SliceEnd {
+                t: 2,
+                cpu: 0,
+                task: TaskId(1),
+                reason: SwitchReason::Exited,
+            },
+        ];
+        trace
+    }
+
+    #[test]
+    fn rejected_tasks_are_exempt_from_never_ran() {
+        let mut trace = base_trace();
+        // Task 2 never runs: without a rejection marker that fails.
+        assert_eq!(
+            trace.validate(),
+            Err(TraceError::TaskNeverRan { name: "B".into() })
+        );
+        trace.events.push(TraceEvent::TaskRejected {
+            t: 3,
+            task: TaskId(2),
+        });
+        trace.validate().expect("rejected task is exempt");
+    }
+
+    #[test]
+    fn reaped_tasks_keep_slices_balanced() {
+        let mut trace = base_trace();
+        // Reaping after the slice closed is fine (and exempts task 2
+        // had it been the reaped one).
+        trace.events.push(TraceEvent::TaskReaped {
+            t: 3,
+            task: TaskId(1),
+        });
+        trace.events.push(TraceEvent::TaskRejected {
+            t: 3,
+            task: TaskId(2),
+        });
+        trace.validate().expect("reap after slice end is balanced");
+        // Reaping while the slice is still open is an error.
+        let mut bad = base_trace();
+        bad.events.insert(
+            1,
+            TraceEvent::TaskReaped {
+                t: 1,
+                task: TaskId(1),
+            },
+        );
+        bad.events.push(TraceEvent::TaskRejected {
+            t: 3,
+            task: TaskId(2),
+        });
+        assert_eq!(
+            bad.validate(),
+            Err(TraceError::ReapedWhileRunning {
+                id: TaskId(1),
+                index: 1
+            })
+        );
+    }
+
+    #[test]
+    fn reaped_before_first_dispatch_is_exempt() {
+        let mut trace = base_trace();
+        trace.events.push(TraceEvent::TaskReaped {
+            t: 3,
+            task: TaskId(2),
+        });
+        trace
+            .events
+            .push(TraceEvent::WatchdogFired { t: 4, shard: 0 });
+        trace.validate().expect("reaped-before-run task is exempt");
     }
 }

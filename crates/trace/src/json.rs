@@ -533,6 +533,21 @@ pub(crate) fn event_to_json(ev: &TraceEvent) -> Json {
             ("track", track_to_json(track)),
             ("value", Json::Num(value)),
         ]),
+        TraceEvent::TaskRejected { t: ts, task } => obj(vec![
+            ("ev", Json::Str("task_rejected".into())),
+            ("t", t(ts)),
+            ("task", task_json(task)),
+        ]),
+        TraceEvent::TaskReaped { t: ts, task } => obj(vec![
+            ("ev", Json::Str("task_reaped".into())),
+            ("t", t(ts)),
+            ("task", task_json(task)),
+        ]),
+        TraceEvent::WatchdogFired { t: ts, shard } => obj(vec![
+            ("ev", Json::Str("watchdog".into())),
+            ("t", t(ts)),
+            ("shard", Json::Int(i128::from(shard))),
+        ]),
     }
 }
 
@@ -598,6 +613,19 @@ pub(crate) fn event_from_json(v: &Json) -> Result<TraceEvent, TraceError> {
             value: want(v, "value")?
                 .as_f64()
                 .ok_or_else(|| TraceError::Malformed("counter value is not a number".into()))?,
+        }),
+        "task_rejected" => Ok(TraceEvent::TaskRejected {
+            t: ts,
+            task: TaskId(want_u64(v, "task")?),
+        }),
+        "task_reaped" => Ok(TraceEvent::TaskReaped {
+            t: ts,
+            task: TaskId(want_u64(v, "task")?),
+        }),
+        "watchdog" => Ok(TraceEvent::WatchdogFired {
+            t: ts,
+            shard: u32::try_from(want_u64(v, "shard")?)
+                .map_err(|_| TraceError::Malformed("shard index overflow".into()))?,
         }),
         other => Err(TraceError::Malformed(format!(
             "unknown event type {other:?}"
@@ -779,6 +807,15 @@ mod tests {
                 calls: 2,
                 clamped: 1,
             },
+            TraceEvent::TaskRejected {
+                t: 7,
+                task: TaskId(3),
+            },
+            TraceEvent::TaskReaped {
+                t: 8,
+                task: TaskId(3),
+            },
+            TraceEvent::WatchdogFired { t: 9, shard: 1 },
         ];
         let text = trace.to_json().to_string();
         let back = EventTrace::from_json(&Json::parse(&text).unwrap()).unwrap();

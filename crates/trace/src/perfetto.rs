@@ -275,6 +275,15 @@ impl Encoder {
                     TraceEvent::Readjust { calls, clamped, .. } => {
                         format!("readjust x{calls} (clamped {clamped})")
                     }
+                    TraceEvent::TaskRejected { task, .. } => {
+                        format!("rejected {}", self.name_of(task))
+                    }
+                    TraceEvent::TaskReaped { task, .. } => {
+                        format!("reaped {}", self.name_of(task))
+                    }
+                    TraceEvent::WatchdogFired { shard, .. } => {
+                        format!("watchdog fired: shard {shard}")
+                    }
                     _ => unreachable!("slice/counter events handled above"),
                 };
                 packet(&track_event_packet(instant.timestamp(), |tev| {

@@ -97,10 +97,12 @@ pub mod prelude {
     pub use sfs_core::prelude::*;
     pub use sfs_experiment::{
         Capture, ComparisonReport, Experiment, ExperimentError, ReplayReport, RtSubstrate,
-        RunReport, SimSubstrate, Substrate, TaskOutcome,
+        RunReport, SimSubstrate, Substrate, TaskFate, TaskOutcome,
     };
     pub use sfs_rt::{Executor, RtConfig, TaskCtx};
-    pub use sfs_sim::{Scenario, ScenarioError, SimConfig, SimReport, StreamSpec, TaskSpec};
+    pub use sfs_sim::{
+        RunHealth, Scenario, ScenarioError, SimConfig, SimReport, StreamSpec, TaskSpec,
+    };
     pub use sfs_trace::{EventTrace, TraceEvent, TraceRecorder};
     pub use sfs_workloads::{Behavior, BehaviorSpec, Phase};
 }
