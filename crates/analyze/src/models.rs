@@ -1,0 +1,505 @@
+//! Protocol models for the bounded interleaving checker.
+//!
+//! Each model is a small, deterministic re-statement of a risky
+//! cross-thread protocol in the real code (`crates/rt/src/executor.rs`,
+//! `crates/core/src/shard.rs`), shrunk to the handful of atomic steps
+//! that matter:
+//!
+//! * [`EpochPublish`] — the `SnapshotCell` publish/read protocol:
+//!   a writer stores snapshot content *then* bumps the epoch; readers
+//!   load the epoch and then the content. Invariants: per-reader epoch
+//!   monotonicity and content at least as new as the observed epoch.
+//! * [`StealVsExit`] — a work-stealer moving a task between two shards
+//!   races a task-exit path that also takes both shard locks.
+//!   Invariants: total weight conservation (a task is on exactly one
+//!   shard or in exactly one hand) and — via the explorer's built-in
+//!   stuck-state detection — no deadlock from the two-lock acquisition
+//!   order.
+//! * [`WatchdogHeartbeat`] — the timer watchdog observing a worker
+//!   heartbeat counter: a worker that goes quiet while work is waiting
+//!   must cause the watchdog to fire within a bounded number of ticks.
+//!
+//! Every model has a deliberately **broken** variant (constructed with
+//! `new(true)`) seeding the classic mutation for that protocol —
+//! epoch-before-content publication, unordered two-lock acquisition,
+//! inverted stale-counter logic — so the checker is demonstrably
+//! non-vacuous: tests assert the explorer flags each broken variant
+//! and passes each correct one.
+
+use crate::interleave::Model;
+
+/// The `SnapshotCell` epoch-publication protocol.
+///
+/// Thread 0 is the writer: it publishes `versions` snapshots, each as
+/// two atomic steps. Correct order: store content, then store epoch.
+/// The broken variant (`new(true)`) stores the epoch first — the exact
+/// mutation that lets a reader observe an epoch whose content has not
+/// landed yet.
+///
+/// Threads 1.. are readers: each performs `rounds` read pairs (load
+/// epoch, then load content), checking that observed epochs never go
+/// backwards and that content is at least as new as the epoch read
+/// before it.
+#[derive(Debug)]
+pub struct EpochPublish {
+    broken: bool,
+    versions: u64,
+    rounds: usize,
+    slot: u64,
+    epoch: u64,
+    wpc: usize,
+    readers: Vec<Reader>,
+    failed: Option<String>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Reader {
+    pc: usize,
+    pending: u64,
+    last: u64,
+}
+
+impl EpochPublish {
+    /// Two published versions, two readers of two rounds each — small
+    /// enough (12 steps) for the exhaustive explorer to finish, large
+    /// enough to interleave a publish inside a read pair every way.
+    pub fn new(broken: bool) -> EpochPublish {
+        EpochPublish {
+            broken,
+            versions: 2,
+            rounds: 2,
+            slot: 0,
+            epoch: 0,
+            wpc: 0,
+            readers: vec![Reader::default(); 2],
+            failed: None,
+        }
+    }
+}
+
+impl Model for EpochPublish {
+    fn name(&self) -> &'static str {
+        if self.broken {
+            "epoch-publish/broken"
+        } else {
+            "epoch-publish"
+        }
+    }
+
+    fn threads(&self) -> usize {
+        1 + self.readers.len()
+    }
+
+    fn reset(&mut self) {
+        self.slot = 0;
+        self.epoch = 0;
+        self.wpc = 0;
+        self.failed = None;
+        for r in &mut self.readers {
+            *r = Reader::default();
+        }
+    }
+
+    fn done(&self, t: usize) -> bool {
+        if t == 0 {
+            self.wpc >= (self.versions as usize) * 2
+        } else {
+            self.readers[t - 1].pc >= self.rounds * 2
+        }
+    }
+
+    fn enabled(&self, _t: usize) -> bool {
+        true
+    }
+
+    fn step(&mut self, t: usize) {
+        if t == 0 {
+            let version = (self.wpc / 2) as u64 + 1;
+            let content_first = !self.broken;
+            if self.wpc.is_multiple_of(2) == content_first {
+                self.slot = version;
+            } else {
+                self.epoch = version;
+            }
+            self.wpc += 1;
+            return;
+        }
+        let r = &mut self.readers[t - 1];
+        if r.pc.is_multiple_of(2) {
+            r.pending = self.epoch;
+            if r.pending < r.last {
+                self.failed = Some(format!(
+                    "reader {} saw epoch go backwards: {} after {}",
+                    t - 1,
+                    r.pending,
+                    r.last
+                ));
+            }
+            r.last = r.pending;
+        } else if self.slot < r.pending {
+            self.failed = Some(format!(
+                "reader {} observed epoch {} but content version {}",
+                t - 1,
+                r.pending,
+                self.slot
+            ));
+        }
+        self.readers[t - 1].pc += 1;
+    }
+
+    fn check(&self) -> Result<(), String> {
+        match &self.failed {
+            Some(msg) => Err(msg.clone()),
+            None => Ok(()),
+        }
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+/// Steal-vs-exit over two shard locks.
+///
+/// Thread 0 steals one task from shard 1 into shard 0; thread 1 pops
+/// one task from shard 0 into the exited set. Both critical sections
+/// take *both* shard locks. Correct variant: both threads acquire in
+/// ascending shard-index order (the `lock_pair` discipline). Broken
+/// variant (`new(true)`): the stealer acquires its *source* shard
+/// first — lock 1 then lock 0 — giving the classic ABBA deadlock the
+/// explorer reports as a stuck state.
+///
+/// Safety invariant after every step: the weights on the two shards,
+/// in threads' hands, and in the exited set always sum to the initial
+/// total (each task lives in exactly one place).
+#[derive(Debug)]
+pub struct StealVsExit {
+    broken: bool,
+    shards: [Vec<u32>; 2],
+    locks: [Option<usize>; 2],
+    exited: u32,
+    hand: [Option<u32>; 2],
+    pc: [usize; 2],
+    total: u32,
+    failed: Option<String>,
+}
+
+impl StealVsExit {
+    /// Shard 0 holds one task (weight 3), shard 1 two (weights 5, 7).
+    pub fn new(broken: bool) -> StealVsExit {
+        StealVsExit {
+            broken,
+            shards: [vec![3], vec![5, 7]],
+            locks: [None, None],
+            exited: 0,
+            hand: [None, None],
+            pc: [0, 0],
+            total: 15,
+            failed: None,
+        }
+    }
+
+    /// Lock-acquisition order for thread `t`: `(first, second)`.
+    fn order(&self, t: usize) -> (usize, usize) {
+        if t == 0 && self.broken {
+            (1, 0) // source shard first: ABBA against thread 1
+        } else {
+            (0, 1)
+        }
+    }
+
+    /// Steps 0 and 1 of each thread are lock-free victim scans, so
+    /// schedules branch around the serialized critical sections.
+    const SCANS: usize = 2;
+}
+
+impl Model for StealVsExit {
+    fn name(&self) -> &'static str {
+        if self.broken {
+            "steal-vs-exit/broken"
+        } else {
+            "steal-vs-exit"
+        }
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) {
+        self.shards = [vec![3], vec![5, 7]];
+        self.locks = [None, None];
+        self.exited = 0;
+        self.hand = [None, None];
+        self.pc = [0, 0];
+        self.failed = None;
+    }
+
+    fn done(&self, t: usize) -> bool {
+        self.pc[t] >= Self::SCANS + if t == 0 { 5 } else { 4 }
+    }
+
+    fn enabled(&self, t: usize) -> bool {
+        let (first, second) = self.order(t);
+        match self.pc[t].checked_sub(Self::SCANS) {
+            Some(0) => self.locks[first].is_none(),
+            Some(1) => self.locks[second].is_none(),
+            _ => true,
+        }
+    }
+
+    fn step(&mut self, t: usize) {
+        let (first, second) = self.order(t);
+        let op = self.pc[t].checked_sub(Self::SCANS);
+        if t == 0 {
+            match op {
+                None => {} // lock-free victim scan
+                Some(0) => self.locks[first] = Some(0),
+                Some(1) => self.locks[second] = Some(0),
+                Some(2) => match self.shards[1].pop() {
+                    Some(w) => self.hand[0] = Some(w),
+                    None => self.failed = Some("steal source shard empty".to_string()),
+                },
+                Some(3) => {
+                    if let Some(w) = self.hand[0].take() {
+                        self.shards[0].push(w);
+                    }
+                }
+                Some(_) => self.locks = [None, None],
+            }
+        } else {
+            match op {
+                None => {} // lock-free victim scan
+                Some(0) => self.locks[first] = Some(1),
+                Some(1) => self.locks[second] = Some(1),
+                Some(2) => match self.shards[0].pop() {
+                    Some(w) => self.exited += w,
+                    None => self.failed = Some("exit source shard empty".to_string()),
+                },
+                Some(_) => self.locks = [None, None],
+            }
+        }
+        self.pc[t] += 1;
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if let Some(msg) = &self.failed {
+            return Err(msg.clone());
+        }
+        let sum: u32 = self.shards.iter().flatten().sum::<u32>()
+            + self.hand.iter().flatten().sum::<u32>()
+            + self.exited;
+        if sum != self.total {
+            return Err(format!(
+                "weight not conserved: {} != {} (shards {:?}, hands {:?}, exited {})",
+                sum, self.total, self.shards, self.hand, self.exited
+            ));
+        }
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.exited == 0 {
+            return Err("exit path never completed".to_string());
+        }
+        self.check()
+    }
+}
+
+/// The timer-watchdog heartbeat protocol.
+///
+/// Thread 0 is a worker that bumps a heartbeat counter twice and then
+/// goes quiet — while work is still waiting. Thread 1 is the watchdog:
+/// each tick compares the heartbeat against the last observed value;
+/// two consecutive quiet ticks with work pending mean the worker is
+/// stalled, and the watchdog fires and takes over the waiting work.
+///
+/// The broken variant (`new(true)`) inverts the stale-counter logic
+/// (counting *changed* observations instead of quiet ones) — under the
+/// schedule where the worker finishes before the first tick, the
+/// watchdog then never fires and the waiting work is lost, which the
+/// final check reports.
+#[derive(Debug)]
+pub struct WatchdogHeartbeat {
+    broken: bool,
+    heartbeat: u32,
+    last_seen: u32,
+    stale: u32,
+    waiting_work: bool,
+    fired: bool,
+    worker_steps: usize,
+    ticks: usize,
+    pc: [usize; 2],
+}
+
+impl WatchdogHeartbeat {
+    /// Two worker heartbeats against eight watchdog ticks — enough
+    /// ticks that every interleaving gives the watchdog two
+    /// consecutive quiet observations after the worker stalls.
+    pub fn new(broken: bool) -> WatchdogHeartbeat {
+        WatchdogHeartbeat {
+            broken,
+            heartbeat: 0,
+            last_seen: 0,
+            stale: 0,
+            waiting_work: true,
+            fired: false,
+            worker_steps: 2,
+            ticks: 8,
+            pc: [0, 0],
+        }
+    }
+}
+
+impl Model for WatchdogHeartbeat {
+    fn name(&self) -> &'static str {
+        if self.broken {
+            "watchdog-heartbeat/broken"
+        } else {
+            "watchdog-heartbeat"
+        }
+    }
+
+    fn threads(&self) -> usize {
+        2
+    }
+
+    fn reset(&mut self) {
+        self.heartbeat = 0;
+        self.last_seen = 0;
+        self.stale = 0;
+        self.waiting_work = true;
+        self.fired = false;
+        self.pc = [0, 0];
+    }
+
+    fn done(&self, t: usize) -> bool {
+        self.pc[t]
+            >= if t == 0 {
+                self.worker_steps
+            } else {
+                self.ticks
+            }
+    }
+
+    fn enabled(&self, _t: usize) -> bool {
+        true
+    }
+
+    fn step(&mut self, t: usize) {
+        if t == 0 {
+            self.heartbeat += 1;
+        } else {
+            let quiet = self.heartbeat == self.last_seen;
+            let counts = if self.broken { !quiet } else { quiet };
+            if counts && self.waiting_work {
+                self.stale += 1;
+            } else {
+                self.stale = 0;
+            }
+            self.last_seen = self.heartbeat;
+            if self.stale >= 2 && self.waiting_work {
+                self.fired = true;
+                self.waiting_work = false;
+            }
+        }
+        self.pc[t] += 1;
+    }
+
+    fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+
+    fn final_check(&self) -> Result<(), String> {
+        if self.waiting_work {
+            return Err(
+                "lost wakeup: work still waiting after worker stalled and all ticks ran"
+                    .to_string(),
+            );
+        }
+        if !self.fired {
+            return Err("work cleared without the watchdog firing".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interleave::Explorer;
+
+    #[test]
+    fn correct_models_are_clean_and_complete() {
+        let ex = Explorer::default();
+        for (mut m, min_schedules) in [
+            (Box::new(EpochPublish::new(false)) as Box<dyn Model>, 1_000),
+            (Box::new(StealVsExit::new(false)), 10),
+            (Box::new(WatchdogHeartbeat::new(false)), 40),
+        ] {
+            let rep = ex.explore(&mut *m);
+            assert!(rep.complete, "{} did not complete", m.name());
+            assert!(
+                rep.schedules >= min_schedules,
+                "{}: only {} schedules",
+                m.name(),
+                rep.schedules
+            );
+            assert!(rep.clean(), "{}: {:?}", m.name(), rep.violations);
+        }
+    }
+
+    #[test]
+    fn broken_epoch_publish_is_caught() {
+        let mut m = EpochPublish::new(true);
+        let rep = Explorer::default().explore(&mut m);
+        assert!(!rep.clean(), "broken epoch publish went undetected");
+        assert!(
+            rep.violations.iter().any(|v| v.message.contains("content")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn broken_steal_lock_order_deadlocks() {
+        let mut m = StealVsExit::new(true);
+        let rep = Explorer::default().explore(&mut m);
+        assert!(!rep.clean(), "ABBA lock order went undetected");
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| v.message.contains("deadlock")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn broken_watchdog_loses_work() {
+        let mut m = WatchdogHeartbeat::new(true);
+        let rep = Explorer::default().explore(&mut m);
+        assert!(!rep.clean(), "inverted stale logic went undetected");
+        assert!(
+            rep.violations
+                .iter()
+                .any(|v| v.message.contains("lost wakeup")),
+            "{:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn sampled_runs_stay_clean_on_correct_models() {
+        let ex = Explorer::default();
+        for mut m in [
+            Box::new(EpochPublish::new(false)) as Box<dyn Model>,
+            Box::new(StealVsExit::new(false)),
+            Box::new(WatchdogHeartbeat::new(false)),
+        ] {
+            let rep = ex.sample(&mut *m, 0x5F5_F00D, 2_000);
+            assert_eq!(rep.schedules, 2_000);
+            assert!(rep.clean(), "{}: {:?}", m.name(), rep.violations);
+        }
+    }
+}

@@ -110,6 +110,10 @@ fn main() -> ExitCode {
                 }
             }
         }
+        if res.failed {
+            eprintln!("{id}: GATE FAILED (see report above)");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

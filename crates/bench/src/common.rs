@@ -60,6 +60,9 @@ pub struct ExpResult {
     pub bin: Vec<(String, Vec<u8>)>,
     /// Key findings, as (metric, value) pairs for EXPERIMENTS.md.
     pub summary: Vec<(String, String)>,
+    /// True when the experiment is a gate (lint, verify) and its check
+    /// failed — the `repro` driver exits non-zero so CI goes red.
+    pub failed: bool,
 }
 
 impl ExpResult {

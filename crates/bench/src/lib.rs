@@ -18,6 +18,7 @@
 //! | [`tenants`] | Multi-tenant sweep: misbehaving-tenant isolation, decision cost at 10²–10⁴ tenants (beyond the paper: §6 hierarchical SFS) |
 //! | [`trace`] | Trace subsystem smoke: Perfetto export validity on sim + rt, capture→replay determinism, recording overhead (beyond the paper: observability) |
 //! | [`chaos`] | Overload armor: admission control vs a flooding tenant, seeded fault-injection recovery, chaos replay determinism (beyond the paper: robustness) |
+//! | [`verify`] | Concurrency-correctness gates: `lint` (project lint engine over `crates/*/src`) and `verify` (bounded interleaving checker over the epoch/steal/watchdog models) — gates, not measurements: failures exit non-zero |
 //!
 //! The `repro` binary drives them all and writes reports to
 //! `results/`; the `figures`/`overheads` bench targets run them in
@@ -38,6 +39,7 @@ pub mod overheads;
 pub mod scale;
 pub mod tenants;
 pub mod trace;
+pub mod verify;
 
 use common::{Effort, ExpResult};
 
@@ -45,7 +47,7 @@ use common::{Effort, ExpResult};
 pub fn all_ids() -> Vec<&'static str> {
     vec![
         "fig1", "fig3", "fig4", "fig5", "fig6a", "fig6b", "fig6c", "fig7", "table1", "overhead",
-        "churn", "mega", "scale", "tenants", "trace", "chaos",
+        "churn", "mega", "scale", "tenants", "trace", "chaos", "lint", "verify",
     ]
 }
 
@@ -72,6 +74,8 @@ pub fn run_experiment(id: &str, effort: Effort) -> ExpResult {
         "tenants" => tenants::run(effort),
         "trace" => trace::run(effort),
         "chaos" => chaos::run(effort),
+        "lint" => verify::run_lint(effort),
+        "verify" => verify::run_verify(effort),
         other => panic!("unknown experiment {other:?}; known: {:?}", all_ids()),
     }
 }

@@ -84,6 +84,8 @@ pub fn scale_point(shards: u32, threads: usize, run_ms: u64) -> ScalePoint {
                 let mut now = Time::ZERO;
                 let mut running: Option<TaskId> = None;
                 let (mut decisions, mut wait_ns, mut hold_ns) = (0u64, 0u128, 0u128);
+                // relaxed: cooperative stop flag; one extra loop
+                // iteration after the store is harmless.
                 while !stop.load(Ordering::Relaxed) {
                     let before = Instant::now();
                     let mut sched = locks[shard].lock().expect("driver lock");
@@ -103,6 +105,7 @@ pub fn scale_point(shards: u32, threads: usize, run_ms: u64) -> ScalePoint {
             }));
         }
         std::thread::sleep(std::time::Duration::from_millis(run_ms));
+        // relaxed: cooperative stop flag (see the worker loop).
         stop.store(true, Ordering::Relaxed);
         for h in handles {
             per_driver.push(h.join().expect("driver thread"));

@@ -63,7 +63,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
+
+use sfs_analyze::lockorder::{rank, OrderedMutex};
 
 use crate::feasible::FeasibleWeights;
 use crate::fixed::Fixed;
@@ -107,7 +109,7 @@ impl PhiSnapshot {
 #[derive(Debug)]
 pub struct SnapshotCell {
     epoch: AtomicU64,
-    slot: Mutex<Arc<PhiSnapshot>>,
+    slot: OrderedMutex<Arc<PhiSnapshot>>,
 }
 
 impl Default for SnapshotCell {
@@ -121,17 +123,20 @@ impl SnapshotCell {
     pub fn new() -> SnapshotCell {
         SnapshotCell {
             epoch: AtomicU64::new(0),
-            slot: Mutex::new(Arc::new(PhiSnapshot {
-                epoch: 0,
-                cap: Fixed::ZERO,
-                clamped: Vec::new(),
-            })),
+            slot: OrderedMutex::new(
+                rank::SNAPSHOT,
+                Arc::new(PhiSnapshot {
+                    epoch: 0,
+                    cap: Fixed::ZERO,
+                    clamped: Vec::new(),
+                }),
+            ),
         }
     }
 
     /// The currently published snapshot.
     pub fn load(&self) -> Arc<PhiSnapshot> {
-        Arc::clone(&self.slot.lock().unwrap_or_else(PoisonError::into_inner))
+        Arc::clone(&self.slot.lock())
     }
 
     /// The published snapshot if its epoch is newer than `seen`, else
@@ -148,7 +153,7 @@ impl SnapshotCell {
     /// identical to the current one, in which case nothing happens and
     /// readers stay on their lock-free fast path.
     pub fn publish(&self, cap: Option<Fixed>, clamped: &[TaskId]) {
-        let mut slot = self.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut slot = self.slot.lock();
         let cap = cap.unwrap_or(Fixed::ZERO);
         if slot.cap == cap && slot.clamped == clamped {
             return;
@@ -916,6 +921,61 @@ mod tests {
         assert!(cell.load_if_newer(1).is_none());
         cell.publish(None, &[]);
         assert_eq!(cell.load().epoch, 2);
+    }
+
+    /// Regression pin for publish-then-read visibility: the slot
+    /// content is written *before* the epoch counter is released, so a
+    /// reader whose `load_if_newer` fires must always observe content
+    /// at least as new as the epoch that triggered it, and epochs must
+    /// never run backwards per reader.
+    #[test]
+    fn snapshot_cell_publish_then_read_visibility() {
+        use std::sync::atomic::AtomicBool;
+
+        let cell = Arc::new(SnapshotCell::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut seen = 0u64;
+                    while !stop.load(Ordering::Acquire) {
+                        if let Some(snap) = cell.load_if_newer(seen) {
+                            assert!(
+                                snap.epoch > seen,
+                                "epoch regressed: {} after {}",
+                                snap.epoch,
+                                seen
+                            );
+                            // The publisher keeps |clamped| == epoch % 2 + 1,
+                            // so stale content under a fresh epoch is caught.
+                            assert_eq!(
+                                snap.clamped.len() as u64,
+                                snap.epoch % 2 + 1,
+                                "content does not match its own epoch"
+                            );
+                            seen = snap.epoch;
+                        }
+                    }
+                    seen
+                })
+            })
+            .collect();
+        // Epoch k carries k % 2 + 1 clamped ids; consecutive clamp
+        // sets always differ, so every publish bumps the epoch.
+        for k in 1..=2_000u64 {
+            if k % 2 == 0 {
+                cell.publish(Some(fx(1)), &[TaskId(1)]);
+            } else {
+                cell.publish(Some(fx(1)), &[TaskId(1), TaskId(2)]);
+            }
+        }
+        stop.store(true, Ordering::Release);
+        for r in readers {
+            r.join().expect("reader panicked");
+        }
+        assert_eq!(cell.load().epoch, 2_000);
     }
 
     #[test]

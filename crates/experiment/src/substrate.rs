@@ -245,6 +245,7 @@ fn run_rt_stream(
             weight,
             &job,
             None,
+            // relaxed: unique-id counter; only atomicity matters.
             seeds.fetch_add(1, Ordering::Relaxed),
             arrived,
             None,
@@ -324,6 +325,7 @@ impl Substrate for RtSubstrate {
                     } else {
                         spec.name.clone()
                     };
+                    // relaxed: unique-id counter; only atomicity matters.
                     let seed = seeds.fetch_add(1, Ordering::Relaxed);
                     let panic_at = panic_ats.get(&flat_index).copied();
                     flat_index += 1;

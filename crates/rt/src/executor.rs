@@ -39,7 +39,8 @@ use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex, MutexGuard};
+use parking_lot::Condvar;
+use sfs_analyze::lockorder::{lock_pair, rank, OrderedGuard, OrderedMutex};
 use sfs_core::admit::{AdmissionControl, AdmissionPolicy, RejectReason};
 use sfs_core::policy::PolicySpec;
 use sfs_core::sched::{select_preemption_victim, SchedStats, Scheduler, SwitchReason};
@@ -96,8 +97,10 @@ struct RtTask {
     /// Total CPU service in nanoseconds.
     service_ns: AtomicU64,
     /// "You hold a virtual CPU" flag, guarded by its own mutex so a
-    /// parked thread can wait on it without any scheduler lock.
-    granted: Mutex<bool>,
+    /// parked thread can wait on it without any scheduler lock. Rank
+    /// `granted` sits below every scheduler lock: grant/revoke happen
+    /// while a shard (and possibly the global) lock is held.
+    granted: OrderedMutex<bool>,
     cv: Condvar,
 }
 
@@ -111,7 +114,7 @@ impl RtTask {
     fn wait_granted(&self) {
         let mut g = self.granted.lock();
         while !*g {
-            self.cv.wait(&mut g);
+            g.wait(&self.cv);
         }
     }
 
@@ -141,6 +144,8 @@ struct ShardCore {
 
 impl ShardCore {
     fn task(&self, id: TaskId) -> &Arc<RtTask> {
+        // invariant: ids come from this shard's own slots/queues, and
+        // task-map transfer happens under both shard locks.
         self.tasks.get(&id).expect("unknown task id")
     }
 
@@ -167,8 +172,12 @@ struct Global {
 
 struct Inner {
     cfg: RtConfig,
-    shards: Vec<Mutex<ShardCore>>,
-    global: Mutex<Global>,
+    /// Rank `shard.i`: acquired after `global`, in ascending index
+    /// order (see [`sfs_analyze::lockorder::rank`]).
+    shards: Vec<OrderedMutex<ShardCore>>,
+    /// Rank `global`: above every shard lock — placement, readjustment
+    /// and rebalance take it first.
+    global: OrderedMutex<Global>,
     /// Interval of the timer thread's rebalance pass (sharded only).
     rebalance_every: Duration,
     idle_cv: Condvar,
@@ -208,7 +217,7 @@ impl Inner {
     /// Locks the shard a task currently belongs to, revalidating the
     /// index after acquisition (a ready task may migrate between the
     /// load and the lock).
-    fn lock_own_shard(&self, task: &RtTask) -> (usize, MutexGuard<'_, ShardCore>) {
+    fn lock_own_shard(&self, task: &RtTask) -> (usize, OrderedGuard<'_, ShardCore>) {
         loop {
             let s = task.shard.load(Ordering::Acquire);
             let guard = self.shards[s].lock();
@@ -219,22 +228,15 @@ impl Inner {
     }
 
     /// Locks two distinct shards in index order, returning the guards
-    /// in argument order.
+    /// in argument order — [`lock_pair`] enforces the rank discipline
+    /// (and audits it under `lock-audit`).
     fn lock_two(
         &self,
         a: usize,
         b: usize,
-    ) -> (MutexGuard<'_, ShardCore>, MutexGuard<'_, ShardCore>) {
+    ) -> (OrderedGuard<'_, ShardCore>, OrderedGuard<'_, ShardCore>) {
         assert_ne!(a, b, "locking one shard twice");
-        if a < b {
-            let ga = self.shards[a].lock();
-            let gb = self.shards[b].lock();
-            (ga, gb)
-        } else {
-            let gb = self.shards[b].lock();
-            let ga = self.shards[a].lock();
-            (ga, gb)
-        }
+        lock_pair(&self.shards[a], &self.shards[b])
     }
 
     /// Fills idle virtual CPUs of one shard. Caller holds its lock.
@@ -272,6 +274,8 @@ impl Inner {
                 slice,
                 last_task: Some(next),
             };
+            // relaxed: monotonic progress beacon; the watchdog only
+            // compares successive reads of the same counter.
             self.heartbeats[core.index].fetch_add(1, Ordering::Relaxed);
             let task = core.task(next).clone();
             task.preempt.store(false, Ordering::Release);
@@ -284,18 +288,22 @@ impl Inner {
     /// reason leaves the runnable set and a balancer exists — the
     /// caller also updates the balancer).
     fn stop_running(&self, core: &mut ShardCore, id: TaskId, reason: SwitchReason) {
+        // invariant: every caller either found `id` on a CPU under
+        // this same lock or holds the slot it granted it.
         let slot = core.slot_of(id).expect("task not on any cpu");
         let used = Duration::from_std(core.cpus[slot].dispatched_at.elapsed());
         core.cpus[slot].current = None;
         let task = core.task(id).clone();
         task.service_ns
-            .fetch_add(used.as_nanos(), Ordering::Relaxed);
+            .fetch_add(used.as_nanos(), Ordering::Relaxed); // relaxed: stats accumulator; readers only need a recent total
         task.revoke();
         if reason == SwitchReason::Blocked {
             core.blocked.insert(id);
         }
         let now = self.now();
         core.sched.put_prev(id, used, reason, now);
+        // relaxed: monotonic progress beacon; the watchdog only
+        // compares successive reads of the same counter.
         self.heartbeats[core.index].fetch_add(1, Ordering::Relaxed);
         if self.trace.on() {
             let t = now.as_nanos();
@@ -358,9 +366,12 @@ impl Inner {
         id: TaskId,
     ) {
         let now = self.now();
+        // invariant: migration candidates come from `from`'s own
+        // policy under its lock; attach/detach and the task map move
+        // together under both shard locks.
         let w = from.sched.weight_of(id).expect("migrating stranger");
         from.sched.detach(id, now);
-        let arc = from.tasks.remove(&id).expect("task map out of sync");
+        let arc = from.tasks.remove(&id).expect("task map out of sync"); // invariant: same lock scope as above
         arc.shard.store(to_idx, Ordering::Release);
         to.tasks.insert(id, arc);
         to.sched.attach(id, w, now);
@@ -409,7 +420,7 @@ impl Inner {
             }
             self.dispatch(&mut t);
             self.flag_wake_preemption(&t, id);
-            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.steals.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
             return;
         }
     }
@@ -467,6 +478,8 @@ impl Inner {
                 return false;
             }
         }
+        // invariant: sharded() was true above, and sharded executors
+        // are always constructed with a balancer (from_parts).
         let bal = global.bal.as_mut().expect("sharded executor has balancer");
         let (_, target) = bal.wake(task.id);
         if self.trace.on() {
@@ -494,7 +507,7 @@ impl Inner {
             // Overloaded home shard: re-admit the waker on the target
             // shard instead (fresh tags there, like any migration).
             // `Balancer::wake` already accounted the placement.
-            self.wake_migrations.fetch_add(1, Ordering::Relaxed);
+            self.wake_migrations.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
             let (mut from, mut to) = self.lock_two(home, target);
             from.blocked.remove(&task.id);
             self.move_task_locked(&mut from, target, &mut to, task.id);
@@ -544,7 +557,7 @@ impl Inner {
                 });
             }
             self.dispatch(&mut t);
-            self.rebalances.fetch_add(1, Ordering::Relaxed);
+            self.rebalances.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
         }
     }
 }
@@ -564,6 +577,7 @@ impl TaskHandle {
 
     /// Total CPU service (virtual-CPU hold time) so far.
     pub fn service(&self) -> Duration {
+        // relaxed: stats read; joiners get exactness from thread join.
         Duration::from_nanos(self.task.service_ns.load(Ordering::Relaxed))
     }
 
@@ -586,6 +600,7 @@ impl TaskHandle {
         if let Some(h) = self.thread.take() {
             let _ = h.join();
         }
+        // relaxed: stats read; joiners get exactness from thread join.
         Duration::from_nanos(self.task.service_ns.load(Ordering::Relaxed))
     }
 }
@@ -604,6 +619,8 @@ impl TaskCtx {
 
     /// True once [`Executor::stop`] has been called; loops should exit.
     pub fn stopped(&self) -> bool {
+        // relaxed: cooperative flag polled in a loop; stop() also
+        // raises preempt flags under locks, which bounds the lag.
         self.inner.stop_requested.load(Ordering::Relaxed)
     }
 
@@ -665,6 +682,8 @@ impl TaskCtx {
                 if token.swap(false, Ordering::AcqRel) {
                     return;
                 }
+                // relaxed: stop is re-checked under the scheduler
+                // locks; worst case is one extra block/wake cycle.
                 if self.inner.stop_requested.load(Ordering::Relaxed) {
                     return;
                 }
@@ -791,41 +810,47 @@ impl Executor {
     ) -> Executor {
         let mut cpu_base = 0u32;
         let shard_count = shards.len();
-        let cores: Vec<Mutex<ShardCore>> = shards
+        let cores: Vec<OrderedMutex<ShardCore>> = shards
             .into_iter()
             .enumerate()
             .map(|(s, sched)| {
                 let base = cpu_base;
                 cpu_base += layout.shard_cpus(s);
-                Mutex::new(ShardCore {
-                    index: s,
-                    sched,
-                    cpus: vec![
-                        CpuSlot {
-                            current: None,
-                            dispatched_at: Instant::now(),
-                            slice: Duration::ZERO,
-                            last_task: None,
-                        };
-                        layout.shard_cpus(s) as usize
-                    ],
-                    cpu_base: base,
-                    tasks: HashMap::new(),
-                    blocked: HashSet::new(),
-                    switches: 0,
-                })
+                OrderedMutex::new(
+                    rank::shard(s),
+                    ShardCore {
+                        index: s,
+                        sched,
+                        cpus: vec![
+                            CpuSlot {
+                                current: None,
+                                dispatched_at: Instant::now(),
+                                slice: Duration::ZERO,
+                                last_task: None,
+                            };
+                            layout.shard_cpus(s) as usize
+                        ],
+                        cpu_base: base,
+                        tasks: HashMap::new(),
+                        blocked: HashSet::new(),
+                        switches: 0,
+                    },
+                )
             })
             .collect();
         let inner = Arc::new(Inner {
             cfg,
             shards: cores,
-            global: Mutex::new(Global {
-                bal,
-                registry: HashMap::new(),
-                next_id: 1,
-                live: 0,
-                admit: admit.map(AdmissionControl::new),
-            }),
+            global: OrderedMutex::new(
+                rank::GLOBAL,
+                Global {
+                    bal,
+                    registry: HashMap::new(),
+                    next_id: 1,
+                    live: 0,
+                    admit: admit.map(AdmissionControl::new),
+                },
+            ),
             rebalance_every: rebalance.unwrap_or(ShardedScheduler::DEFAULT_REBALANCE),
             idle_cv: Condvar::new(),
             epoch: Instant::now(),
@@ -846,7 +871,7 @@ impl Executor {
             thread::Builder::new()
                 .name("sfs-rt-timer".into())
                 .spawn(move || Executor::timer_loop(&inner))
-                .expect("spawning timer thread")
+                .expect("spawning timer thread") // invariant: construction-time, not hot path; OS thread-spawn failure is fatal
         };
         Executor {
             inner,
@@ -963,6 +988,8 @@ impl Executor {
                 // we re-raise every flag and force a rebalance so the
                 // stalled work can be pulled elsewhere.
                 const WATCHDOG_TICKS: u32 = 8;
+                // relaxed: same-location reads are coherent, so the
+                // tick-over-tick comparison below never runs backwards.
                 let hb = inner.heartbeats[si].load(Ordering::Relaxed);
                 let stalled =
                     occupied > 0 && expired_count == occupied && waiting && hb == wd_seen[si];
@@ -970,7 +997,7 @@ impl Executor {
                 wd_stale[si] = if stalled { wd_stale[si] + 1 } else { 0 };
                 if wd_stale[si] >= WATCHDOG_TICKS {
                     wd_stale[si] = 0;
-                    inner.watchdogs.fetch_add(1, Ordering::Relaxed);
+                    inner.watchdogs.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
                     if tracing {
                         inner.trace.emit(TraceEvent::WatchdogFired {
                             t: inner.now().as_nanos(),
@@ -1103,7 +1130,7 @@ impl Executor {
                     .map(|s| s.lock().sched.nr_runnable())
                     .sum();
                 let now = self.inner.now();
-                let ctrl = global.admit.as_mut().expect("checked above");
+                let ctrl = global.admit.as_mut().expect("checked above"); // invariant: is_some() checked at the branch entry
                 match ctrl.admit(tenant, now, runnable as u64) {
                     Ok(()) => admitted = true,
                     Err(reason) => {
@@ -1133,7 +1160,7 @@ impl Executor {
                 shard: AtomicUsize::new(shard),
                 preempt: AtomicBool::new(false),
                 service_ns: AtomicU64::new(0),
-                granted: Mutex::new(false),
+                granted: OrderedMutex::new(rank::GRANTED, false),
                 cv: Condvar::new(),
             });
             global.registry.insert(id, Arc::clone(&task));
@@ -1185,7 +1212,7 @@ impl Executor {
                         // it, and audit the scheduler's books right away
                         // so a weight leak is caught at the fault, not
                         // at some later unrelated assertion.
-                        inner.reaped.fetch_add(1, Ordering::Relaxed);
+                        inner.reaped.fetch_add(1, Ordering::Relaxed); // relaxed: stats counter
                         if inner.trace.on() {
                             inner.trace.emit(TraceEvent::TaskReaped {
                                 t: inner.now().as_nanos(),
@@ -1196,6 +1223,7 @@ impl Executor {
                             core.sched.check_invariants();
                         }));
                         if audit.is_err() {
+                            // relaxed: stats counter
                             inner.invariant_violations.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -1226,7 +1254,7 @@ impl Executor {
                     eprintln!("task {} panicked: {p:?}", task2.id);
                 }
             })
-            .expect("spawning task thread");
+            .expect("spawning task thread"); // invariant: spawn-time, not hot path; OS thread-spawn failure is fatal
         Ok(TaskHandle {
             id: task.id,
             task,
@@ -1236,6 +1264,8 @@ impl Executor {
 
     /// Asks all cooperative loops to stop (see [`TaskCtx::stopped`]).
     pub fn stop(&self) {
+        // relaxed: the lock acquisitions below publish the flag to
+        // every task before any of them can observe the nudge.
         self.inner.stop_requested.store(true, Ordering::Relaxed);
         // Nudge everything through the scheduler so parked tasks get
         // CPU time to observe the stop flag, and release event-blocked
@@ -1263,7 +1293,7 @@ impl Executor {
     pub fn wait(&self) {
         let mut global = self.inner.global.lock();
         while global.live > 0 {
-            self.inner.idle_cv.wait(&mut global);
+            global.wait(&self.inner.idle_cv);
         }
     }
 
@@ -1303,9 +1333,9 @@ impl Executor {
         for shard in &self.inner.shards {
             agg = agg.merged(shard.lock().sched.stats());
         }
-        agg.shard_steals += self.inner.steals.load(Ordering::Relaxed);
-        agg.shard_rebalances += self.inner.rebalances.load(Ordering::Relaxed);
-        agg.shard_wake_migrations += self.inner.wake_migrations.load(Ordering::Relaxed);
+        agg.shard_steals += self.inner.steals.load(Ordering::Relaxed); // relaxed: stats read
+        agg.shard_rebalances += self.inner.rebalances.load(Ordering::Relaxed); // relaxed: stats read
+        agg.shard_wake_migrations += self.inner.wake_migrations.load(Ordering::Relaxed); // relaxed: stats read
         agg
     }
 
@@ -1331,19 +1361,19 @@ impl Executor {
 
     /// Task bodies that panicked and were forcibly reaped.
     pub fn reaped(&self) -> u64 {
-        self.inner.reaped.load(Ordering::Relaxed)
+        self.inner.reaped.load(Ordering::Relaxed) // relaxed: stats read
     }
 
     /// Times the timer-thread watchdog declared a shard stalled and
     /// forced recovery (flag re-raise plus rebalance).
     pub fn watchdog_fires(&self) -> u64 {
-        self.inner.watchdogs.load(Ordering::Relaxed)
+        self.inner.watchdogs.load(Ordering::Relaxed) // relaxed: stats read
     }
 
     /// Scheduler-invariant audits that failed after a forced reap.
     /// Any non-zero value is a bug in the scheduling policy.
     pub fn invariant_violations(&self) -> u64 {
-        self.inner.invariant_violations.load(Ordering::Relaxed)
+        self.inner.invariant_violations.load(Ordering::Relaxed) // relaxed: stats read
     }
 
     /// Fault injection: delays the next timer tick by `d`, so quantum

@@ -511,6 +511,8 @@ impl Simulator {
                         if t2 != at || !matches!(k2, EvKind::Arrive(_) | EvKind::Wake(_)) {
                             break;
                         }
+                        // invariant: peek above returned Some at the
+                        // same tick, and nothing popped in between.
                         let (_, _, k2) = self.events.pop().expect("peeked");
                         self.events_processed += 1;
                         batch.push(k2);
@@ -927,6 +929,9 @@ impl Simulator {
         if self.cpus[cpu_idx].token != token {
             return; // stale timer
         }
+        // invariant: the token matched, and tokens are bumped on
+        // every dispatch/idle transition — the CPU still runs the task
+        // this timer was armed for.
         let id = self.cpus[cpu_idx].current.expect("timer fired on idle CPU");
         self.charge_compute(cpu_idx);
         let i = TaskArena::idx(id);
@@ -1198,6 +1203,8 @@ impl Simulator {
     /// Charges compute progress since the last charge point.
     fn charge_compute(&mut self, cpu_idx: usize) {
         let cpu = &mut self.cpus[cpu_idx];
+        // invariant: every caller just checked or installed
+        // `current`; idle CPUs are never charged.
         let id = cpu.current.expect("charging idle CPU");
         let elapsed = self.now.since(cpu.last_charge);
         cpu.last_charge = self.now.max(cpu.last_charge);
@@ -1210,6 +1217,8 @@ impl Simulator {
     fn stop_running(&mut self, cpu_idx: usize, reason: SwitchReason) {
         self.charge_compute(cpu_idx);
         let cpu = &mut self.cpus[cpu_idx];
+        // invariant: callers stop a CPU only after dispatching to it
+        // (preempt, block, exit all take the running task as input).
         let id = cpu.current.take().expect("stopping idle CPU");
         let q = self.now.since(cpu.dispatched_at);
         cpu.last_task = Some(id);

@@ -79,6 +79,8 @@ impl TraceRecorder {
     /// atomic load.
     pub fn off() -> TraceRecorder {
         let rec = TraceRecorder::new(TraceMeta::default());
+        // relaxed: an off recorder never flips back on; no event data
+        // is published through this flag.
         rec.inner.on.store(false, Ordering::Relaxed);
         rec
     }
@@ -117,6 +119,8 @@ impl TraceRecorder {
     /// first and skip all work when it is false.
     #[inline]
     pub fn on(&self) -> bool {
+        // relaxed: pure fast-path gate; recorders that are on protect
+        // their buffers with the state lock, not this flag.
         self.inner.on.load(Ordering::Relaxed)
     }
 
@@ -200,6 +204,8 @@ impl TraceRecorder {
     /// return a trace with the task registry but **no events** — the
     /// sink's output is the export.
     pub fn finish(&self) -> EventTrace {
+        // relaxed: hooks that raced past the flag still take the state
+        // lock below, which orders them against the drain.
         self.inner.on.store(false, Ordering::Relaxed);
         let mut state = self.lock();
         if state.sink.is_some() {

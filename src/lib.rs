@@ -26,6 +26,10 @@
 //!   (Inf, Interact, mpeg_play, gcc, disksim, dhrystone, short jobs).
 //! * [`metrics`] (`sfs-metrics`) — time series, statistics, fairness
 //!   indices, tables and ASCII charts.
+//! * [`analyze`] (`sfs-analyze`) — concurrency-correctness tooling:
+//!   ranked mutexes with an optional lock-order audit (`lock-audit`
+//!   feature), a bounded interleaving checker over executor models,
+//!   and the project lint engine behind `repro lint`.
 //!
 //! ## Quickstart
 //!
@@ -84,6 +88,7 @@
 //! See `examples/` for runnable scenarios and `crates/bench` for the
 //! harnesses regenerating every table and figure of the paper.
 
+pub use sfs_analyze as analyze;
 pub use sfs_core as core;
 pub use sfs_experiment as experiment;
 pub use sfs_metrics as metrics;
